@@ -1,0 +1,63 @@
+//! Microbenchmarks of the substrates: simulated memory ops, atomic
+//! array ops, noise sampling, and the event-driven simulation loop.
+//!
+//! Run with `cargo bench -p nc-bench --bench components`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nc_memory::{Addr, SegArray, SimMemory};
+use nc_sched::{stream_rng, Noise};
+use nc_theory::{run_race, RaceConfig};
+use std::hint::black_box;
+
+fn bench_memory(c: &mut Criterion) {
+    let mut group = c.benchmark_group("memory");
+    group.bench_function("sim_write_read", |b| {
+        let mut mem = SimMemory::with_capacity(1024);
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % 512;
+            mem.write(Addr::new(i), i as u64);
+            black_box(mem.read(Addr::new(i)));
+        });
+    });
+    group.bench_function("seg_array_store_load", |b| {
+        let arr = SegArray::new();
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % 4096;
+            arr.store(i, i as u64);
+            black_box(arr.load(i));
+        });
+    });
+    group.finish();
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("noise_sampling");
+    for (name, noise) in Noise::figure1_suite() {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &noise, |b, n| {
+            let mut rng = stream_rng(1, 2, 3);
+            b.iter(|| black_box(n.sample(&mut rng)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_race(c: &mut Criterion) {
+    let mut group = c.benchmark_group("renewal_race");
+    group.sample_size(20);
+    for n in [16usize, 256, 4096] {
+        let cfg = RaceConfig::new(n, 2, Noise::Exponential { mean: 1.0 });
+        let mut seed = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter(n), &cfg, |b, cfg| {
+            b.iter(|| {
+                seed += 1;
+                black_box(run_race(cfg, seed))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_memory, bench_sampling, bench_race);
+criterion_main!(benches);

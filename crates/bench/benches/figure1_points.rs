@@ -1,0 +1,30 @@
+//! Throughput of the discrete-event engine on Figure 1 workloads: one
+//! iteration = one full first-decision simulation at the given n.
+//!
+//! Run with `cargo bench -p nc-bench --bench figure1_points`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nc_engine::{run_noisy, setup, Algorithm, Limits};
+use nc_sched::{Noise, TimingModel};
+use std::hint::black_box;
+
+fn bench_points(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_point");
+    group.sample_size(20);
+    let timing = TimingModel::figure1(Noise::Exponential { mean: 1.0 });
+    for n in [10usize, 100, 1000, 10_000] {
+        let inputs = setup::half_and_half(n);
+        let mut seed = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                seed += 1;
+                let mut inst = setup::build(Algorithm::Lean, &inputs, seed);
+                black_box(run_noisy(&mut inst, &timing, seed, Limits::first_decision()))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_points);
+criterion_main!(benches);

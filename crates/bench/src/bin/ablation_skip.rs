@@ -1,0 +1,14 @@
+//! E9: the §4 skip-ops ablation.
+//!
+//! Usage: `cargo run --release -p nc-bench --bin ablation_skip [-- --trials 200 --seed 1]`
+
+use nc_bench::{arg, experiments::ablation};
+
+fn main() {
+    let trials: u64 = arg("trials", 200);
+    let seed: u64 = arg("seed", 1);
+    let table = ablation::run(trials, seed);
+    println!("{table}");
+    table.write_csv("results/ablation_skip.csv").expect("write csv");
+    println!("wrote results/ablation_skip.csv");
+}

@@ -1,0 +1,16 @@
+//! E10: lean vs local-coin vs shared-coin baselines.
+//!
+//! Usage: `cargo run --release -p nc-bench --bin baseline_randomized [-- --trials 100 --seed 1]`
+
+use nc_bench::{arg, experiments::baseline};
+
+fn main() {
+    let trials: u64 = arg("trials", 100);
+    let seed: u64 = arg("seed", 1);
+    let (noisy, lockstep) = baseline::run(trials, seed);
+    println!("{noisy}");
+    println!("{lockstep}");
+    noisy.write_csv("results/baseline_noisy.csv").expect("write csv");
+    lockstep.write_csv("results/baseline_lockstep.csv").expect("write csv");
+    println!("wrote results/baseline_noisy.csv, results/baseline_lockstep.csv");
+}

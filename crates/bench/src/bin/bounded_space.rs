@@ -1,0 +1,15 @@
+//! E6: Theorem 15's bounded-space combined protocol.
+//!
+//! Usage: `cargo run --release -p nc-bench --bin bounded_space [-- --n 16 --trials 100 --seed 1]`
+
+use nc_bench::{arg, experiments::bounded};
+
+fn main() {
+    let n: usize = arg("n", 16);
+    let trials: u64 = arg("trials", 100);
+    let seed: u64 = arg("seed", 1);
+    let table = bounded::run(n, trials, seed);
+    println!("{table}");
+    table.write_csv("results/bounded_space.csv").expect("write csv");
+    println!("wrote results/bounded_space.csv");
+}

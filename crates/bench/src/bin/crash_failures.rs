@@ -1,0 +1,15 @@
+//! E11: §10's adaptive leader-killer crashes.
+//!
+//! Usage: `cargo run --release -p nc-bench --bin crash_failures [-- --n 16 --trials 200 --seed 1]`
+
+use nc_bench::{arg, experiments::crashes};
+
+fn main() {
+    let n: usize = arg("n", 16);
+    let trials: u64 = arg("trials", 200);
+    let seed: u64 = arg("seed", 1);
+    let table = crashes::run(n, trials, seed);
+    println!("{table}");
+    table.write_csv("results/crash_failures.csv").expect("write csv");
+    println!("wrote results/crash_failures.csv");
+}

@@ -1,0 +1,19 @@
+//! E1: reproduce the paper's Figure 1.
+//!
+//! Usage: `cargo run --release -p nc-bench --bin fig1 [-- --max-n 100000 --trials 10000 --seed 1]`
+//!
+//! `--trials` is the per-point cap; actual trials scale down with n to
+//! keep the event budget bounded (the paper used a flat 10000).
+
+use nc_bench::{arg, experiments::fig1};
+
+fn main() {
+    let max_n: usize = arg("max-n", 100_000);
+    let trials: u64 = arg("trials", 10_000);
+    let seed: u64 = arg("seed", 1);
+    let table = fig1::run(max_n, trials, seed);
+    println!("{table}");
+    let path = "results/fig1.csv";
+    table.write_csv(path).expect("write csv");
+    println!("wrote {path}");
+}

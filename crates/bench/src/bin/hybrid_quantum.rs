@@ -1,0 +1,13 @@
+//! E5: Theorem 14's 12-op bound under hybrid quantum/priority scheduling.
+//!
+//! Usage: `cargo run --release -p nc-bench --bin hybrid_quantum [-- --seed 1]`
+
+use nc_bench::{arg, experiments::hybrid};
+
+fn main() {
+    let seed: u64 = arg("seed", 1);
+    let table = hybrid::run(seed);
+    println!("{table}");
+    table.write_csv("results/hybrid_quantum.csv").expect("write csv");
+    println!("wrote results/hybrid_quantum.csv");
+}

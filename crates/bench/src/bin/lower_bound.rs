@@ -1,0 +1,14 @@
+//! E4: Theorem 13's Ω(log n) lower-bound construction.
+//!
+//! Usage: `cargo run --release -p nc-bench --bin lower_bound [-- --trials 300 --seed 1]`
+
+use nc_bench::{arg, experiments::lower};
+
+fn main() {
+    let trials: u64 = arg("trials", 300);
+    let seed: u64 = arg("seed", 1);
+    let table = lower::run(trials, seed);
+    println!("{table}");
+    table.write_csv("results/lower_bound.csv").expect("write csv");
+    println!("wrote results/lower_bound.csv");
+}

@@ -1,0 +1,16 @@
+//! E13: lean-consensus over ABD registers on a noisy network (§10).
+//!
+//! Usage: `cargo run --release -p nc-bench --bin message_passing [-- --trials 30 --seed 1]`
+
+use nc_bench::{arg, experiments::msgpass};
+
+fn main() {
+    let trials: u64 = arg("trials", 30);
+    let seed: u64 = arg("seed", 1);
+    let (sweep, crashes) = msgpass::run(trials, seed);
+    println!("{sweep}");
+    println!("{crashes}");
+    sweep.write_csv("results/message_passing.csv").expect("write csv");
+    crashes.write_csv("results/message_passing_crashes.csv").expect("write csv");
+    println!("wrote results/message_passing.csv, results/message_passing_crashes.csv");
+}

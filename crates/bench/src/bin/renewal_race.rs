@@ -1,0 +1,16 @@
+//! E8: Theorem 10 / Corollary 11's renewal race.
+//!
+//! Usage: `cargo run --release -p nc-bench --bin renewal_race [-- --trials 400 --seed 1]`
+
+use nc_bench::{arg, experiments::race};
+
+fn main() {
+    let trials: u64 = arg("trials", 400);
+    let seed: u64 = arg("seed", 1);
+    let (sweep, failures) = race::run(trials, seed);
+    println!("{sweep}");
+    println!("{failures}");
+    sweep.write_csv("results/renewal_race.csv").expect("write csv");
+    failures.write_csv("results/renewal_race_failures.csv").expect("write csv");
+    println!("wrote results/renewal_race.csv, results/renewal_race_failures.csv");
+}

@@ -1,0 +1,89 @@
+//! Regenerates every experiment (E1-E11) with CI-sized defaults and
+//! writes all CSVs under `results/`.
+//!
+//! Usage: `cargo run --release -p nc-bench --bin repro_all [-- --scale 1]`
+//!
+//! `--scale` multiplies trial counts (use 10+ for paper-grade runs;
+//! defaults keep the whole suite around a few minutes).
+
+use nc_bench::{arg, experiments::*};
+
+fn main() {
+    let scale: u64 = arg("scale", 1);
+    let seed: u64 = arg("seed", 1);
+
+    println!(">>> E1 Figure 1 (this is the long one)");
+    let t = fig1::run(arg("max-n", 100_000), 1_000 * scale, seed);
+    println!("{t}");
+    t.write_csv("results/fig1.csv").unwrap();
+
+    println!(">>> E2 validity cost");
+    let t = validity::run(20 * scale, seed);
+    println!("{t}");
+    t.write_csv("results/validity_cost.csv").unwrap();
+
+    println!(">>> E3 termination scaling");
+    let (a, b) = scaling::run(100 * scale, seed);
+    println!("{a}");
+    println!("{b}");
+    a.write_csv("results/termination_scaling.csv").unwrap();
+    b.write_csv("results/termination_tail.csv").unwrap();
+
+    println!(">>> E4 lower bound");
+    let t = lower::run(150 * scale, seed);
+    println!("{t}");
+    t.write_csv("results/lower_bound.csv").unwrap();
+
+    println!(">>> E5 hybrid quantum");
+    let t = hybrid::run(seed);
+    println!("{t}");
+    t.write_csv("results/hybrid_quantum.csv").unwrap();
+
+    println!(">>> E6 bounded space");
+    let t = bounded::run(16, 60 * scale, seed);
+    println!("{t}");
+    t.write_csv("results/bounded_space.csv").unwrap();
+
+    println!(">>> E7 unfairness");
+    let t = unfair::run(10_000 * scale as usize, seed);
+    println!("{t}");
+    t.write_csv("results/unfairness.csv").unwrap();
+
+    println!(">>> E8 renewal race");
+    let (a, b) = race::run(200 * scale, seed);
+    println!("{a}");
+    println!("{b}");
+    a.write_csv("results/renewal_race.csv").unwrap();
+    b.write_csv("results/renewal_race_failures.csv").unwrap();
+
+    println!(">>> E9 ablation");
+    let t = ablation::run(100 * scale, seed);
+    println!("{t}");
+    t.write_csv("results/ablation_skip.csv").unwrap();
+
+    println!(">>> E10 baselines");
+    let (a, b) = baseline::run(60 * scale, seed);
+    println!("{a}");
+    println!("{b}");
+    a.write_csv("results/baseline_noisy.csv").unwrap();
+    b.write_csv("results/baseline_lockstep.csv").unwrap();
+
+    println!(">>> E13 message passing (ABD)");
+    let (a, b) = msgpass::run(15 * scale, seed);
+    println!("{a}");
+    println!("{b}");
+    a.write_csv("results/message_passing.csv").unwrap();
+    b.write_csv("results/message_passing_crashes.csv").unwrap();
+
+    println!(">>> E14 statistical adversary");
+    let t = statistical::run(60 * scale, seed);
+    println!("{t}");
+    t.write_csv("results/statistical_adversary.csv").unwrap();
+
+    println!(">>> E11 adaptive crashes");
+    let t = crashes::run(16, 100 * scale, seed);
+    println!("{t}");
+    t.write_csv("results/crash_failures.csv").unwrap();
+
+    println!("\nall experiments done; CSVs under results/");
+}

@@ -1,0 +1,14 @@
+//! E14: the save-and-spend statistical adversary (§10).
+//!
+//! Usage: `cargo run --release -p nc-bench --bin statistical_adversary [-- --trials 100 --seed 1]`
+
+use nc_bench::{arg, experiments::statistical};
+
+fn main() {
+    let trials: u64 = arg("trials", 100);
+    let seed: u64 = arg("seed", 1);
+    let table = statistical::run(trials, seed);
+    println!("{table}");
+    table.write_csv("results/statistical_adversary.csv").expect("write csv");
+    println!("wrote results/statistical_adversary.csv");
+}

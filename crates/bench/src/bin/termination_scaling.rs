@@ -1,0 +1,16 @@
+//! E3: Theorem 12's Θ(log n) rounds, failure sweep, tail decay.
+//!
+//! Usage: `cargo run --release -p nc-bench --bin termination_scaling [-- --trials 200 --seed 1]`
+
+use nc_bench::{arg, experiments::scaling};
+
+fn main() {
+    let trials: u64 = arg("trials", 200);
+    let seed: u64 = arg("seed", 1);
+    let (sweep, tail) = scaling::run(trials, seed);
+    println!("{sweep}");
+    println!("{tail}");
+    sweep.write_csv("results/termination_scaling.csv").expect("write csv");
+    tail.write_csv("results/termination_tail.csv").expect("write csv");
+    println!("wrote results/termination_scaling.csv, results/termination_tail.csv");
+}

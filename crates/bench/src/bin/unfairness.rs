@@ -1,0 +1,14 @@
+//! E7: Theorem 1's pathological unfairness.
+//!
+//! Usage: `cargo run --release -p nc-bench --bin unfairness [-- --ops 20000 --seed 1]`
+
+use nc_bench::{arg, experiments::unfair};
+
+fn main() {
+    let ops: usize = arg("ops", 20_000);
+    let seed: u64 = arg("seed", 1);
+    let table = unfair::run(ops, seed);
+    println!("{table}");
+    table.write_csv("results/unfairness.csv").expect("write csv");
+    println!("wrote results/unfairness.csv");
+}

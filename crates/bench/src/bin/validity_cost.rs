@@ -1,0 +1,14 @@
+//! E2: Lemma 3's exact 8-operation validity cost.
+//!
+//! Usage: `cargo run --release -p nc-bench --bin validity_cost [-- --trials 50 --seed 1]`
+
+use nc_bench::{arg, experiments::validity};
+
+fn main() {
+    let trials: u64 = arg("trials", 50);
+    let seed: u64 = arg("seed", 1);
+    let table = validity::run(trials, seed);
+    println!("{table}");
+    table.write_csv("results/validity_cost.csv").expect("write csv");
+    println!("wrote results/validity_cost.csv");
+}

@@ -1,0 +1,95 @@
+//! E10 — baselines: deterministic lean vs algorithmic randomness.
+//!
+//! Three contenders:
+//!
+//! * `lean` — deterministic, relies entirely on environment noise;
+//! * `randomized` — lean + the safe local tie coin;
+//! * `backup` — the shared-coin protocol (the Chandra-style baseline:
+//!   randomness *in the algorithm*).
+//!
+//! Under noisy scheduling lean is the cheapest (no coin machinery); the
+//! shared-coin protocol pays heavy coin costs. Under exact lockstep the
+//! table flips: only the shared coin terminates — "randomness in the
+//! environment can substitute for randomness in the algorithm", and
+//! vice versa.
+
+use nc_engine::{run_adversarial, run_noisy, setup, Algorithm, Limits};
+use nc_sched::adversary::RoundRobin;
+use nc_sched::{Noise, TimingModel};
+use nc_theory::OnlineStats;
+
+use crate::table::{f2, Table};
+
+/// Runs the baseline comparison. Returns the noisy table and the
+/// lockstep table.
+pub fn run(trials: u64, seed0: u64) -> (Table, Table) {
+    let algs = [Algorithm::Lean, Algorithm::Randomized, Algorithm::Backup];
+
+    let mut noisy = Table::new(
+        "E10a: under noisy scheduling (exp(1)): mean first round / total ops",
+        &["algorithm", "n", "mean first round", "mean total ops"],
+    );
+    for alg in algs {
+        for &n in &[4usize, 16, 64] {
+            let timing = TimingModel::figure1(Noise::Exponential { mean: 1.0 });
+            let inputs = setup::half_and_half(n);
+            let mut rounds = OnlineStats::new();
+            let mut ops = OnlineStats::new();
+            for t in 0..trials {
+                let seed = seed0 + t * 41;
+                let mut inst = setup::build(alg, &inputs, seed);
+                let report = run_noisy(&mut inst, &timing, seed, Limits::run_to_completion());
+                report.check_safety(&inputs).expect("safety");
+                if let Some(r) = report.first_decision_round {
+                    rounds.push(r as f64);
+                }
+                ops.push(report.total_ops as f64);
+            }
+            noisy.push(vec![
+                alg.label().into(),
+                n.to_string(),
+                f2(rounds.mean()),
+                f2(ops.mean()),
+            ]);
+        }
+    }
+
+    let mut lockstep = Table::new(
+        "E10b: under exact lockstep round-robin (split inputs): who terminates?",
+        &["algorithm", "n", "terminates", "mean total ops when deciding"],
+    );
+    for alg in algs {
+        for &n in &[2usize, 4] {
+            let inputs = setup::alternating(n);
+            let mut decided_runs = 0u64;
+            let mut ops = OnlineStats::new();
+            let runs = 5u64;
+            for t in 0..runs {
+                let seed = seed0 + 1000 + t;
+                let mut inst = setup::build(alg, &inputs, seed);
+                let report = run_adversarial(
+                    &mut inst,
+                    &mut RoundRobin::new(),
+                    Limits::run_to_completion().with_max_ops(5_000_000),
+                );
+                report.check_safety(&inputs).expect("safety");
+                if report.outcome.decided() {
+                    decided_runs += 1;
+                    ops.push(report.total_ops as f64);
+                }
+            }
+            lockstep.push(vec![
+                alg.label().into(),
+                n.to_string(),
+                format!("{decided_runs}/{runs}"),
+                if decided_runs > 0 {
+                    f2(ops.mean())
+                } else {
+                    "-".into()
+                },
+            ]);
+        }
+    }
+
+    (noisy, lockstep)
+}

@@ -1,0 +1,64 @@
+//! E1 — Figure 1 (§9): mean round of first termination vs. number of
+//! processes, for the six interarrival distributions.
+//!
+//! Paper setup, reproduced exactly: half the processes start with input
+//! 0 and half with 1; starting times are equal up to a `U(0, 1e-8)`
+//! dither; no failures; the measured quantity is the round at which the
+//! **first** process terminates, averaged over trials. The paper uses
+//! 10 000 trials per point up to `n = 100 000`; trials here scale down
+//! with `n` to keep the event budget laptop-sized (tunable).
+
+use nc_engine::{run_noisy, setup, Algorithm, Limits};
+use nc_sched::{Noise, TimingModel};
+use nc_theory::OnlineStats;
+
+use crate::table::{f2, Table};
+use crate::{figure1_ns, trials_for};
+
+/// One measured Figure 1 point.
+pub fn point(noise: Noise, n: usize, trials: u64, seed0: u64) -> OnlineStats {
+    let timing = TimingModel::figure1(noise);
+    let mut stats = OnlineStats::new();
+    let inputs = setup::half_and_half(n);
+    for t in 0..trials {
+        let seed = seed0 ^ (t.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut inst = setup::build(Algorithm::Lean, &inputs, seed);
+        let report = run_noisy(&mut inst, &timing, seed, Limits::first_decision());
+        let round = report
+            .first_decision_round
+            .expect("figure 1 runs terminate (non-degenerate noise)");
+        stats.push(round as f64);
+    }
+    stats
+}
+
+/// Runs the full Figure 1 sweep.
+///
+/// Columns: one row per `n`, one mean-round column per distribution
+/// (plus a 95% CI half-width column each).
+pub fn run(max_n: usize, base_trials: u64, seed: u64) -> Table {
+    let suite = Noise::figure1_suite();
+    let mut columns: Vec<String> = vec!["n".into(), "trials".into()];
+    for (name, _) in &suite {
+        columns.push(name.to_string());
+        columns.push(format!("{name} ci95"));
+    }
+    let mut table = Table {
+        title: format!("E1 / Figure 1: mean round of first termination (seed {seed})"),
+        columns,
+        rows: Vec::new(),
+    };
+
+    for n in figure1_ns(max_n) {
+        let trials = trials_for(n, base_trials);
+        let mut row = vec![n.to_string(), trials.to_string()];
+        for &(_, noise) in &suite {
+            let stats = point(noise, n, trials, seed);
+            row.push(f2(stats.mean()));
+            row.push(f2(stats.ci95()));
+        }
+        table.rows.push(row);
+        eprintln!("fig1: n = {n} done ({trials} trials/distribution)");
+    }
+    table
+}

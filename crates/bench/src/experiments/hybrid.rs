@@ -1,0 +1,78 @@
+//! E5 — Theorem 14: hybrid quantum/priority scheduling.
+//!
+//! Sweeps the quantum from 1 to 16 under three policies (benign, random,
+//! and the write-preempting adversary), across several process counts
+//! and initial-quantum burns, reporting the worst per-process operation
+//! count observed. Theorem 14's claim: **≤ 12 for quantum ≥ 8** — the
+//! table's last column flags it.
+
+use nc_engine::{run_hybrid, setup, Algorithm, Limits};
+use nc_sched::hybrid::{BenignHybrid, HybridPolicy, HybridSpec, RandomHybrid, WritePreemptor};
+use nc_sched::stream_rng;
+
+use crate::table::Table;
+
+/// Runs the hybrid-scheduling experiment.
+pub fn run(seed0: u64) -> Table {
+    let mut table = Table::new(
+        "E5 / Theorem 14: worst per-process ops on a hybrid-scheduled uniprocessor",
+        &[
+            "quantum",
+            "worst ops (benign)",
+            "worst ops (random)",
+            "worst ops (preemptor)",
+            "all decided",
+            "<=12 (required for q>=8)",
+        ],
+    );
+
+    for quantum in 1..=16u32 {
+        let mut worst = [0u64; 3];
+        let mut all_decided = true;
+        for n in [2usize, 3, 4, 6, 8] {
+            for burn in [0u32, quantum / 2, quantum] {
+                let inputs = setup::alternating(n);
+                let policies: [&mut dyn FnMut() -> Box<dyn HybridPolicy>; 3] = [
+                    &mut || Box::new(BenignHybrid),
+                    &mut || Box::new(RandomHybrid::new(stream_rng(seed0, quantum as u64, 4))),
+                    &mut || Box::new(WritePreemptor),
+                ];
+                for (k, make) in policies.into_iter().enumerate() {
+                    let mut inst = setup::build(Algorithm::Lean, &inputs, seed0);
+                    let spec =
+                        HybridSpec::uniform(n, quantum).with_initial_used(vec![burn; n]);
+                    let mut policy = make();
+                    let report = run_hybrid(
+                        &mut inst,
+                        &spec,
+                        policy.as_mut(),
+                        Limits::run_to_completion().with_max_ops(2_000_000),
+                    );
+                    report.check_safety(&inputs).expect("safety");
+                    worst[k] = worst[k].max(report.max_ops_per_process());
+                    all_decided &= report.outcome.decided();
+                }
+            }
+        }
+        let bound_holds = worst.iter().all(|&w| w <= 12) && all_decided;
+        table.push(vec![
+            quantum.to_string(),
+            worst[0].to_string(),
+            worst[1].to_string(),
+            worst[2].to_string(),
+            all_decided.to_string(),
+            if quantum >= 8 {
+                if bound_holds {
+                    "yes (as proved)".into()
+                } else {
+                    "VIOLATED".into()
+                }
+            } else if bound_holds {
+                "yes (not guaranteed)".into()
+            } else {
+                "no (not guaranteed)".into()
+            },
+        ]);
+    }
+    table
+}

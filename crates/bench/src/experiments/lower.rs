@@ -1,0 +1,73 @@
+//! E4 — Theorem 13: the Ω(log n) lower bound.
+//!
+//! The construction: every operation takes 1 or 2 time units with equal
+//! probability. With probability ≈ `(1 − e^{−1/2})² ≈ 0.155` (as n → ∞)
+//! at least one process on *each* team runs its first `log₂ n`
+//! operations at full speed, keeping the teams tied for `Ω(log n)`
+//! rounds. The table reports the mean first-decision round and the
+//! empirically measured probability that disagreement survives past
+//! `log₂ n` *operations-at-full-speed* rounds, alongside the asymptotic
+//! constant.
+
+use nc_engine::{run_noisy, setup, Algorithm, Limits};
+use nc_sched::{Noise, TimingModel};
+use nc_theory::{fit_log2, OnlineStats};
+
+use crate::table::{f2, f3, Table};
+
+/// Runs the lower-bound experiment.
+pub fn run(trials: u64, seed0: u64) -> Table {
+    let mut table = Table::new(
+        "E4 / Theorem 13: two-point {1,2} noise (lower-bound construction)",
+        &[
+            "n",
+            "mean round (two-point)",
+            "ci95",
+            "mean round (exponential)",
+            "Pr[round > log2 n / 2]",
+        ],
+    );
+    let mut points = Vec::new();
+    for &n in &[4usize, 16, 64, 256, 1024] {
+        let inputs = setup::half_and_half(n);
+        let mut tp = OnlineStats::new();
+        let mut survive = 0u64;
+        let threshold = ((n as f64).log2() / 2.0).max(2.0);
+        for t in 0..trials {
+            let seed = seed0 + t * 37;
+            let timing = TimingModel::figure1(Noise::theorem13());
+            let mut inst = setup::build(Algorithm::Lean, &inputs, seed);
+            let report = run_noisy(&mut inst, &timing, seed, Limits::first_decision());
+            let round = report.first_decision_round.unwrap() as f64;
+            tp.push(round);
+            if round > threshold {
+                survive += 1;
+            }
+        }
+        let mut exp = OnlineStats::new();
+        for t in 0..trials {
+            let seed = seed0 + t * 37;
+            let timing = TimingModel::figure1(Noise::Exponential { mean: 1.0 });
+            let mut inst = setup::build(Algorithm::Lean, &inputs, seed);
+            let report = run_noisy(&mut inst, &timing, seed, Limits::first_decision());
+            exp.push(report.first_decision_round.unwrap() as f64);
+        }
+        points.push((n as f64, tp.mean()));
+        table.push(vec![
+            n.to_string(),
+            f2(tp.mean()),
+            f2(tp.ci95()),
+            f2(exp.mean()),
+            f3(survive as f64 / trials as f64),
+        ]);
+    }
+    let fit = fit_log2(&points);
+    table.push(vec![
+        "fit".into(),
+        format!("{} + {}*log2(n)", f3(fit.intercept), f3(fit.slope)),
+        String::new(),
+        String::new(),
+        format!("asymptotic (1-e^-0.5)^2 = {}", f3((1.0 - (-0.5f64).exp()).powi(2))),
+    ]);
+    table
+}

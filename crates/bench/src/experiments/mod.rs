@@ -1,0 +1,31 @@
+//! One module per experiment in DESIGN.md's per-experiment index.
+//!
+//! | Module | Exp | Paper artifact |
+//! |--------|-----|----------------|
+//! | [`fig1`] | E1 | Figure 1 (§9) |
+//! | [`validity`] | E2 | Lemma 3 cost |
+//! | [`scaling`] | E3 | Theorem 12 Θ(log n) with failures |
+//! | [`lower`] | E4 | Theorem 13 Ω(log n) |
+//! | [`hybrid`] | E5 | Theorem 14 quantum bound |
+//! | [`bounded`] | E6 | Theorem 15 bounded space |
+//! | [`unfair`] | E7 | Theorem 1 unfairness |
+//! | [`race`] | E8 | Theorem 10 / Corollary 11 |
+//! | [`ablation`] | E9 | §4 skip-ops paradox |
+//! | [`baseline`] | E10 | randomized baselines |
+//! | [`crashes`] | E11 | §10 adaptive crashes |
+//! | [`msgpass`] | E13 | §10 message-passing extension (ABD) |
+//! | [`statistical`] | E14 | §10 statistical adversary |
+
+pub mod ablation;
+pub mod baseline;
+pub mod bounded;
+pub mod crashes;
+pub mod fig1;
+pub mod hybrid;
+pub mod lower;
+pub mod msgpass;
+pub mod race;
+pub mod scaling;
+pub mod statistical;
+pub mod unfair;
+pub mod validity;

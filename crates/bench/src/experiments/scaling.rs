@@ -1,0 +1,100 @@
+//! E3 — Theorem 12: expected Θ(log n) rounds, with and without random
+//! halting failures, plus the exponential tail.
+//!
+//! For each failure rate `h` the table reports mean first-decision round
+//! across a log-spaced `n` sweep and the least-squares fit
+//! `a + b·log₂ n`; the tail table reports `Pr[round > k]` at `n = 256`,
+//! which Corollary 11 predicts decays geometrically in `k / O(log n)`.
+
+use nc_engine::{run_noisy, setup, Algorithm, Limits};
+use nc_sched::{FailureModel, Noise, TimingModel};
+use nc_theory::{fit_log2, OnlineStats};
+
+use crate::table::{f2, f3, Table};
+
+/// Mean first-decision round; failed (all-halted) runs are skipped.
+fn sweep_point(h: f64, n: usize, trials: u64, seed0: u64) -> (OnlineStats, u64) {
+    let timing = TimingModel::figure1(Noise::Exponential { mean: 1.0 })
+        .with_failures(FailureModel::Random { per_op: h });
+    let mut stats = OnlineStats::new();
+    let mut extinct = 0;
+    let inputs = setup::half_and_half(n);
+    for t in 0..trials {
+        let seed = seed0 + t * 131;
+        let mut inst = setup::build(Algorithm::Lean, &inputs, seed);
+        let report = run_noisy(&mut inst, &timing, seed, Limits::first_decision());
+        match report.first_decision_round {
+            Some(r) => stats.push(r as f64),
+            None => extinct += 1,
+        }
+    }
+    (stats, extinct)
+}
+
+/// Runs the termination-scaling experiment. Returns the sweep table and
+/// the tail table.
+pub fn run(trials: u64, seed0: u64) -> (Table, Table) {
+    let ns = [2usize, 8, 32, 128, 512];
+    let hs = [0.0, 0.001, 0.01];
+
+    let mut sweep = Table::new(
+        "E3 / Theorem 12: mean first-decision round vs n (lean, exp(1) noise)",
+        &["h per op", "n", "trials", "mean round", "ci95", "extinct runs"],
+    );
+
+    for &h in &hs {
+        let mut points = Vec::new();
+        for &n in &ns {
+            let (stats, extinct) = sweep_point(h, n, trials, seed0);
+            sweep.push(vec![
+                h.to_string(),
+                n.to_string(),
+                trials.to_string(),
+                f2(stats.mean()),
+                f2(stats.ci95()),
+                extinct.to_string(),
+            ]);
+            if stats.count() > 0 {
+                points.push((n as f64, stats.mean()));
+            }
+        }
+        if points.len() >= 2 {
+            let fit = fit_log2(&points);
+            sweep.push(vec![
+                h.to_string(),
+                "fit".into(),
+                String::new(),
+                format!("{} + {}*log2(n)", f3(fit.intercept), f3(fit.slope)),
+                format!("R^2 = {}", f3(fit.r2)),
+                String::new(),
+            ]);
+        }
+    }
+
+    // Tail at n = 256, h = 0.
+    let n = 256;
+    let timing = TimingModel::figure1(Noise::Exponential { mean: 1.0 });
+    let inputs = setup::half_and_half(n);
+    let mut rounds = Vec::new();
+    for t in 0..trials * 4 {
+        let seed = seed0 + 777 + t;
+        let mut inst = setup::build(Algorithm::Lean, &inputs, seed);
+        let report = run_noisy(&mut inst, &timing, seed, Limits::first_decision());
+        rounds.push(report.first_decision_round.unwrap() as f64);
+    }
+    let mut tail = Table::new(
+        format!(
+            "E3 tail: Pr[first-decision round > k] at n = {n} ({} trials)",
+            rounds.len()
+        ),
+        &["k", "Pr[round > k]"],
+    );
+    let mean = rounds.iter().sum::<f64>() / rounds.len() as f64;
+    for mult in 1..=5 {
+        let k = (mean * mult as f64).round();
+        let p = rounds.iter().filter(|&&r| r > k).count() as f64 / rounds.len() as f64;
+        tail.push(vec![format!("{k} ({mult}x mean)"), f3(p)]);
+    }
+
+    (sweep, tail)
+}

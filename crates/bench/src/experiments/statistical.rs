@@ -1,0 +1,59 @@
+//! E14 — the §10 statistical adversary.
+//!
+//! The model's fixed per-operation bound `Δ_ij ≤ M` exists only to give
+//! the noise a scale; §10 conjectures that the weaker *statistical*
+//! constraint `Σ_{j≤r} Δ_ij ≤ r·M` suffices for O(log n) termination.
+//! The save-and-spend policy ([`nc_sched::DelayPolicy::SaveAndSpend`])
+//! honours the statistical budget while violating any useful
+//! per-operation bound — delays of `0, …, 0, period·M` — and this
+//! experiment measures lean-consensus against it across burst periods.
+
+use nc_engine::{run_noisy, setup, Algorithm, Limits};
+use nc_sched::{DelayPolicy, Noise, TimingModel};
+use nc_theory::{fit_log2, OnlineStats};
+
+use crate::table::{f2, f3, Table};
+
+/// Runs the statistical-adversary experiment.
+pub fn run(trials: u64, seed0: u64) -> Table {
+    let mut table = Table::new(
+        "E14 / §10: save-and-spend statistical adversary (budget m = 1 per op)",
+        &["burst period", "n", "mean first round", "ci95"],
+    );
+    for &period in &[1u64, 8, 64, 512] {
+        let delay = DelayPolicy::SaveAndSpend { m: 1.0, period };
+        let mut points = Vec::new();
+        for &n in &[4usize, 16, 64, 256] {
+            let timing = TimingModel::figure1(Noise::Exponential { mean: 1.0 })
+                .with_delay(delay.clone());
+            let inputs = setup::half_and_half(n);
+            let mut rounds = OnlineStats::new();
+            for t in 0..trials {
+                let seed = seed0 + t * 61;
+                let mut inst = setup::build(Algorithm::Lean, &inputs, seed);
+                let report = run_noisy(&mut inst, &timing, seed, Limits::first_decision());
+                rounds.push(
+                    report
+                        .first_decision_round
+                        .expect("statistical adversary must not prevent termination")
+                        as f64,
+                );
+            }
+            points.push((n as f64, rounds.mean()));
+            table.push(vec![
+                period.to_string(),
+                n.to_string(),
+                f2(rounds.mean()),
+                f2(rounds.ci95()),
+            ]);
+        }
+        let fit = fit_log2(&points);
+        table.push(vec![
+            period.to_string(),
+            "fit".into(),
+            format!("{} + {}*log2(n)", f3(fit.intercept), f3(fit.slope)),
+            format!("R^2 = {}", f3(fit.r2)),
+        ]);
+    }
+    table
+}

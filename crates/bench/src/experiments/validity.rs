@@ -1,0 +1,73 @@
+//! E2 — Lemma 3: with unanimous inputs, every process decides the input
+//! after **exactly 8 operations**, under any schedule and any n.
+//!
+//! The table reports, per (algorithm, n), the min/max per-process
+//! operation count over noisy runs and a round-robin adversarial run —
+//! for the paper's algorithm both must be exactly 8.
+
+use nc_engine::{run_adversarial, run_noisy, setup, Algorithm, Limits};
+use nc_memory::Bit;
+use nc_sched::adversary::RoundRobin;
+use nc_sched::{Noise, TimingModel};
+
+use crate::table::Table;
+
+/// Runs the validity-cost experiment.
+pub fn run(trials: u64, seed0: u64) -> Table {
+    let mut table = Table::new(
+        "E2 / Lemma 3: per-process ops with unanimous inputs (expect exactly 8 for lean)",
+        &["algorithm", "n", "schedule", "min ops", "max ops", "all decided input"],
+    );
+    let algorithms = [Algorithm::Lean, Algorithm::Skipping, Algorithm::Randomized];
+    for alg in algorithms {
+        for n in [1usize, 4, 16, 64] {
+            for input in Bit::BOTH {
+                let inputs = setup::unanimous(n, input);
+                // Noisy schedule.
+                let mut min_ops = u64::MAX;
+                let mut max_ops = 0u64;
+                let mut valid = true;
+                let timing = TimingModel::figure1(Noise::Exponential { mean: 1.0 });
+                for t in 0..trials {
+                    let seed = seed0 + t;
+                    let mut inst = setup::build(alg, &inputs, seed);
+                    let report = run_noisy(&mut inst, &timing, seed, Limits::run_to_completion());
+                    report.check_safety(&inputs).expect("safety");
+                    min_ops = min_ops.min(*report.ops.iter().min().unwrap());
+                    max_ops = max_ops.max(*report.ops.iter().max().unwrap());
+                    valid &= report.decisions.iter().all(|&d| d == Some(input));
+                }
+                table.push(vec![
+                    alg.label().into(),
+                    n.to_string(),
+                    format!("noisy exp(1) input {input}"),
+                    min_ops.to_string(),
+                    max_ops.to_string(),
+                    valid.to_string(),
+                ]);
+            }
+            // Adversarial round-robin (one run; deterministic).
+            let inputs = setup::unanimous(n, Bit::One);
+            let mut inst = setup::build(alg, &inputs, seed0);
+            let report = run_adversarial(
+                &mut inst,
+                &mut RoundRobin::new(),
+                Limits::run_to_completion(),
+            );
+            report.check_safety(&inputs).expect("safety");
+            table.push(vec![
+                alg.label().into(),
+                n.to_string(),
+                "round-robin".into(),
+                report.ops.iter().min().unwrap().to_string(),
+                report.ops.iter().max().unwrap().to_string(),
+                report
+                    .decisions
+                    .iter()
+                    .all(|&d| d == Some(Bit::One))
+                    .to_string(),
+            ]);
+        }
+    }
+    table
+}

@@ -1,0 +1,93 @@
+//! Experiment harness for the `noisy-consensus` workspace.
+//!
+//! Each experiment in DESIGN.md's per-experiment index (E1–E11) is a
+//! function in [`experiments`] returning a [`Table`]; the binaries in
+//! `src/bin/` are thin wrappers that run one experiment with CLI-tunable
+//! parameters, print the table, and drop a CSV under `results/`.
+//! `cargo run --release -p nc-bench --bin repro_all` regenerates
+//! everything.
+//!
+//! Criterion benchmarks (native-thread latency, component throughput,
+//! Figure 1 point cost) live under `benches/`.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod table;
+
+pub use table::Table;
+
+/// The paper's Figure 1 x-axis: 1, 2, 5 per decade, from 1 to `max_n`.
+pub fn figure1_ns(max_n: usize) -> Vec<usize> {
+    let mut ns = Vec::new();
+    let mut decade = 1usize;
+    'outer: loop {
+        for mult in [1usize, 2, 5] {
+            let n = decade.saturating_mul(mult);
+            if n > max_n {
+                break 'outer;
+            }
+            ns.push(n);
+        }
+        match decade.checked_mul(10) {
+            Some(d) => decade = d,
+            None => break,
+        }
+    }
+    if ns.last() != Some(&max_n) {
+        ns.push(max_n);
+    }
+    ns
+}
+
+/// Trials per Figure 1 point: targets a fixed event budget per point so
+/// small `n` gets many trials (up to `base`) and huge `n` still gets a
+/// statistically useful handful.
+pub fn trials_for(n: usize, base: u64) -> u64 {
+    let budget = 40_000_000u64; // ~events per point at first-decision cutoff
+    (budget / (n as u64 * 40).max(1)).clamp(30, base)
+}
+
+/// Parses `--key value` style arguments; returns the value for `key`.
+pub fn arg<T: std::str::FromStr>(key: &str, default: T) -> T {
+    let args: Vec<String> = std::env::args().collect();
+    for i in 0..args.len() {
+        if args[i] == format!("--{key}") {
+            if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                return v;
+            }
+        }
+    }
+    default
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_ns_matches_paper_grid() {
+        assert_eq!(
+            figure1_ns(1000),
+            vec![1, 2, 5, 10, 20, 50, 100, 200, 500, 1000]
+        );
+        assert_eq!(figure1_ns(1), vec![1]);
+        // Non-grid max is appended.
+        assert_eq!(figure1_ns(30), vec![1, 2, 5, 10, 20, 30]);
+        assert_eq!(*figure1_ns(100_000).last().unwrap(), 100_000);
+    }
+
+    #[test]
+    fn trials_scale_down_with_n() {
+        assert_eq!(trials_for(1, 10_000), 10_000);
+        assert!(trials_for(100_000, 10_000) >= 30);
+        assert!(trials_for(100_000, 10_000) < trials_for(100, 10_000));
+    }
+
+    #[test]
+    fn arg_returns_default_without_flag() {
+        assert_eq!(arg("definitely-not-passed", 42u64), 42);
+    }
+}

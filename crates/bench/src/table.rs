@@ -1,0 +1,160 @@
+//! Result tables: aligned console output plus CSV artifacts.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// A rectangular result table with a title and column headers.
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Human-readable experiment title.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Data rows (each the same length as `columns`).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row's width differs from the header's.
+    pub fn push(&mut self, row: Vec<String>) {
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "row width {} != column count {}",
+            row.len(),
+            self.columns.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Writes the table as CSV to `path`, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_csv(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        fn quote(cell: &str) -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        }
+        let mut out = String::new();
+        let cols: Vec<String> = self.columns.iter().map(|c| quote(c)).collect();
+        out.push_str(&cols.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            let cells: Vec<String> = row.iter().map(|c| quote(c)).collect();
+            out.push_str(&cells.join(","));
+            out.push('\n');
+        }
+        fs::write(path, out)
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        writeln!(f, "== {} ==", self.title)?;
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:<w$}"))
+            .collect();
+        writeln!(f, "  {}", header.join(" | "))?;
+        let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        writeln!(f, "  {}", rule.join("-+-"))?;
+        for row in &self.rows {
+            let cells: Vec<String> = row
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect();
+            writeln!(f, "  {}", cells.join(" | "))?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with 3 decimal places (table cell helper).
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a float with 2 decimal places (table cell helper).
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_render() {
+        let mut t = Table::new("demo", &["n", "mean"]);
+        t.push(vec!["1".into(), f2(2.0)]);
+        t.push(vec!["10".into(), f3(3.14159)]);
+        let s = t.to_string();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("3.142"));
+        assert!(s.contains("mean"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn ragged_row_panics() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.push(vec!["1".into()]);
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.push(vec!["1".into(), "2".into()]);
+        let dir = std::env::temp_dir().join("nc_bench_test");
+        let path = dir.join("t.csv");
+        t.write_csv(&path).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(body, "a,b\n1,2\n");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn csv_quotes_commas_and_quotes() {
+        let mut t = Table::new("demo", &["name", "v"]);
+        t.push(vec!["2/3,4/3".into(), "say \"hi\"".into()]);
+        let dir = std::env::temp_dir().join("nc_bench_test_q");
+        let path = dir.join("t.csv");
+        t.write_csv(&path).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(body, "name,v\n\"2/3,4/3\",\"say \"\"hi\"\"\"\n");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

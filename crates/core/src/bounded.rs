@@ -1,0 +1,355 @@
+//! The bounded-space combined protocol (§8).
+//!
+//! lean-consensus as stated needs unbounded arrays. The paper's remedy:
+//!
+//! 1. run lean-consensus through round `r_max`;
+//! 2. at round `r_max + 1`, switch to a *backup* protocol — any
+//!    bounded-space consensus protocol with polynomial expected work and
+//!    the **validity** property — using the preference held at the end of
+//!    round `r_max` as the backup's input.
+//!
+//! Agreement across the seam follows from Lemmas 2 and 4: if any process
+//! decides `b` inside lean-consensus at round `r ≤ r_max`, no process
+//! ever writes `a_{1-b}[r]`, so every process that reaches the backup
+//! enters it with input `b`, and the backup's validity forces `b` out.
+//!
+//! Theorem 15: with `r_max = O(log² n)` the backup runs with probability
+//! at most `n^{-c}`, so its polynomial cost adds `O(1)` to the expected
+//! work and the `a0`/`a1` arrays hold `O(log² n)` bits.
+//!
+//! [`BoundedLean`] is generic over the backup: anything implementing
+//! [`Protocol`] plus a constructor closure. The real backup lives in
+//! `nc-backup`; tests here use a trivial stand-in.
+
+use std::fmt;
+
+use nc_memory::{Bit, RaceLayout, Word};
+
+use crate::lean::LeanConsensus;
+use crate::protocol::{Protocol, Status};
+
+/// Suggested `r_max` for `n` processes: `(⌈log₂(n+1)⌉ + 2)²`, clamped to
+/// at least 9.
+///
+/// Theorem 15 wants `r_max = T · c · log n` with `T = O(log n)`; the
+/// constants here are implementation-chosen so that (per the measured
+/// tail of Theorem 12, see EXPERIMENTS.md) the backup fires with
+/// vanishing probability at every `n` the experiments touch.
+pub fn recommended_r_max(n: usize) -> usize {
+    let log = (usize::BITS - n.saturating_add(1).leading_zeros()) as usize; // ⌈log₂(n+1)⌉
+    ((log + 2) * (log + 2)).max(9)
+}
+
+/// The §8 combined protocol: lean-consensus with an `r_max` cutoff and a
+/// backup consensus protocol behind it.
+///
+/// `B` is the backup's state machine; the `make_backup` closure is called
+/// at most once, with the preference lean-consensus held when it crossed
+/// the cutoff. The backup must operate on a *disjoint* memory region
+/// (the closure typically captures a layout for it).
+pub struct BoundedLean<B, F> {
+    lean: LeanConsensus,
+    r_max: usize,
+    make_backup: Option<F>,
+    backup: Option<B>,
+}
+
+impl<B, F> BoundedLean<B, F>
+where
+    B: Protocol,
+    F: FnOnce(Bit) -> B,
+{
+    /// Creates the combined protocol for one process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r_max < 2` (lean-consensus cannot decide before round
+    /// 2, so smaller cutoffs would *always* run the backup).
+    pub fn new(layout: RaceLayout, input: Bit, r_max: usize, make_backup: F) -> Self {
+        assert!(r_max >= 2, "r_max must be at least 2, got {r_max}");
+        BoundedLean {
+            lean: LeanConsensus::new(layout, input),
+            r_max,
+            make_backup: Some(make_backup),
+            backup: None,
+        }
+    }
+
+    /// Whether this process has switched to the backup protocol.
+    pub fn backup_engaged(&self) -> bool {
+        self.backup.is_some()
+    }
+
+    /// The round cutoff `r_max`.
+    pub fn r_max(&self) -> usize {
+        self.r_max
+    }
+
+    /// Registers (bits) of the `a0`/`a1` arrays this configuration can
+    /// ever touch: `2 · (r_max + 1)` including the sentinels — the
+    /// `O(log² n)` space bound of Theorem 15.
+    pub fn lean_space_words(&self) -> usize {
+        RaceLayout::words_for_rounds(self.r_max)
+    }
+
+    fn maybe_switch(&mut self) {
+        if self.backup.is_none()
+            && self.lean.status().decision().is_none()
+            && self.lean.round() > self.r_max
+        {
+            let make = self
+                .make_backup
+                .take()
+                .expect("backup constructor consumed twice");
+            self.backup = Some(make(self.lean.preference()));
+        }
+    }
+}
+
+impl<B, F> Protocol for BoundedLean<B, F>
+where
+    B: Protocol,
+    F: FnOnce(Bit) -> B,
+{
+    fn status(&self) -> Status {
+        match &self.backup {
+            Some(b) => b.status(),
+            None => self.lean.status(),
+        }
+    }
+
+    fn advance(&mut self, read_value: Option<Word>) {
+        match &mut self.backup {
+            Some(b) => b.advance(read_value),
+            None => {
+                self.lean.advance(read_value);
+                self.maybe_switch();
+            }
+        }
+    }
+
+    fn round(&self) -> usize {
+        match &self.backup {
+            // Keep the round counter monotone across the seam.
+            Some(b) => self.r_max + b.round(),
+            None => self.lean.round(),
+        }
+    }
+
+    fn preference(&self) -> Bit {
+        match &self.backup {
+            Some(b) => b.preference(),
+            None => self.lean.preference(),
+        }
+    }
+
+    fn ops_completed(&self) -> u64 {
+        self.lean.ops_completed() + self.backup.as_ref().map_or(0, |b| b.ops_completed())
+    }
+}
+
+impl<B: fmt::Debug, F> fmt::Debug for BoundedLean<B, F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BoundedLean")
+            .field("lean", &self.lean)
+            .field("r_max", &self.r_max)
+            .field("backup", &self.backup)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{run_round_robin, step};
+    use nc_memory::{Op, SimMemory};
+
+    /// A stand-in backup: decides its input after one read of a scratch
+    /// address (valid by construction).
+    #[derive(Debug)]
+    struct EchoBackup {
+        input: Bit,
+        done: bool,
+        ops: u64,
+    }
+
+    impl EchoBackup {
+        fn new(input: Bit) -> Self {
+            EchoBackup {
+                input,
+                done: false,
+                ops: 0,
+            }
+        }
+    }
+
+    impl Protocol for EchoBackup {
+        fn status(&self) -> Status {
+            if self.done {
+                Status::Decided(self.input)
+            } else {
+                Status::Pending(Op::Read(nc_memory::Addr::new(1_000_000)))
+            }
+        }
+
+        fn advance(&mut self, read_value: Option<Word>) {
+            assert!(read_value.is_some());
+            assert!(!self.done);
+            self.ops += 1;
+            self.done = true;
+        }
+
+        fn round(&self) -> usize {
+            1
+        }
+
+        fn preference(&self) -> Bit {
+            self.input
+        }
+
+        fn ops_completed(&self) -> u64 {
+            self.ops
+        }
+    }
+
+    fn combined(
+        layout: RaceLayout,
+        input: Bit,
+        r_max: usize,
+    ) -> BoundedLean<EchoBackup, impl FnOnce(Bit) -> EchoBackup> {
+        BoundedLean::new(layout, input, r_max, EchoBackup::new)
+    }
+
+    #[test]
+    fn fast_path_never_engages_backup() {
+        let mut mem = SimMemory::new();
+        let layout = RaceLayout::at_base(0);
+        layout.install_sentinels(&mut mem);
+        let mut p = combined(layout, Bit::One, 10);
+        while step(&mut p, &mut mem).is_none() {}
+        assert_eq!(p.status().decision(), Some(Bit::One));
+        assert!(!p.backup_engaged());
+        assert_eq!(p.ops_completed(), 8);
+    }
+
+    #[test]
+    fn lockstep_split_inputs_engage_backup_at_r_max() {
+        // Perfect lockstep never lets lean decide; the cutoff must fire
+        // and the (valid) backup decides.
+        let mut mem = SimMemory::new();
+        let layout = RaceLayout::at_base(0);
+        layout.install_sentinels(&mut mem);
+        let r_max = 5;
+        let mut procs: Vec<_> = [Bit::Zero, Bit::One]
+            .iter()
+            .map(|&b| combined(layout, b, r_max))
+            .collect();
+        let decisions = run_round_robin(&mut procs, &mut mem, 100_000).unwrap();
+        for p in &procs {
+            assert!(p.backup_engaged(), "lockstep must reach the cutoff");
+        }
+        // Both engaged the backup with their held preferences; EchoBackup
+        // echoes them, so decisions mirror inputs here (EchoBackup is NOT
+        // a real consensus protocol — agreement across the seam is only
+        // guaranteed when lean decided on one side, tested below, or when
+        // the backup actually solves consensus, tested in nc-backup).
+        assert_eq!(decisions.len(), 2);
+    }
+
+    #[test]
+    fn seam_agreement_lean_decision_forces_backup_inputs() {
+        // Leader decides inside lean; a laggard crossing the cutoff must
+        // enter the backup with the leader's value (Lemma 2/4 across the
+        // seam), so even an echo backup agrees.
+        let mut mem = SimMemory::new();
+        let layout = RaceLayout::at_base(0);
+        layout.install_sentinels(&mut mem);
+        let mut leader = combined(layout, Bit::One, 4);
+        while step(&mut leader, &mut mem).is_none() {}
+        assert_eq!(leader.status().decision(), Some(Bit::One));
+
+        let mut laggard = combined(layout, Bit::Zero, 4);
+        let mut d = None;
+        let mut guard = 0;
+        while d.is_none() {
+            d = step(&mut laggard, &mut mem);
+            guard += 1;
+            assert!(guard < 1000);
+        }
+        assert_eq!(d, Some(Bit::One), "laggard must adopt the decided value");
+    }
+
+    #[test]
+    fn switch_happens_exactly_after_round_r_max() {
+        let mut mem = SimMemory::new();
+        let layout = RaceLayout::at_base(0);
+        layout.install_sentinels(&mut mem);
+        // Two lockstep processes, r_max = 3: lean runs rounds 1..=3
+        // (12 ops each), then the backup engages.
+        let mut procs: Vec<_> = [Bit::Zero, Bit::One]
+            .iter()
+            .map(|&b| combined(layout, b, 3))
+            .collect();
+        for _ in 0..12 {
+            for p in procs.iter_mut() {
+                assert!(!p.backup_engaged());
+                step(p, &mut mem);
+            }
+        }
+        for p in &procs {
+            assert!(p.backup_engaged());
+            assert_eq!(p.round(), 3 + 1); // r_max + backup round 1
+        }
+    }
+
+    #[test]
+    fn space_bound_is_two_per_round_plus_sentinels() {
+        let mut mem = SimMemory::new();
+        let layout = RaceLayout::at_base(0);
+        layout.install_sentinels(&mut mem);
+        let p = combined(layout, Bit::Zero, 7);
+        assert_eq!(p.lean_space_words(), 16);
+        assert_eq!(p.r_max(), 7);
+    }
+
+    #[test]
+    fn recommended_r_max_grows_like_log_squared() {
+        assert!(recommended_r_max(1) >= 9);
+        let r10 = recommended_r_max(10);
+        let r1000 = recommended_r_max(1000);
+        let r100000 = recommended_r_max(100_000);
+        assert!(r10 < r1000 && r1000 < r100000);
+        // log2(100001) ≈ 17, so (17+2)² = 361; sanity-check the scale.
+        assert!(r100000 >= 200 && r100000 <= 500, "got {r100000}");
+    }
+
+    #[test]
+    fn ops_are_summed_across_the_seam() {
+        let mut mem = SimMemory::new();
+        let layout = RaceLayout::at_base(0);
+        layout.install_sentinels(&mut mem);
+        let mut procs: Vec<_> = [Bit::Zero, Bit::One]
+            .iter()
+            .map(|&b| combined(layout, b, 2))
+            .collect();
+        run_round_robin(&mut procs, &mut mem, 10_000).unwrap();
+        for p in &procs {
+            // 2 lean rounds (8 ops) + 1 backup op.
+            assert_eq!(p.ops_completed(), 9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "r_max must be at least 2")]
+    fn tiny_r_max_panics() {
+        let layout = RaceLayout::at_base(0);
+        let _ = combined(layout, Bit::Zero, 1);
+    }
+
+    #[test]
+    fn debug_impl_is_nonempty() {
+        let layout = RaceLayout::at_base(0);
+        let p = combined(layout, Bit::Zero, 5);
+        assert!(format!("{p:?}").contains("BoundedLean"));
+    }
+}

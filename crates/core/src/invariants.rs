@@ -1,0 +1,310 @@
+//! Executable statements of the paper's safety lemmas (§5).
+//!
+//! Every driver and test suite in the workspace funnels its executions
+//! through these checkers:
+//!
+//! * **Agreement** — all decided processes decided the same bit.
+//! * **Validity** — with unanimous inputs, every decision equals them
+//!   (Lemma 3 also bounds the cost; that part is asserted in tests).
+//! * **Lemma 2** (array prefix structure) — `a_b[r]` is set only if
+//!   `r = 1` and `b` was somebody's input, or `r > 1` and `a_b[r-1]` is
+//!   set. Equivalently: each array's set bits form a prefix rooted in an
+//!   actual input.
+//! * **Lemma 4(b)** (decision spread) — all decision rounds lie within
+//!   one round of each other.
+//!
+//! The checkers take plain data (decisions, inputs, a bit-probe closure)
+//! so they can run against simulated memory, recorded histories, or
+//! native executions alike.
+
+use std::error::Error;
+use std::fmt;
+
+use nc_memory::Bit;
+
+/// A violation of one of the paper's safety properties.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SafetyViolation {
+    /// Two processes decided different values.
+    Disagreement {
+        /// A process that decided `0`.
+        zero_decider: usize,
+        /// A process that decided `1`.
+        one_decider: usize,
+    },
+    /// Inputs were unanimous but some process decided the other value.
+    InvalidDecision {
+        /// The unanimous input.
+        input: Bit,
+        /// The offending process.
+        pid: usize,
+        /// What it decided.
+        decided: Bit,
+    },
+    /// `a_b[r]` is set without support (violates Lemma 2).
+    BrokenPrefix {
+        /// The array (`b`).
+        bit: Bit,
+        /// The unsupported round.
+        round: usize,
+    },
+    /// `a_b[1]` is set but no process had input `b` (violates Lemma 2
+    /// case (a)).
+    ForgedInput {
+        /// The array whose round-1 bit is set.
+        bit: Bit,
+    },
+    /// Decision rounds spread over more than one round (violates
+    /// Lemma 4(b)).
+    DecisionSpread {
+        /// Smallest decision round observed.
+        earliest: usize,
+        /// Largest decision round observed.
+        latest: usize,
+    },
+}
+
+impl fmt::Display for SafetyViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SafetyViolation::Disagreement {
+                zero_decider,
+                one_decider,
+            } => write!(
+                f,
+                "agreement violated: P{zero_decider} decided 0 but P{one_decider} decided 1"
+            ),
+            SafetyViolation::InvalidDecision {
+                input,
+                pid,
+                decided,
+            } => write!(
+                f,
+                "validity violated: unanimous input {input} but P{pid} decided {decided}"
+            ),
+            SafetyViolation::BrokenPrefix { bit, round } => write!(
+                f,
+                "lemma 2 violated: a{bit}[{round}] is set but a{bit}[{}] is not",
+                round - 1
+            ),
+            SafetyViolation::ForgedInput { bit } => write!(
+                f,
+                "lemma 2 violated: a{bit}[1] is set but no process had input {bit}"
+            ),
+            SafetyViolation::DecisionSpread { earliest, latest } => write!(
+                f,
+                "lemma 4 violated: decisions spread across rounds {earliest}..{latest}"
+            ),
+        }
+    }
+}
+
+impl Error for SafetyViolation {}
+
+/// Checks agreement: every decided process decided the same bit.
+/// Undecided processes (`None`) are ignored — agreement is a property of
+/// decisions made, whether or not the run terminated.
+///
+/// # Errors
+///
+/// Returns [`SafetyViolation::Disagreement`] naming one decider of each
+/// value.
+pub fn check_agreement(decisions: &[Option<Bit>]) -> Result<(), SafetyViolation> {
+    let zero = decisions.iter().position(|&d| d == Some(Bit::Zero));
+    let one = decisions.iter().position(|&d| d == Some(Bit::One));
+    match (zero, one) {
+        (Some(z), Some(o)) => Err(SafetyViolation::Disagreement {
+            zero_decider: z,
+            one_decider: o,
+        }),
+        _ => Ok(()),
+    }
+}
+
+/// Checks validity: if all inputs are equal, every decision equals them.
+/// With mixed inputs any decision is permitted and the check passes.
+///
+/// # Errors
+///
+/// Returns [`SafetyViolation::InvalidDecision`] for the first offender.
+pub fn check_validity(inputs: &[Bit], decisions: &[Option<Bit>]) -> Result<(), SafetyViolation> {
+    let Some(&first) = inputs.first() else {
+        return Ok(());
+    };
+    if inputs.iter().any(|&i| i != first) {
+        return Ok(());
+    }
+    for (pid, d) in decisions.iter().enumerate() {
+        if let Some(decided) = *d {
+            if decided != first {
+                return Err(SafetyViolation::InvalidDecision {
+                    input: first,
+                    pid,
+                    decided,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks Lemma 2 against the final memory state: for each array `a_b`,
+/// the set bits over rounds `1..=max_round` form a prefix, and the prefix
+/// is non-empty only if some process had input `b`.
+///
+/// `bit_set(b, r)` must report whether `a_b[r]` is set (round 0 — the
+/// sentinels — is not queried).
+///
+/// # Errors
+///
+/// Returns [`SafetyViolation::BrokenPrefix`] or
+/// [`SafetyViolation::ForgedInput`].
+pub fn check_array_prefix(
+    bit_set: impl Fn(Bit, usize) -> bool,
+    inputs: &[Bit],
+    max_round: usize,
+) -> Result<(), SafetyViolation> {
+    for b in Bit::BOTH {
+        if max_round >= 1 && bit_set(b, 1) && !inputs.contains(&b) {
+            return Err(SafetyViolation::ForgedInput { bit: b });
+        }
+        for r in 2..=max_round {
+            if bit_set(b, r) && !bit_set(b, r - 1) {
+                return Err(SafetyViolation::BrokenPrefix { bit: b, round: r });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks Lemma 4(b): all decision rounds (of processes that decided)
+/// differ by at most one.
+///
+/// # Errors
+///
+/// Returns [`SafetyViolation::DecisionSpread`] with the offending range.
+pub fn check_decision_spread(decision_rounds: &[Option<usize>]) -> Result<(), SafetyViolation> {
+    let decided: Vec<usize> = decision_rounds.iter().filter_map(|&r| r).collect();
+    let (Some(&lo), Some(&hi)) = (decided.iter().min(), decided.iter().max()) else {
+        return Ok(());
+    };
+    if hi - lo > 1 {
+        Err(SafetyViolation::DecisionSpread {
+            earliest: lo,
+            latest: hi,
+        })
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn agreement_accepts_unanimous_and_partial() {
+        assert!(check_agreement(&[Some(Bit::One), Some(Bit::One)]).is_ok());
+        assert!(check_agreement(&[Some(Bit::Zero), None, Some(Bit::Zero)]).is_ok());
+        assert!(check_agreement(&[None, None]).is_ok());
+        assert!(check_agreement(&[]).is_ok());
+    }
+
+    #[test]
+    fn agreement_rejects_split_decisions() {
+        let err = check_agreement(&[Some(Bit::One), None, Some(Bit::Zero)]).unwrap_err();
+        assert_eq!(
+            err,
+            SafetyViolation::Disagreement {
+                zero_decider: 2,
+                one_decider: 0
+            }
+        );
+        assert!(err.to_string().contains("agreement violated"));
+    }
+
+    #[test]
+    fn validity_accepts_matching_and_mixed() {
+        assert!(check_validity(&[Bit::One; 3], &[Some(Bit::One), None, Some(Bit::One)]).is_ok());
+        // Mixed inputs: anything goes.
+        assert!(check_validity(
+            &[Bit::Zero, Bit::One],
+            &[Some(Bit::One), Some(Bit::One)]
+        )
+        .is_ok());
+        assert!(check_validity(&[], &[]).is_ok());
+    }
+
+    #[test]
+    fn validity_rejects_flipped_unanimous() {
+        let err =
+            check_validity(&[Bit::Zero; 2], &[Some(Bit::Zero), Some(Bit::One)]).unwrap_err();
+        assert_eq!(
+            err,
+            SafetyViolation::InvalidDecision {
+                input: Bit::Zero,
+                pid: 1,
+                decided: Bit::One
+            }
+        );
+        assert!(err.to_string().contains("validity violated"));
+    }
+
+    #[test]
+    fn prefix_accepts_proper_prefixes() {
+        // a0 set through round 3, a1 through round 1.
+        let set = |b: Bit, r: usize| match b {
+            Bit::Zero => r <= 3,
+            Bit::One => r <= 1,
+        };
+        assert!(check_array_prefix(set, &[Bit::Zero, Bit::One], 5).is_ok());
+    }
+
+    #[test]
+    fn prefix_rejects_gaps() {
+        let set = |b: Bit, r: usize| b == Bit::Zero && (r == 1 || r == 3);
+        let err = check_array_prefix(set, &[Bit::Zero], 4).unwrap_err();
+        assert_eq!(
+            err,
+            SafetyViolation::BrokenPrefix {
+                bit: Bit::Zero,
+                round: 3
+            }
+        );
+        assert!(err.to_string().contains("lemma 2"));
+    }
+
+    #[test]
+    fn prefix_rejects_forged_inputs() {
+        let set = |b: Bit, r: usize| b == Bit::One && r == 1;
+        let err = check_array_prefix(set, &[Bit::Zero, Bit::Zero], 2).unwrap_err();
+        assert_eq!(err, SafetyViolation::ForgedInput { bit: Bit::One });
+    }
+
+    #[test]
+    fn prefix_empty_arrays_are_fine() {
+        assert!(check_array_prefix(|_, _| false, &[], 10).is_ok());
+        assert!(check_array_prefix(|_, _| false, &[Bit::Zero], 0).is_ok());
+    }
+
+    #[test]
+    fn spread_accepts_tight_decisions() {
+        assert!(check_decision_spread(&[Some(4), Some(5), Some(4)]).is_ok());
+        assert!(check_decision_spread(&[Some(7)]).is_ok());
+        assert!(check_decision_spread(&[None, Some(3), None, Some(3)]).is_ok());
+        assert!(check_decision_spread(&[]).is_ok());
+    }
+
+    #[test]
+    fn spread_rejects_wide_decisions() {
+        let err = check_decision_spread(&[Some(2), None, Some(5)]).unwrap_err();
+        assert_eq!(
+            err,
+            SafetyViolation::DecisionSpread {
+                earliest: 2,
+                latest: 5
+            }
+        );
+        assert!(err.to_string().contains("lemma 4"));
+    }
+}

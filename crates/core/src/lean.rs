@@ -1,0 +1,392 @@
+//! The lean-consensus algorithm (§4 of the paper), operation-exact.
+//!
+//! > "Note that in each round the process carries out exactly four
+//! > operations in the same sequence: two reads, a write, and another
+//! > read."
+//!
+//! The operation order matters: the paper explicitly warns that
+//! "optimizing" away apparently superfluous operations (the write when
+//! `a_p[r]` is already set, the final read when it is deducible) helps
+//! slow processes and hurts fast ones, *slowing* termination. This module
+//! implements the unoptimized algorithm; [`crate::skipping`] implements
+//! the warned-against variant for the ablation experiment.
+
+use std::fmt;
+
+use nc_memory::{Bit, Op, RaceLayout, Word};
+
+use crate::protocol::{Protocol, Status};
+
+/// Where a process is inside its four-operation round.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Phase {
+    /// About to read `a0[r]` (operation 1).
+    ReadA0,
+    /// About to read `a1[r]` (operation 2); remembers what `a0[r]` held.
+    ReadA1 {
+        /// Value observed in `a0[r]`.
+        a0_set: bool,
+    },
+    /// About to write `1` to `a_p[r]` (operation 3).
+    Write,
+    /// About to read `a_{1-p}[r-1]` (operation 4).
+    ReadPrevRival,
+    /// Decided.
+    Done(Bit),
+}
+
+/// One process's lean-consensus state machine.
+///
+/// Create one instance per process with that process's input bit; all
+/// instances of the same execution must share one [`RaceLayout`] (and the
+/// sentinels `a0[0] = a1[0] = 1` must be installed in the memory before
+/// any step runs — see [`RaceLayout::install_sentinels`]).
+///
+/// # Example
+///
+/// ```
+/// use nc_core::{step, LeanConsensus, Protocol};
+/// use nc_memory::{Bit, RaceLayout, SimMemory};
+///
+/// let mut mem = SimMemory::new();
+/// let layout = RaceLayout::at_base(0);
+/// layout.install_sentinels(&mut mem);
+///
+/// // A solo process decides after 8 operations (Lemma 3).
+/// let mut p = LeanConsensus::new(layout, Bit::One);
+/// let mut decided = None;
+/// while decided.is_none() {
+///     decided = step(&mut p, &mut mem);
+/// }
+/// assert_eq!(decided, Some(Bit::One));
+/// assert_eq!(p.ops_completed(), 8);
+/// ```
+#[derive(Clone, Debug)]
+pub struct LeanConsensus {
+    layout: RaceLayout,
+    input: Bit,
+    preference: Bit,
+    round: usize,
+    phase: Phase,
+    ops: u64,
+}
+
+impl LeanConsensus {
+    /// Creates the state machine for a process with the given input,
+    /// starting at round 1.
+    pub fn new(layout: RaceLayout, input: Bit) -> Self {
+        LeanConsensus {
+            layout,
+            input,
+            preference: input,
+            round: 1,
+            phase: Phase::ReadA0,
+            ops: 0,
+        }
+    }
+
+    /// The input bit this process started with.
+    pub fn input(&self) -> Bit {
+        self.input
+    }
+
+    /// The round in which this process decided, if it has.
+    ///
+    /// A process decides during its current round, so this equals
+    /// [`Protocol::round`] after decision.
+    pub fn decision_round(&self) -> Option<usize> {
+        matches!(self.phase, Phase::Done(_)).then_some(self.round)
+    }
+
+    /// The shared-memory layout this instance runs against.
+    pub fn layout(&self) -> RaceLayout {
+        self.layout
+    }
+}
+
+impl Protocol for LeanConsensus {
+    fn status(&self) -> Status {
+        let one: Word = Bit::One.word();
+        match self.phase {
+            Phase::ReadA0 => Status::Pending(Op::Read(self.layout.slot(Bit::Zero, self.round))),
+            Phase::ReadA1 { .. } => {
+                Status::Pending(Op::Read(self.layout.slot(Bit::One, self.round)))
+            }
+            Phase::Write => {
+                Status::Pending(Op::Write(self.layout.slot(self.preference, self.round), one))
+            }
+            Phase::ReadPrevRival => Status::Pending(Op::Read(
+                self.layout.slot(self.preference.rival(), self.round - 1),
+            )),
+            Phase::Done(b) => Status::Decided(b),
+        }
+    }
+
+    fn advance(&mut self, read_value: Option<Word>) {
+        self.ops += 1;
+        match self.phase {
+            Phase::ReadA0 => {
+                let v = read_value.expect("pending read of a0[r] requires a value");
+                self.phase = Phase::ReadA1 { a0_set: v != 0 };
+            }
+            Phase::ReadA1 { a0_set } => {
+                let a1_set = read_value.expect("pending read of a1[r] requires a value") != 0;
+                // §4 step 1: "If for some b, a_b[r] is 1 and a_{1-b}[r] is
+                // 0, set p to b." If both or neither are set, the
+                // preference is unchanged.
+                match (a0_set, a1_set) {
+                    (true, false) => self.preference = Bit::Zero,
+                    (false, true) => self.preference = Bit::One,
+                    _ => {}
+                }
+                self.phase = Phase::Write;
+            }
+            Phase::Write => {
+                assert!(
+                    read_value.is_none(),
+                    "pending write must not receive a read value"
+                );
+                self.phase = Phase::ReadPrevRival;
+            }
+            Phase::ReadPrevRival => {
+                let v = read_value.expect("pending read of a_(1-p)[r-1] requires a value");
+                if v == 0 {
+                    // §4 step 3: rival team hasn't reached round r-1 —
+                    // they will adopt our preference before catching up.
+                    self.phase = Phase::Done(self.preference);
+                } else {
+                    self.round += 1;
+                    self.phase = Phase::ReadA0;
+                }
+            }
+            Phase::Done(_) => panic!("advance called on a decided process"),
+        }
+    }
+
+    fn round(&self) -> usize {
+        self.round
+    }
+
+    fn preference(&self) -> Bit {
+        self.preference
+    }
+
+    fn ops_completed(&self) -> u64 {
+        self.ops
+    }
+}
+
+impl fmt::Display for LeanConsensus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "lean(pref={}, round={}, {})",
+            self.preference,
+            self.round,
+            self.status()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{run_random_interleave, run_round_robin, step};
+    use nc_memory::{OpKind, SimMemory};
+
+    fn setup(inputs: &[Bit]) -> (SimMemory, RaceLayout, Vec<LeanConsensus>) {
+        let mut mem = SimMemory::new();
+        let layout = RaceLayout::at_base(0);
+        layout.install_sentinels(&mut mem);
+        let procs = inputs
+            .iter()
+            .map(|&b| LeanConsensus::new(layout, b))
+            .collect();
+        (mem, layout, procs)
+    }
+
+    #[test]
+    fn round_is_two_reads_one_write_one_read() {
+        let (mut mem, _, mut procs) = setup(&[Bit::Zero]);
+        let p = &mut procs[0];
+        let kinds: Vec<OpKind> = (0..4)
+            .map(|_| {
+                let Status::Pending(op) = p.status() else {
+                    panic!("decided too early")
+                };
+                let k = op.kind();
+                step(p, &mut mem);
+                k
+            })
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![OpKind::Read, OpKind::Read, OpKind::Write, OpKind::Read]
+        );
+    }
+
+    #[test]
+    fn solo_process_decides_own_input_in_8_ops() {
+        for input in Bit::BOTH {
+            let (mut mem, _, mut procs) = setup(&[input]);
+            let p = &mut procs[0];
+            let mut decision = None;
+            for _ in 0..8 {
+                assert_eq!(decision, None);
+                step(p, &mut mem);
+                decision = p.status().decision();
+            }
+            assert_eq!(decision, Some(input));
+            assert_eq!(p.ops_completed(), 8);
+            assert_eq!(p.decision_round(), Some(2));
+        }
+    }
+
+    #[test]
+    fn lemma3_same_inputs_decide_in_8_ops_each() {
+        // Lemma 3: if every process starts with b, every process decides b
+        // after executing 8 operations — under any schedule; round-robin
+        // here, more schedules in the property tests.
+        for input in Bit::BOTH {
+            let (mut mem, _, mut procs) = setup(&[input; 5]);
+            let decisions = run_round_robin(&mut procs, &mut mem, 1_000).unwrap();
+            for (p, d) in procs.iter().zip(decisions) {
+                assert_eq!(d, input);
+                assert_eq!(p.ops_completed(), 8, "validity cost must be exactly 8 ops");
+            }
+        }
+    }
+
+    #[test]
+    fn lockstep_split_inputs_never_terminate() {
+        // Perfect round-robin keeps the teams tied by symmetry forever —
+        // the exact behaviour FLP guarantees an adversary can force, and
+        // the reason termination needs the noisy environment.
+        let (mut mem, _, mut procs) = setup(&[Bit::Zero, Bit::One, Bit::One, Bit::Zero]);
+        assert_eq!(run_round_robin(&mut procs, &mut mem, 100_000), None);
+    }
+
+    #[test]
+    fn random_interleaving_mixed_inputs_agree() {
+        for seed in 0..10 {
+            let (mut mem, _, mut procs) = setup(&[Bit::Zero, Bit::One, Bit::One, Bit::Zero]);
+            let decisions =
+                run_random_interleave(&mut procs, &mut mem, seed, 2_000_000).unwrap();
+            let first = decisions[0];
+            assert!(decisions.iter().all(|&d| d == first), "agreement violated");
+        }
+    }
+
+    #[test]
+    fn decision_rounds_differ_by_at_most_one() {
+        // Lemma 4(b): all processes decide within one round of each other.
+        for seed in 0..10 {
+            let (mut mem, _, mut procs) =
+                setup(&[Bit::Zero, Bit::One, Bit::Zero, Bit::One, Bit::One]);
+            run_random_interleave(&mut procs, &mut mem, seed, 2_000_000).unwrap();
+            let rounds: Vec<usize> =
+                procs.iter().map(|p| p.decision_round().unwrap()).collect();
+            let lo = *rounds.iter().min().unwrap();
+            let hi = *rounds.iter().max().unwrap();
+            assert!(hi - lo <= 1, "decision rounds spread {lo}..{hi}");
+        }
+    }
+
+    #[test]
+    fn sentinel_read_keeps_round_1_undecided() {
+        // The final read of round 1 hits the sentinel a_{1-p}[0] = 1, so
+        // no process can decide in round 1.
+        let (mut mem, _, mut procs) = setup(&[Bit::One]);
+        let p = &mut procs[0];
+        for _ in 0..4 {
+            step(p, &mut mem);
+        }
+        assert_eq!(p.status().decision(), None);
+        assert_eq!(p.round(), 2);
+    }
+
+    #[test]
+    fn laggard_adopts_leader_preference() {
+        // Leader (input 1) runs 8 ops solo and decides; laggard (input 0)
+        // then runs and must adopt 1 (agreement).
+        let (mut mem, layout, _) = setup(&[]);
+        let mut leader = LeanConsensus::new(layout, Bit::One);
+        let mut laggard = LeanConsensus::new(layout, Bit::Zero);
+        while step(&mut leader, &mut mem).is_none() {}
+        assert_eq!(leader.status().decision(), Some(Bit::One));
+        let mut d = None;
+        let mut guard = 0;
+        while d.is_none() {
+            d = step(&mut laggard, &mut mem);
+            guard += 1;
+            assert!(guard < 100, "laggard failed to decide");
+        }
+        assert_eq!(d, Some(Bit::One));
+        assert_eq!(laggard.preference(), Bit::One);
+    }
+
+    #[test]
+    fn preference_unchanged_on_tied_frontier() {
+        // If both a0[r] and a1[r] are set, the process keeps its
+        // preference (the deterministic rule §4 step 1).
+        let (mut mem, layout, _) = setup(&[]);
+        mem.write(layout.slot(Bit::Zero, 1), 1);
+        mem.write(layout.slot(Bit::One, 1), 1);
+        let mut p = LeanConsensus::new(layout, Bit::Zero);
+        step(&mut p, &mut mem); // read a0[1] = 1
+        step(&mut p, &mut mem); // read a1[1] = 1
+        assert_eq!(p.preference(), Bit::Zero);
+    }
+
+    #[test]
+    fn write_goes_to_current_preference_array() {
+        let (mut mem, layout, _) = setup(&[]);
+        // Rig round 1 so an input-0 process adopts preference 1.
+        mem.write(layout.slot(Bit::One, 1), 1);
+        let mut p = LeanConsensus::new(layout, Bit::Zero);
+        step(&mut p, &mut mem); // read a0[1] = 0
+        step(&mut p, &mut mem); // read a1[1] = 1 -> adopt 1
+        assert_eq!(p.preference(), Bit::One);
+        let Status::Pending(op) = p.status() else {
+            panic!()
+        };
+        assert_eq!(op, Op::Write(layout.slot(Bit::One, 1), 1));
+    }
+
+    #[test]
+    fn input_accessor_and_display() {
+        let (_, layout, _) = setup(&[]);
+        let p = LeanConsensus::new(layout, Bit::One);
+        assert_eq!(p.input(), Bit::One);
+        assert_eq!(p.layout(), layout);
+        assert!(p.to_string().contains("round=1"));
+        assert_eq!(p.decision_round(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "advance called on a decided process")]
+    fn advance_after_decision_panics() {
+        let (mut mem, _, mut procs) = setup(&[Bit::Zero]);
+        let p = &mut procs[0];
+        while step(p, &mut mem).is_none() {}
+        p.advance(Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a value")]
+    fn advance_read_without_value_panics() {
+        let (_, layout, _) = setup(&[]);
+        let mut p = LeanConsensus::new(layout, Bit::Zero);
+        p.advance(None); // pending op is a read
+    }
+
+    #[test]
+    #[should_panic(expected = "must not receive a read value")]
+    fn advance_write_with_value_panics() {
+        let (mut mem, layout, _) = setup(&[]);
+        let mut p = LeanConsensus::new(layout, Bit::Zero);
+        step(&mut p, &mut mem); // read a0
+        step(&mut p, &mut mem); // read a1
+        p.advance(Some(1)); // pending op is the write
+    }
+}

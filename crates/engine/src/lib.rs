@@ -1,0 +1,60 @@
+//! Discrete-event simulation engine for the `noisy-consensus` workspace.
+//!
+//! Three drivers execute [`nc_core::Protocol`] step machines against a
+//! shared [`nc_memory::SimMemory`], each under a different scheduling
+//! model from the paper:
+//!
+//! * [`noisy::run_noisy`] — the noisy-scheduling model (§3.1): operation
+//!   times follow `S'_ij = Δ_i0 + Σ (Δ_ij + X_ij + H_ij)` from an
+//!   [`nc_sched::TimingModel`]; an event queue executes operations in
+//!   time order (the interleaving model). Supports random halting
+//!   failures, adaptive crash adversaries (§10), first-decision early
+//!   exit (what Figure 1 measures), and optional history recording for
+//!   the register-semantics checker.
+//! * [`adversarial::run_adversarial`] — a fully adversarial untimed
+//!   scheduler ([`nc_sched::Adversary`] picks every step), used to
+//!   exercise the safety properties that must hold under *any* schedule.
+//! * [`hybrid::run_hybrid`] — the hybrid quantum + priority uniprocessor
+//!   (§3.2/§7), enforcing [`nc_sched::HybridSpec`] legality while an
+//!   [`nc_sched::HybridPolicy`] (the adversary) picks among legal moves.
+//!
+//! [`setup`] assembles ready-to-run instances of each algorithm variant
+//! (paper lean-consensus, the skip-ops ablation, the local-coin variant,
+//! the §8 bounded protocol with the real backup, or the backup alone),
+//! and [`report::RunReport`] is the common result type, with the paper's
+//! safety lemmas checkable via [`report::RunReport::check_safety`].
+//!
+//! # Example: one Figure 1 data point
+//!
+//! ```
+//! use nc_engine::{noisy, setup, Limits};
+//! use nc_sched::{Noise, TimingModel};
+//!
+//! let mut inst = setup::build(setup::Algorithm::Lean, &setup::half_and_half(10), 42);
+//! let timing = TimingModel::figure1(Noise::Exponential { mean: 1.0 });
+//! let report = noisy::run_noisy(
+//!     &mut inst,
+//!     &timing,
+//!     42,
+//!     Limits::first_decision(),
+//! );
+//! let first = report.first_decision_round.expect("terminates");
+//! assert!(first >= 2);
+//! report.check_safety(&inst.inputs).unwrap();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod adversarial;
+pub mod hybrid;
+pub mod noisy;
+pub mod report;
+pub mod setup;
+
+pub use adversarial::run_adversarial;
+pub use hybrid::run_hybrid;
+pub use noisy::run_noisy;
+pub use report::{Limits, RunOutcome, RunReport};
+pub use setup::{build, half_and_half, Algorithm, Instance};

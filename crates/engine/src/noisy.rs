@@ -1,0 +1,512 @@
+//! The timed, noisy-scheduling driver (§3.1, §9).
+//!
+//! Executes protocol operations in the order given by the noisy timing
+//! model: process `i`'s `j`-th operation happens at
+//! `S'_ij = Δ_i0 + Σ_{k≤j} (Δ_ik + X_ik + H_ik)`, with all the `Δ`, `X`,
+//! `H` drawn from an [`nc_sched::TimingModel`]. An event queue with
+//! deterministic tie-breaking realises the interleaving semantics; the
+//! paper's zero-probability-of-simultaneity assumption is implemented by
+//! ordering equal times by insertion sequence (reachable only through
+//! f64 collisions, which the dithered start times make vanishingly
+//! rare).
+//!
+//! The driver also applies adaptive crash adversaries (§10's non-random
+//! failures) after every operation, and can record the full operation
+//! history for the register-semantics checker.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use rand::rngs::SmallRng;
+
+use nc_core::{Protocol, Status};
+use nc_memory::Event;
+use nc_sched::adversary::{CrashAdversary, ProcView};
+use nc_sched::rng::salts;
+use nc_sched::{stream_rng, TimingModel};
+
+use crate::report::{Limits, RunOutcome, RunReport};
+use crate::setup::Instance;
+
+/// An operation scheduled to occur at a simulated time.
+///
+/// Ordered for a min-heap on `(time, seq)`: earlier times first, ties
+/// broken by insertion order for determinism.
+#[derive(Debug)]
+struct Scheduled {
+    time: f64,
+    seq: u64,
+    pid: usize,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Scheduled {}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+struct ProcState {
+    rng_noise: SmallRng,
+    rng_failure: SmallRng,
+    /// Time at which the previous operation completed (or the start
+    /// time before the first operation).
+    clock: f64,
+    /// 1-based index of the next operation.
+    next_op: u64,
+    halted: bool,
+    decided: bool,
+}
+
+/// Runs an instance under the noisy-scheduling model.
+///
+/// `seed` drives the noise, failure, and start-time streams (independent
+/// of the instance's protocol-coin streams, which were fixed at build
+/// time). Returns when all processes have decided or halted, when the
+/// first decision happens (if `limits.stop_at_first_decision`), or when
+/// the operation budget runs out.
+pub fn run_noisy(
+    inst: &mut Instance,
+    timing: &TimingModel,
+    seed: u64,
+    limits: Limits,
+) -> RunReport {
+    run_noisy_with(inst, timing, seed, limits, None, None)
+}
+
+
+/// [`run_noisy`] with an adaptive crash adversary and optional history
+/// recording.
+///
+/// The crash adversary is consulted after every executed operation with
+/// the current [`ProcView`]; returned pids halt immediately. If
+/// `history` is `Some`, every executed operation is appended as an
+/// [`Event`] (time, pid, op, observed value) suitable for
+/// [`nc_memory::check_register_semantics_from`].
+pub fn run_noisy_with(
+    inst: &mut Instance,
+    timing: &TimingModel,
+    seed: u64,
+    limits: Limits,
+    mut crash: Option<&mut dyn CrashAdversary>,
+    mut history: Option<&mut Vec<Event>>,
+) -> RunReport {
+    let n = inst.procs.len();
+    let mut queue: BinaryHeap<Scheduled> = BinaryHeap::with_capacity(n);
+    let mut seq = 0u64;
+    let mut states: Vec<ProcState> = (0..n)
+        .map(|pid| {
+            let mut rng_start = stream_rng(seed, pid as u64, salts::START);
+            ProcState {
+                rng_noise: stream_rng(seed, pid as u64, salts::NOISE),
+                rng_failure: stream_rng(seed, pid as u64, salts::FAILURE),
+                clock: timing.start_for(pid, &mut rng_start),
+                next_op: 1,
+                halted: false,
+                decided: false,
+            }
+        })
+        .collect();
+
+    // Prime the queue with each process's first operation.
+    for pid in 0..n {
+        schedule_next(pid, &mut states, &mut queue, inst, timing, &mut seq);
+    }
+
+    let mut total_ops = 0u64;
+    let mut sim_time = 0.0f64;
+    let mut decision_rounds: Vec<Option<usize>> = vec![None; n];
+    let mut op_counts: Vec<u64> = vec![0; n];
+    let mut first_decision_round: Option<usize> = None;
+    let mut first_decision_time: Option<f64> = None;
+    let mut outcome: Option<RunOutcome> = None;
+    // Processes that are neither decided nor halted; when it reaches 0
+    // the run is over. (A counter, not a per-operation scan: the scan
+    // would make the driver O(n) per event.)
+    let mut live_undecided = states.iter().filter(|s| !s.halted).count();
+
+    'main: while let Some(ev) = queue.pop() {
+        let pid = ev.pid;
+        if states[pid].halted || states[pid].decided {
+            continue;
+        }
+        if total_ops >= limits.max_ops {
+            outcome = Some(RunOutcome::OpCapReached);
+            break;
+        }
+        sim_time = ev.time;
+
+        // Execute exactly one operation of `pid`.
+        let Status::Pending(op) = inst.procs[pid].status() else {
+            // Defensive: decided processes are filtered above.
+            continue;
+        };
+        let observed = inst.mem.exec(op);
+        if let Some(h) = history.as_deref_mut() {
+            h.push(Event {
+                time: ev.time,
+                pid: nc_memory::Pid::new(pid as u32),
+                op,
+                observed,
+            });
+        }
+        inst.procs[pid].advance(observed);
+        total_ops += 1;
+        op_counts[pid] += 1;
+
+        // Decision?
+        if let Status::Decided(_) = inst.procs[pid].status() {
+            states[pid].decided = true;
+            live_undecided -= 1;
+            let round = inst.procs[pid].round();
+            decision_rounds[pid] = Some(round);
+            if first_decision_round.is_none() {
+                first_decision_round = Some(round);
+                first_decision_time = Some(ev.time);
+                if limits.stop_at_first_decision {
+                    outcome = Some(RunOutcome::FirstDecision);
+                    break 'main;
+                }
+            }
+        } else {
+            schedule_next(pid, &mut states, &mut queue, inst, timing, &mut seq);
+            if states[pid].halted {
+                live_undecided -= 1; // halted by H_ij while scheduling
+            }
+        }
+
+        // Adaptive crashes (skipped entirely without an adversary: the
+        // view construction is O(n) and would dominate large-n sweeps).
+        if let Some(crash) = crash.as_deref_mut() {
+            live_undecided -= apply_crashes(crash, inst, &mut states, &op_counts);
+        }
+
+        if live_undecided == 0 {
+            break;
+        }
+    }
+
+    // Runs that were not cut off ended because every process decided or
+    // halted (directly, or by the event queue draining of halted procs).
+    let outcome = outcome.unwrap_or_else(|| {
+        if states.iter().any(|s| s.decided) {
+            RunOutcome::AllDecided
+        } else {
+            RunOutcome::AllHalted
+        }
+    });
+
+    RunReport {
+        n,
+        outcome,
+        decisions: inst.procs.iter().map(|p| p.status().decision()).collect(),
+        decision_rounds,
+        ops: op_counts,
+        halted: states.iter().map(|s| s.halted).collect(),
+        first_decision_round,
+        first_decision_time,
+        total_ops,
+        sim_time,
+    }
+}
+
+fn schedule_next(
+    pid: usize,
+    states: &mut [ProcState],
+    queue: &mut BinaryHeap<Scheduled>,
+    inst: &Instance,
+    timing: &TimingModel,
+    seq: &mut u64,
+) {
+    let Status::Pending(op) = inst.procs[pid].status() else {
+        return;
+    };
+    let state = &mut states[pid];
+    let op_index = state.next_op;
+    state.next_op += 1;
+    let increment = {
+        // Split borrows: the two RNG streams are distinct fields.
+        let ProcState {
+            rng_noise,
+            rng_failure,
+            ..
+        } = &mut *state;
+        timing.op_increment(pid, op_index, op.kind(), rng_noise, rng_failure)
+    };
+    match increment {
+        None => {
+            state.halted = true; // H_ij = ∞: the op never occurs
+        }
+        Some(inc) => {
+            state.clock += inc;
+            *seq += 1;
+            queue.push(Scheduled {
+                time: state.clock,
+                seq: *seq,
+                pid,
+            });
+        }
+    }
+}
+
+/// Applies adaptive crashes; returns how many live undecided processes
+/// were halted.
+fn apply_crashes(
+    crash: &mut dyn CrashAdversary,
+    inst: &Instance,
+    states: &mut [ProcState],
+    op_counts: &[u64],
+) -> usize {
+    let enabled: Vec<bool> = states.iter().map(|s| !s.halted && !s.decided).collect();
+    if !enabled.iter().any(|&e| e) {
+        return 0;
+    }
+    let rounds: Vec<usize> = inst.procs.iter().map(|p| p.round()).collect();
+    let victims = crash.crash_now(ProcView {
+        enabled: &enabled,
+        round: &rounds,
+        steps: op_counts,
+    });
+    let mut newly_halted = 0;
+    for v in victims {
+        if v < states.len() && !states[v].halted && !states[v].decided {
+            states[v].halted = true;
+            newly_halted += 1;
+        }
+    }
+    newly_halted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::setup::{self, Algorithm};
+    use nc_memory::{check_register_semantics_from, Bit};
+    use nc_sched::adversary::{CrashScript, LeaderKiller};
+    use nc_sched::{DelayPolicy, FailureModel, Noise, StartTimes};
+    use std::collections::HashMap;
+
+    fn exp_timing() -> TimingModel {
+        TimingModel::figure1(Noise::Exponential { mean: 1.0 })
+    }
+
+    #[test]
+    fn solo_process_decides_at_round_2() {
+        let mut inst = setup::build(Algorithm::Lean, &[Bit::One], 1);
+        let report = run_noisy(&mut inst, &exp_timing(), 1, Limits::run_to_completion());
+        assert_eq!(report.outcome, RunOutcome::AllDecided);
+        assert_eq!(report.decisions, vec![Some(Bit::One)]);
+        assert_eq!(report.first_decision_round, Some(2));
+        assert_eq!(report.total_ops, 8);
+        assert!(report.sim_time > 0.0);
+    }
+
+    #[test]
+    fn split_inputs_terminate_and_agree_across_distributions() {
+        for (name, noise) in Noise::figure1_suite() {
+            let timing = TimingModel::figure1(noise);
+            for seed in 0..5 {
+                let inputs = setup::half_and_half(8);
+                let mut inst = setup::build(Algorithm::Lean, &inputs, seed);
+                let report = run_noisy(&mut inst, &timing, seed, Limits::run_to_completion());
+                assert_eq!(report.outcome, RunOutcome::AllDecided, "{name} seed {seed}");
+                report.check_safety(&inputs).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn constant_noise_lockstep_hits_op_cap() {
+        // Degenerate (constant) noise + simultaneous starts = lockstep:
+        // the run must NOT terminate (it exhausts its op budget). This is
+        // the model assumption failing, as the paper predicts.
+        let timing = TimingModel {
+            start: StartTimes::Simultaneous { dither: 1e-9 },
+            delay: DelayPolicy::None,
+            noise: nc_sched::OpNoise::same(Noise::Constant { value: 1.0 }),
+            failures: FailureModel::None,
+        };
+        let inputs = setup::alternating(4);
+        let mut inst = setup::build(Algorithm::Lean, &inputs, 3);
+        let report = run_noisy(
+            &mut inst,
+            &timing,
+            3,
+            Limits::run_to_completion().with_max_ops(200_000),
+        );
+        assert_eq!(report.outcome, RunOutcome::OpCapReached);
+        assert_eq!(report.decided_count(), 0);
+    }
+
+    #[test]
+    fn first_decision_limit_stops_early() {
+        let inputs = setup::half_and_half(16);
+        let mut inst = setup::build(Algorithm::Lean, &inputs, 5);
+        let report = run_noisy(&mut inst, &exp_timing(), 5, Limits::first_decision());
+        assert_eq!(report.outcome, RunOutcome::FirstDecision);
+        assert_eq!(report.decided_count(), 1);
+        assert!(report.first_decision_round.is_some());
+    }
+
+    #[test]
+    fn random_failures_halt_everyone_eventually() {
+        // h = 0.5 per op: all 4 processes die almost immediately.
+        let timing = exp_timing().with_failures(FailureModel::Random { per_op: 0.9 });
+        let inputs = setup::alternating(4);
+        let mut inst = setup::build(Algorithm::Lean, &inputs, 9);
+        let report = run_noisy(&mut inst, &timing, 9, Limits::run_to_completion());
+        // Either all died undecided, or a lucky survivor decided first.
+        assert!(
+            report.outcome == RunOutcome::AllHalted || report.outcome == RunOutcome::AllDecided,
+            "{:?}",
+            report.outcome
+        );
+        assert!(report.halted.iter().filter(|&&h| h).count() >= 1);
+        report.check_safety(&inputs).unwrap();
+    }
+
+    #[test]
+    fn mild_random_failures_still_decide() {
+        let timing = exp_timing().with_failures(FailureModel::Random { per_op: 0.01 });
+        for seed in 0..5 {
+            let inputs = setup::half_and_half(6);
+            let mut inst = setup::build(Algorithm::Lean, &inputs, seed);
+            let report = run_noisy(&mut inst, &timing, seed, Limits::run_to_completion());
+            report.check_safety(&inputs).unwrap();
+            assert!(
+                report.decided_count() > 0 || report.outcome == RunOutcome::AllHalted,
+                "seed {seed}: {report}"
+            );
+        }
+    }
+
+    #[test]
+    fn leader_killer_crashes_do_not_break_safety() {
+        for seed in 0..5 {
+            let inputs = setup::half_and_half(6);
+            let mut inst = setup::build(Algorithm::Lean, &inputs, seed);
+            let mut killer = LeaderKiller::new(3, 2);
+            let report = run_noisy_with(
+                &mut inst,
+                &exp_timing(),
+                seed,
+                Limits::run_to_completion(),
+                Some(&mut killer),
+                None,
+            );
+            report.check_safety(&inputs).unwrap();
+            assert!(report.decided_count() + report.halted.iter().filter(|&&h| h).count() > 0);
+        }
+    }
+
+    #[test]
+    fn scripted_crash_halts_the_right_process() {
+        let inputs = setup::half_and_half(4);
+        let mut inst = setup::build(Algorithm::Lean, &inputs, 2);
+        let mut crash = CrashScript::new(vec![(0, 1)]); // kill P0 after 1 op
+        let report = run_noisy_with(
+            &mut inst,
+            &exp_timing(),
+            2,
+            Limits::run_to_completion(),
+            Some(&mut crash),
+            None,
+        );
+        assert!(report.halted[0]);
+        assert_eq!(report.ops[0], 1);
+        report.check_safety(&inputs).unwrap();
+    }
+
+    #[test]
+    fn recorded_history_satisfies_register_semantics() {
+        let inputs = setup::half_and_half(6);
+        let mut inst = setup::build(Algorithm::Lean, &inputs, 8);
+        // Sentinels were installed before the run; seed the checker with
+        // them as initial state.
+        let layout = nc_memory::RaceLayout::at_base(0);
+        let mut initial = HashMap::new();
+        initial.insert(layout.slot(Bit::Zero, 0), 1);
+        initial.insert(layout.slot(Bit::One, 0), 1);
+        let mut history = Vec::new();
+        let report = run_noisy_with(
+            &mut inst,
+            &exp_timing(),
+            8,
+            Limits::run_to_completion(),
+            None,
+            Some(&mut history),
+        );
+        assert_eq!(report.outcome, RunOutcome::AllDecided);
+        assert_eq!(history.len(), report.total_ops as usize);
+        check_register_semantics_from(&history, &initial)
+            .expect("engine must implement the interleaving model");
+    }
+
+    #[test]
+    fn determinism_same_seed_same_report() {
+        let inputs = setup::half_and_half(10);
+        let run = |seed: u64| {
+            let mut inst = setup::build(Algorithm::Lean, &inputs, seed);
+            let r = run_noisy(&mut inst, &exp_timing(), seed, Limits::run_to_completion());
+            (r.first_decision_round, r.total_ops, r.decisions.clone())
+        };
+        assert_eq!(run(1234), run(1234));
+        // And different seeds genuinely vary the execution.
+        let a = run(1);
+        let b = run(2);
+        assert!(a != b, "distinct seeds produced identical runs (unlikely)");
+    }
+
+    #[test]
+    fn all_algorithms_run_under_noise() {
+        for alg in [
+            Algorithm::Lean,
+            Algorithm::Skipping,
+            Algorithm::Randomized,
+            Algorithm::Bounded { r_max: 10 },
+            Algorithm::Backup,
+        ] {
+            let inputs = setup::half_and_half(4);
+            let mut inst = setup::build(alg, &inputs, 77);
+            let report = run_noisy(&mut inst, &exp_timing(), 77, Limits::run_to_completion());
+            assert_eq!(report.outcome, RunOutcome::AllDecided, "{alg:?}");
+            report.check_safety(&inputs).unwrap();
+        }
+    }
+
+    #[test]
+    fn staggered_starts_let_the_early_bird_win() {
+        // One process starts at 0, others 1000 time units later: the
+        // early process decides alone at round 2 (adaptivity: work
+        // depends on contention, not n).
+        let timing = exp_timing().with_start(StartTimes::Staggered {
+            gap: 1000.0,
+            dither: 0.0,
+        });
+        let inputs = vec![Bit::One, Bit::Zero, Bit::Zero];
+        let mut inst = setup::build(Algorithm::Lean, &inputs, 4);
+        let report = run_noisy(&mut inst, &timing, 4, Limits::run_to_completion());
+        assert_eq!(report.outcome, RunOutcome::AllDecided);
+        assert_eq!(report.decisions[0], Some(Bit::One));
+        assert_eq!(report.decision_rounds[0], Some(2));
+        assert_eq!(report.agreement_value(), Some(Bit::One));
+        report.check_safety(&inputs).unwrap();
+    }
+}

@@ -1,0 +1,255 @@
+//! Run limits and the common result type of all drivers.
+
+use std::fmt;
+
+use nc_core::invariants::{
+    check_agreement, check_decision_spread, check_validity, SafetyViolation,
+};
+use nc_memory::Bit;
+
+/// Resource caps for a single run.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Limits {
+    /// Stop after this many executed operations (safety net against
+    /// non-terminating schedules — which genuinely exist, per FLP).
+    pub max_ops: u64,
+    /// Stop as soon as the first process decides. This is what the
+    /// paper's Figure 1 measures ("the round at which the first process
+    /// terminates") and it makes large-`n` sweeps dramatically cheaper.
+    pub stop_at_first_decision: bool,
+}
+
+impl Limits {
+    /// Run to full completion with the default op budget.
+    pub const fn run_to_completion() -> Self {
+        Limits {
+            max_ops: 500_000_000,
+            stop_at_first_decision: false,
+        }
+    }
+
+    /// Stop at the first decision (Figure 1 semantics).
+    pub const fn first_decision() -> Self {
+        Limits {
+            max_ops: 500_000_000,
+            stop_at_first_decision: true,
+        }
+    }
+
+    /// Replaces the operation budget (builder-style).
+    pub const fn with_max_ops(mut self, max_ops: u64) -> Self {
+        self.max_ops = max_ops;
+        self
+    }
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits::run_to_completion()
+    }
+}
+
+/// How a run ended.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RunOutcome {
+    /// Every live process decided.
+    AllDecided,
+    /// The first decision happened and
+    /// [`Limits::stop_at_first_decision`] was set.
+    FirstDecision,
+    /// Every process halted or crashed before deciding.
+    AllHalted,
+    /// The operation budget ran out with undecided processes left — a
+    /// non-terminating (or not-yet-terminated) schedule.
+    OpCapReached,
+    /// The schedule source was exhausted (scripted adversaries).
+    ScheduleExhausted,
+}
+
+impl RunOutcome {
+    /// Whether the run ended with at least one decision and no budget
+    /// exhaustion.
+    pub fn decided(self) -> bool {
+        matches!(self, RunOutcome::AllDecided | RunOutcome::FirstDecision)
+    }
+}
+
+impl fmt::Display for RunOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RunOutcome::AllDecided => "all processes decided",
+            RunOutcome::FirstDecision => "first decision reached",
+            RunOutcome::AllHalted => "all processes halted",
+            RunOutcome::OpCapReached => "operation budget exhausted",
+            RunOutcome::ScheduleExhausted => "schedule exhausted",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Everything a driver observed in one run.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Number of processes.
+    pub n: usize,
+    /// How the run ended.
+    pub outcome: RunOutcome,
+    /// Per-process decision (None = undecided, e.g. halted or cut off).
+    pub decisions: Vec<Option<Bit>>,
+    /// Per-process round at decision time (None if undecided).
+    pub decision_rounds: Vec<Option<usize>>,
+    /// Per-process operations executed.
+    pub ops: Vec<u64>,
+    /// Per-process halted/crashed flags.
+    pub halted: Vec<bool>,
+    /// Round of the earliest decision, if any — the paper's Figure 1
+    /// metric.
+    pub first_decision_round: Option<usize>,
+    /// Simulated time of the earliest decision (timed driver only;
+    /// `None` for untimed drivers and undecided runs).
+    pub first_decision_time: Option<f64>,
+    /// Total operations executed across all processes.
+    pub total_ops: u64,
+    /// Final simulated time (timed driver; 0 for untimed drivers).
+    pub sim_time: f64,
+}
+
+impl RunReport {
+    /// The agreed value, if any process decided.
+    pub fn agreement_value(&self) -> Option<Bit> {
+        self.decisions.iter().flatten().next().copied()
+    }
+
+    /// Number of processes that decided.
+    pub fn decided_count(&self) -> usize {
+        self.decisions.iter().flatten().count()
+    }
+
+    /// Largest per-process operation count — the paper's per-process
+    /// work measure.
+    pub fn max_ops_per_process(&self) -> u64 {
+        self.ops.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Round of the latest decision, if any.
+    pub fn last_decision_round(&self) -> Option<usize> {
+        self.decision_rounds.iter().flatten().max().copied()
+    }
+
+    /// Checks agreement, validity (against `inputs`), and the Lemma 4
+    /// decision-spread bound on this run's outcome.
+    ///
+    /// Decision spread is only meaningful when the run was driven to
+    /// completion; with [`Limits::stop_at_first_decision`] the spread
+    /// check is skipped (processes were cut off mid-round).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`SafetyViolation`] found.
+    pub fn check_safety(&self, inputs: &[Bit]) -> Result<(), SafetyViolation> {
+        check_agreement(&self.decisions)?;
+        check_validity(inputs, &self.decisions)?;
+        if self.outcome == RunOutcome::AllDecided && !self.halted.iter().any(|&h| h) {
+            check_decision_spread(&self.decision_rounds)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "run(n={}, {}, decided={}, first_round={:?}, total_ops={})",
+            self.n,
+            self.outcome,
+            self.decided_count(),
+            self.first_decision_round,
+            self.total_ops
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> RunReport {
+        RunReport {
+            n: 3,
+            outcome: RunOutcome::AllDecided,
+            decisions: vec![Some(Bit::One), Some(Bit::One), Some(Bit::One)],
+            decision_rounds: vec![Some(3), Some(4), Some(3)],
+            ops: vec![12, 16, 12],
+            halted: vec![false, false, false],
+            first_decision_round: Some(3),
+            first_decision_time: Some(10.0),
+            total_ops: 40,
+            sim_time: 12.5,
+        }
+    }
+
+    #[test]
+    fn limits_builders() {
+        let l = Limits::run_to_completion();
+        assert!(!l.stop_at_first_decision);
+        let l = Limits::first_decision().with_max_ops(10);
+        assert!(l.stop_at_first_decision);
+        assert_eq!(l.max_ops, 10);
+        assert_eq!(Limits::default(), Limits::run_to_completion());
+    }
+
+    #[test]
+    fn outcome_classification() {
+        assert!(RunOutcome::AllDecided.decided());
+        assert!(RunOutcome::FirstDecision.decided());
+        assert!(!RunOutcome::OpCapReached.decided());
+        assert!(!RunOutcome::AllHalted.decided());
+        assert_eq!(RunOutcome::AllDecided.to_string(), "all processes decided");
+    }
+
+    #[test]
+    fn report_accessors() {
+        let r = report();
+        assert_eq!(r.agreement_value(), Some(Bit::One));
+        assert_eq!(r.decided_count(), 3);
+        assert_eq!(r.max_ops_per_process(), 16);
+        assert_eq!(r.last_decision_round(), Some(4));
+        assert!(r.to_string().contains("n=3"));
+    }
+
+    #[test]
+    fn safety_check_passes_clean_run() {
+        let r = report();
+        assert!(r.check_safety(&[Bit::One, Bit::Zero, Bit::One]).is_ok());
+        assert!(r.check_safety(&[Bit::One, Bit::One, Bit::One]).is_ok());
+    }
+
+    #[test]
+    fn safety_check_catches_disagreement() {
+        let mut r = report();
+        r.decisions[1] = Some(Bit::Zero);
+        assert!(r.check_safety(&[Bit::One, Bit::Zero, Bit::One]).is_err());
+    }
+
+    #[test]
+    fn safety_check_catches_validity() {
+        let r = report();
+        assert!(r.check_safety(&[Bit::Zero, Bit::Zero, Bit::Zero]).is_err());
+    }
+
+    #[test]
+    fn spread_check_only_on_complete_runs() {
+        let mut r = report();
+        r.decision_rounds = vec![Some(2), Some(9), Some(2)];
+        assert!(r.check_safety(&[Bit::One, Bit::Zero, Bit::One]).is_err());
+        // Cut-off run: spread not checked.
+        r.outcome = RunOutcome::FirstDecision;
+        assert!(r.check_safety(&[Bit::One, Bit::Zero, Bit::One]).is_ok());
+        // Run with halts: spread not checked either (a crashed process
+        // may have decided early and stopped participating).
+        r.outcome = RunOutcome::AllDecided;
+        r.halted = vec![false, true, false];
+        assert!(r.check_safety(&[Bit::One, Bit::Zero, Bit::One]).is_ok());
+    }
+}

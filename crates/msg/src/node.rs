@@ -1,0 +1,419 @@
+//! One message-passing node: replica + ABD client + lean-consensus.
+//!
+//! The node hosts a replica of every register (a map from address to the
+//! highest-stamped value it has seen), an ABD client executing one
+//! emulated register operation at a time, and an unchanged
+//! [`nc_core::LeanConsensus`] step machine. Whenever the lean machine
+//! surfaces a pending [`nc_memory::Op`], the client turns it into the
+//! two-phase ABD exchange; when the quorum answers, the machine is
+//! advanced — the step-machine design means lean-consensus itself never
+//! learns it left shared memory.
+
+use std::collections::HashMap;
+
+use nc_core::{LeanConsensus, Protocol, Status};
+use nc_memory::{Addr, Bit, Op, Word};
+
+use crate::proto::{OpId, Payload, Stamp};
+
+/// A message handed to the network for delivery.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Outgoing {
+    /// Destination node.
+    pub to: u32,
+    /// The payload.
+    pub payload: Payload,
+}
+
+/// What the ABD client is currently doing.
+#[derive(Clone, Debug, PartialEq)]
+enum ClientPhase {
+    /// No operation in flight (lean machine decided, or about to start).
+    Idle,
+    /// Read phase 1: collecting `ReadR` replies.
+    ReadQuery {
+        addr: Addr,
+        acks: u32,
+        best: (Stamp, Word),
+    },
+    /// Read phase 2 (write-back): collecting `Ack`s; will return `value`.
+    ReadBack {
+        acks: u32,
+        value: Word,
+    },
+    /// Write phase 1: collecting `WriteR` stamps.
+    WriteQuery {
+        addr: Addr,
+        value: Word,
+        acks: u32,
+        best: Stamp,
+    },
+    /// Write phase 2: collecting `Ack`s.
+    WritePut {
+        acks: u32,
+    },
+}
+
+/// One simulated node.
+#[derive(Debug)]
+pub struct Node {
+    id: u32,
+    n: u32,
+    machine: LeanConsensus,
+    replica: HashMap<Addr, (Stamp, Word)>,
+    phase: ClientPhase,
+    op_seq: u64,
+    /// Emulated register operations completed (= lean-consensus ops).
+    pub ops_done: u64,
+    /// Messages this node has sent.
+    pub msgs_sent: u64,
+}
+
+impl Node {
+    /// Creates node `id` of `n`, proposing `input`.
+    ///
+    /// The sentinels `a0[0] = a1[0] = 1` are pre-seeded into the local
+    /// replica of every node (initial state, exactly like the
+    /// shared-memory runs install them before the first step). They get
+    /// a stamp above [`Stamp::ZERO`] so quorum replies carrying them
+    /// outrank a reader's "never heard anything" initial best — with the
+    /// zero stamp, the seeded 1 would tie with the default 0 and lose,
+    /// and lean-consensus would (unsoundly) decide at round 1.
+    pub fn new(id: u32, n: u32, input: Bit, sentinels: &[(Addr, Word)]) -> Self {
+        let mut replica = HashMap::new();
+        for &(addr, value) in sentinels {
+            replica.insert(addr, (Stamp::ZERO.next_for(0), value));
+        }
+        Node {
+            id,
+            n,
+            machine: LeanConsensus::new(nc_memory::RaceLayout::at_base(0), input),
+            replica,
+            phase: ClientPhase::Idle,
+            op_seq: 0,
+            ops_done: 0,
+            msgs_sent: 0,
+        }
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// The decision, if the lean machine has decided.
+    pub fn decision(&self) -> Option<Bit> {
+        self.machine.status().decision()
+    }
+
+    /// The lean machine's current round.
+    pub fn round(&self) -> usize {
+        self.machine.round()
+    }
+
+    fn quorum(&self) -> u32 {
+        self.n / 2 + 1
+    }
+
+    fn broadcast(&mut self, payload: Payload, out: &mut Vec<Outgoing>) {
+        for to in 0..self.n {
+            out.push(Outgoing { to, payload });
+        }
+        self.msgs_sent += self.n as u64;
+    }
+
+    fn fresh_op(&mut self) -> OpId {
+        self.op_seq += 1;
+        OpId {
+            node: self.id,
+            seq: self.op_seq,
+        }
+    }
+
+    /// Starts the next emulated operation if the machine is pending and
+    /// the client idle. Returns `true` if messages were emitted.
+    pub fn kick(&mut self, out: &mut Vec<Outgoing>) -> bool {
+        if self.phase != ClientPhase::Idle {
+            return false;
+        }
+        match self.machine.status() {
+            Status::Decided(_) => false,
+            Status::Pending(Op::Read(addr)) => {
+                let op = self.fresh_op();
+                self.phase = ClientPhase::ReadQuery {
+                    addr,
+                    acks: 0,
+                    best: (Stamp::ZERO, 0),
+                };
+                self.broadcast(Payload::ReadQ { op, addr }, out);
+                true
+            }
+            Status::Pending(Op::Write(addr, value)) => {
+                let op = self.fresh_op();
+                self.phase = ClientPhase::WriteQuery {
+                    addr,
+                    value,
+                    acks: 0,
+                    best: Stamp::ZERO,
+                };
+                self.broadcast(Payload::WriteQ { op, addr }, out);
+                true
+            }
+        }
+    }
+
+    /// Handles one delivered message (replica duties + client progress),
+    /// emitting any replies / next-phase broadcasts.
+    pub fn on_message(&mut self, payload: Payload, out: &mut Vec<Outgoing>) {
+        match payload {
+            // ----- replica side -----
+            Payload::ReadQ { op, addr } => {
+                let (stamp, value) = self.replica.get(&addr).copied().unwrap_or((Stamp::ZERO, 0));
+                out.push(Outgoing {
+                    to: op.node,
+                    payload: Payload::ReadR { op, stamp, value },
+                });
+                self.msgs_sent += 1;
+            }
+            Payload::WriteQ { op, addr } => {
+                let (stamp, _) = self.replica.get(&addr).copied().unwrap_or((Stamp::ZERO, 0));
+                out.push(Outgoing {
+                    to: op.node,
+                    payload: Payload::WriteR { op, stamp },
+                });
+                self.msgs_sent += 1;
+            }
+            Payload::Put {
+                op,
+                addr,
+                stamp,
+                value,
+            } => {
+                let entry = self.replica.entry(addr).or_insert((Stamp::ZERO, 0));
+                if stamp > entry.0 {
+                    *entry = (stamp, value);
+                }
+                out.push(Outgoing {
+                    to: op.node,
+                    payload: Payload::Ack { op },
+                });
+                self.msgs_sent += 1;
+            }
+
+            // ----- client side -----
+            Payload::ReadR { op, stamp, value } => {
+                if !self.current_op(op) {
+                    return;
+                }
+                if let ClientPhase::ReadQuery { addr, acks, best } = &mut self.phase {
+                    *acks += 1;
+                    if stamp > best.0 {
+                        *best = (stamp, value);
+                    }
+                    if *acks >= self.n / 2 + 1 {
+                        // Phase 2: write back the freshest (stamp, value).
+                        let (stamp, value) = *best;
+                        let addr = *addr;
+                        let op = self.fresh_op();
+                        self.phase = ClientPhase::ReadBack { acks: 0, value };
+                        self.broadcast(Payload::Put { op, addr, stamp, value }, out);
+                    }
+                }
+            }
+            Payload::WriteR { op, stamp } => {
+                if !self.current_op(op) {
+                    return;
+                }
+                if let ClientPhase::WriteQuery {
+                    addr,
+                    value,
+                    acks,
+                    best,
+                } = &mut self.phase
+                {
+                    *acks += 1;
+                    if stamp > *best {
+                        *best = stamp;
+                    }
+                    if *acks >= self.n / 2 + 1 {
+                        let addr = *addr;
+                        let value = *value;
+                        let stamp = best.next_for(self.id);
+                        let op = self.fresh_op();
+                        self.phase = ClientPhase::WritePut { acks: 0 };
+                        self.broadcast(Payload::Put { op, addr, stamp, value }, out);
+                    }
+                }
+            }
+            Payload::Ack { op } => {
+                if !self.current_op(op) {
+                    return;
+                }
+                let quorum = self.quorum();
+                match &mut self.phase {
+                    ClientPhase::ReadBack { acks, value } => {
+                        *acks += 1;
+                        if *acks >= quorum {
+                            let v = *value;
+                            self.finish_op(Some(v), out);
+                        }
+                    }
+                    ClientPhase::WritePut { acks } => {
+                        *acks += 1;
+                        if *acks >= quorum {
+                            self.finish_op(None, out);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    /// Whether `op` belongs to the in-flight client phase (the client
+    /// bumps `op_seq` per phase, so the current id is always `op_seq`).
+    fn current_op(&self, op: OpId) -> bool {
+        op.node == self.id && op.seq == self.op_seq
+    }
+
+    fn finish_op(&mut self, read_value: Option<Word>, out: &mut Vec<Outgoing>) {
+        self.phase = ClientPhase::Idle;
+        self.ops_done += 1;
+        self.machine.advance(read_value);
+        // Immediately start the next operation (the network delay model
+        // lives on messages; per-op think time is optional and handled by
+        // the simulator's kick scheduling).
+        self.kick(out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nc_memory::RaceLayout;
+
+    fn sentinels() -> Vec<(Addr, Word)> {
+        let layout = RaceLayout::at_base(0);
+        vec![
+            (layout.slot(Bit::Zero, 0), 1),
+            (layout.slot(Bit::One, 0), 1),
+        ]
+    }
+
+    /// Delivery loop with a seeded pseudo-random delivery order
+    /// (`scramble = 0` gives strict FIFO). Strict FIFO is a symmetric,
+    /// deterministic schedule that can tie split-input races forever —
+    /// the message-passing incarnation of the paper's lockstep — so
+    /// termination tests scramble the order.
+    fn run_sync(nodes: &mut [Node], max_msgs: u64, scramble: u64) -> u64 {
+        let mut queue: Vec<(u32, Payload)> = Vec::new();
+        let mut out = Vec::new();
+        let mut lcg = scramble.wrapping_mul(2).wrapping_add(1);
+        for node in nodes.iter_mut() {
+            node.kick(&mut out);
+        }
+        let mut delivered = 0;
+        loop {
+            queue.extend(out.drain(..).map(|o| (o.to, o.payload)));
+            if queue.is_empty() || delivered >= max_msgs {
+                return delivered;
+            }
+            let k = if scramble == 0 {
+                0
+            } else {
+                lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (lcg >> 33) as usize % queue.len()
+            };
+            let (to, payload) = queue.remove(k);
+            delivered += 1;
+            nodes[to as usize].on_message(payload, &mut out);
+        }
+    }
+
+    #[test]
+    fn solo_node_decides_its_input_via_quorum_of_one() {
+        for input in Bit::BOTH {
+            let mut nodes = vec![Node::new(0, 1, input, &sentinels())];
+            run_sync(&mut nodes, 10_000, 0);
+            assert_eq!(nodes[0].decision(), Some(input));
+            assert_eq!(nodes[0].ops_done, 8, "lean still costs 8 emulated ops");
+        }
+    }
+
+    #[test]
+    fn three_nodes_unanimous_all_decide_input() {
+        for input in Bit::BOTH {
+            let mut nodes: Vec<Node> =
+                (0..3).map(|i| Node::new(i, 3, input, &sentinels())).collect();
+            run_sync(&mut nodes, 1_000_000, 0);
+            for node in &nodes {
+                assert_eq!(node.decision(), Some(input));
+                assert_eq!(node.ops_done, 8);
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_inputs_agree_under_scrambled_delivery() {
+        // (Strict FIFO can tie the race forever, like lockstep in shared
+        // memory; a scrambled delivery order terminates.)
+        for scramble in 1..=10u64 {
+            let inputs = [Bit::Zero, Bit::One, Bit::One];
+            let mut nodes: Vec<Node> = inputs
+                .iter()
+                .enumerate()
+                .map(|(i, &b)| Node::new(i as u32, 3, b, &sentinels()))
+                .collect();
+            run_sync(&mut nodes, 5_000_000, scramble);
+            let decisions: Vec<Bit> =
+                nodes.iter().map(|n| n.decision().expect("decided")).collect();
+            assert!(decisions.iter().all(|&d| d == decisions[0]), "{decisions:?}");
+        }
+    }
+
+    #[test]
+    fn replica_adopts_only_newer_stamps() {
+        let mut node = Node::new(0, 2, Bit::Zero, &[]);
+        let mut out = Vec::new();
+        let addr = Addr::new(5);
+        let op = OpId { node: 1, seq: 1 };
+        let newer = Stamp { counter: 2, writer: 1 };
+        let older = Stamp { counter: 1, writer: 1 };
+        node.on_message(Payload::Put { op, addr, stamp: newer, value: 7 }, &mut out);
+        node.on_message(Payload::Put { op, addr, stamp: older, value: 9 }, &mut out);
+        assert_eq!(node.replica.get(&addr), Some(&(newer, 7)));
+        // Both puts were acked regardless.
+        let acks = out
+            .iter()
+            .filter(|o| matches!(o.payload, Payload::Ack { .. }))
+            .count();
+        assert_eq!(acks, 2);
+    }
+
+    #[test]
+    fn stale_replies_are_ignored() {
+        let mut node = Node::new(0, 3, Bit::One, &sentinels());
+        let mut out = Vec::new();
+        node.kick(&mut out); // starts read of a0[1], op_seq = 1
+        let stale = OpId { node: 0, seq: 99 };
+        node.on_message(
+            Payload::ReadR { op: stale, stamp: Stamp { counter: 9, writer: 9 }, value: 1 },
+            &mut out,
+        );
+        // Phase must still be the original query with zero acks.
+        assert!(matches!(node.phase, ClientPhase::ReadQuery { acks: 0, .. }));
+    }
+
+    #[test]
+    fn sentinel_reads_come_back_as_one() {
+        // One node, quorum 1: the first lean op is a read of a0[1] = 0;
+        // step through manually until the round-1 final read of the
+        // sentinel a1[0], which must return 1 (pre-seeded replica).
+        let mut nodes = vec![Node::new(0, 1, Bit::Zero, &sentinels())];
+        run_sync(&mut nodes, 10_000, 0);
+        // Decision at round 2 proves the sentinel read returned 1 at
+        // round 1 (otherwise lean would have decided at round 1, which
+        // is impossible by construction).
+        assert_eq!(nodes[0].machine.decision_round(), Some(2));
+    }
+}

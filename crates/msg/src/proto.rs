@@ -1,0 +1,171 @@
+//! The ABD wire protocol.
+//!
+//! Every register is replicated at every node as a timestamped value;
+//! timestamps are `(counter, writer)` pairs ordered lexicographically,
+//! which makes concurrent writes totally ordered and the emulation
+//! multi-writer safe.
+//!
+//! * **Read(addr)**: send `ReadQ` to all; collect a majority of `ReadR`;
+//!   take the maximum stamp; *write back* that (stamp, value) with `Put`
+//!   to a majority; return the value. (The write-back is what upgrades
+//!   regular to atomic — a later read can't see an older value.)
+//! * **Write(addr, v)**: send `WriteQ` to all; collect a majority of
+//!   `WriteR` stamps; pick `counter = max + 1`, `writer = self`; `Put`
+//!   the new (stamp, v) to a majority; done.
+
+use std::fmt;
+
+use nc_memory::{Addr, Word};
+
+/// A logical timestamp: `(counter, writer)`, ordered lexicographically.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Stamp {
+    /// The write counter (monotone per register).
+    pub counter: u64,
+    /// The writing node (tie-breaker, makes stamps unique per write).
+    pub writer: u32,
+}
+
+impl Stamp {
+    /// The initial stamp of every register (value 0, "written" by
+    /// nobody).
+    pub const ZERO: Stamp = Stamp {
+        counter: 0,
+        writer: 0,
+    };
+
+    /// The successor stamp for a write by `writer`.
+    pub fn next_for(self, writer: u32) -> Stamp {
+        Stamp {
+            counter: self.counter + 1,
+            writer,
+        }
+    }
+}
+
+impl fmt::Display for Stamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.counter, self.writer)
+    }
+}
+
+/// Identifier of one client operation, unique per node (`node`, `seq`).
+/// Replies carrying a stale `op` are discarded by the client.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct OpId {
+    /// The node that issued the operation.
+    pub node: u32,
+    /// The node-local operation sequence number.
+    pub seq: u64,
+}
+
+/// A protocol message payload.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum Payload {
+    /// Client → replica: what is your (stamp, value) for `addr`?
+    ReadQ {
+        /// Operation id for reply matching.
+        op: OpId,
+        /// Register being read.
+        addr: Addr,
+    },
+    /// Replica → client: my copy of `addr`.
+    ReadR {
+        /// Operation id echoed.
+        op: OpId,
+        /// Register stamp at the replica.
+        stamp: Stamp,
+        /// Register value at the replica.
+        value: Word,
+    },
+    /// Client → replica: what is your stamp for `addr`? (write phase 1)
+    WriteQ {
+        /// Operation id for reply matching.
+        op: OpId,
+        /// Register being written.
+        addr: Addr,
+    },
+    /// Replica → client: my stamp for the queried register.
+    WriteR {
+        /// Operation id echoed.
+        op: OpId,
+        /// Register stamp at the replica.
+        stamp: Stamp,
+    },
+    /// Client → replica: adopt (stamp, value) for `addr` if newer
+    /// (read write-back and write phase 2 share this message).
+    Put {
+        /// Operation id for ack matching.
+        op: OpId,
+        /// Register being updated.
+        addr: Addr,
+        /// Stamp to install (if greater than the replica's).
+        stamp: Stamp,
+        /// Value to install.
+        value: Word,
+    },
+    /// Replica → client: `Put` applied (or superseded — still an ack).
+    Ack {
+        /// Operation id echoed.
+        op: OpId,
+    },
+}
+
+impl Payload {
+    /// The operation id this message belongs to.
+    pub fn op_id(&self) -> OpId {
+        match *self {
+            Payload::ReadQ { op, .. }
+            | Payload::ReadR { op, .. }
+            | Payload::WriteQ { op, .. }
+            | Payload::WriteR { op, .. }
+            | Payload::Put { op, .. }
+            | Payload::Ack { op } => op,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stamps_order_lexicographically() {
+        let a = Stamp { counter: 1, writer: 9 };
+        let b = Stamp { counter: 2, writer: 0 };
+        assert!(a < b);
+        let c = Stamp { counter: 1, writer: 3 };
+        assert!(c < a);
+        assert_eq!(Stamp::ZERO, Stamp { counter: 0, writer: 0 });
+    }
+
+    #[test]
+    fn next_stamp_beats_everything_seen() {
+        let seen = Stamp { counter: 7, writer: 4 };
+        let next = seen.next_for(2);
+        assert!(next > seen);
+        assert!(next > Stamp { counter: 7, writer: u32::MAX });
+        assert_eq!(next.writer, 2);
+    }
+
+    #[test]
+    fn stamp_display() {
+        assert_eq!(Stamp { counter: 3, writer: 1 }.to_string(), "3.1");
+    }
+
+    #[test]
+    fn payload_op_id_extraction() {
+        let op = OpId { node: 2, seq: 5 };
+        let msgs = [
+            Payload::ReadQ { op, addr: Addr::new(0) },
+            Payload::ReadR { op, stamp: Stamp::ZERO, value: 0 },
+            Payload::WriteQ { op, addr: Addr::new(1) },
+            Payload::WriteR { op, stamp: Stamp::ZERO },
+            Payload::Put { op, addr: Addr::new(2), stamp: Stamp::ZERO, value: 1 },
+            Payload::Ack { op },
+        ];
+        for m in msgs {
+            assert_eq!(m.op_id(), op);
+        }
+    }
+}

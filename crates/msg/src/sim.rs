@@ -1,0 +1,314 @@
+//! The noisy asynchronous network simulator.
+//!
+//! Every message suffers an independent random delay drawn from the
+//! configured [`Noise`] distribution — the message-passing analogue of
+//! the paper's noisy operation scheduling. Deliveries execute in time
+//! order (deterministic tie-breaking), nodes may crash (dropping all
+//! their future sends and deliveries), and the run ends when every live
+//! node's lean machine has decided.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use nc_memory::{Bit, RaceLayout, Word};
+use nc_sched::rng::salts;
+use nc_sched::{stream_rng, Noise};
+
+use crate::node::{Node, Outgoing};
+use crate::proto::Payload;
+
+/// Configuration of one message-passing consensus run.
+#[derive(Clone, PartialEq, Debug)]
+pub struct MsgConfig {
+    /// Number of nodes.
+    pub n: usize,
+    /// Per-message delay distribution.
+    pub delay: Noise,
+    /// Inputs (defaults to the Figure 1 half-and-half split).
+    pub inputs: Vec<Bit>,
+    /// Nodes to crash at a given delivered-message count:
+    /// `(node, after_deliveries)`. Must leave a majority alive for the
+    /// ABD quorums to answer.
+    pub crashes: Vec<(u32, u64)>,
+    /// Safety cap on total deliveries.
+    pub max_deliveries: u64,
+}
+
+impl MsgConfig {
+    /// A failure-free run of `n` nodes with half-and-half inputs.
+    pub fn new(n: usize, delay: Noise) -> Self {
+        MsgConfig {
+            n,
+            delay,
+            inputs: (0..n).map(|i| Bit::from(i >= n / 2)).collect(),
+            crashes: Vec::new(),
+            max_deliveries: 50_000_000,
+        }
+    }
+
+    /// Replaces the inputs (builder-style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length differs from `n`.
+    pub fn with_inputs(mut self, inputs: Vec<Bit>) -> Self {
+        assert_eq!(inputs.len(), self.n, "inputs length must equal n");
+        self.inputs = inputs;
+        self
+    }
+
+    /// Adds crash events (builder-style).
+    pub fn with_crashes(mut self, crashes: Vec<(u32, u64)>) -> Self {
+        self.crashes = crashes;
+        self
+    }
+}
+
+/// The outcome of a message-passing run.
+#[derive(Clone, Debug)]
+pub struct MsgReport {
+    /// Per-node decision (`None` for crashed-before-deciding nodes).
+    pub decisions: Vec<Option<Bit>>,
+    /// Per-node lean round at the end.
+    pub rounds: Vec<usize>,
+    /// Per-node emulated register operations completed.
+    pub ops: Vec<u64>,
+    /// Total messages delivered.
+    pub deliveries: u64,
+    /// Total messages sent.
+    pub sent: u64,
+    /// Simulated time of the last delivery.
+    pub sim_time: f64,
+    /// Whether every live node decided (false = delivery cap hit).
+    pub completed: bool,
+}
+
+#[derive(Debug)]
+struct InFlight {
+    time: f64,
+    seq: u64,
+    to: u32,
+    payload: Payload,
+}
+
+impl PartialEq for InFlight {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for InFlight {}
+impl PartialOrd for InFlight {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for InFlight {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Runs lean-consensus over ABD-emulated registers on a noisy network.
+///
+/// Deterministic in `(cfg, seed)`.
+///
+/// # Panics
+///
+/// Panics if `cfg.n == 0` or the crash schedule would kill a majority
+/// (the ABD emulation requires `f < n/2`; a run configured to violate
+/// that would block forever by construction, so it is rejected eagerly).
+pub fn run_message_passing(cfg: &MsgConfig, seed: u64) -> MsgReport {
+    assert!(cfg.n > 0, "need at least one node");
+    assert!(
+        cfg.crashes.len() < cfg.n.div_ceil(2),
+        "crashing {} of {} nodes would destroy the majority quorum",
+        cfg.crashes.len(),
+        cfg.n
+    );
+    let layout = RaceLayout::at_base(0);
+    let sentinels: Vec<(nc_memory::Addr, Word)> = vec![
+        (layout.slot(Bit::Zero, 0), 1),
+        (layout.slot(Bit::One, 0), 1),
+    ];
+    let mut nodes: Vec<Node> = cfg
+        .inputs
+        .iter()
+        .enumerate()
+        .map(|(i, &b)| Node::new(i as u32, cfg.n as u32, b, &sentinels))
+        .collect();
+    let mut alive = vec![true; cfg.n];
+    let mut rng = stream_rng(seed, 0, salts::NOISE);
+    let mut queue: BinaryHeap<InFlight> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let mut clock = 0.0f64;
+    let mut sent = 0u64;
+
+    let mut outbox: Vec<Outgoing> = Vec::new();
+    for node in nodes.iter_mut() {
+        node.kick(&mut outbox);
+    }
+
+    let mut deliveries = 0u64;
+    let mut crash_plan = cfg.crashes.clone();
+
+    loop {
+        // Flush the outbox into the network with fresh random delays.
+        for out in outbox.drain(..) {
+            seq += 1;
+            sent += 1;
+            queue.push(InFlight {
+                time: clock + cfg.delay.sample(&mut rng),
+                seq,
+                to: out.to,
+                payload: out.payload,
+            });
+        }
+
+        // Done when every live node decided (undelivered messages are
+        // irrelevant then) or when nothing remains in flight.
+        let all_live_decided = (0..cfg.n).all(|i| !alive[i] || nodes[i].decision().is_some());
+        if all_live_decided {
+            break;
+        }
+        let Some(msg) = queue.pop() else {
+            break; // network drained without progress (crash-heavy run)
+        };
+        if deliveries >= cfg.max_deliveries {
+            break;
+        }
+        deliveries += 1;
+        clock = msg.time;
+
+        // Crash plan: crash nodes whose delivery count has arrived.
+        crash_plan.retain(|&(node, after)| {
+            if deliveries >= after {
+                if let Some(a) = alive.get_mut(node as usize) {
+                    *a = false;
+                }
+                false
+            } else {
+                true
+            }
+        });
+
+        if alive[msg.to as usize] {
+            nodes[msg.to as usize].on_message(msg.payload, &mut outbox);
+        }
+    }
+
+    let completed = (0..cfg.n).all(|i| !alive[i] || nodes[i].decision().is_some());
+    MsgReport {
+        decisions: nodes.iter().map(|n| n.decision()).collect(),
+        rounds: nodes.iter().map(|n| n.round()).collect(),
+        ops: nodes.iter().map(|n| n.ops_done).collect(),
+        deliveries,
+        sent,
+        sim_time: clock,
+        completed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn failure_free_runs_agree_across_distributions() {
+        for (name, delay) in Noise::figure1_suite() {
+            for seed in 0..3 {
+                let cfg = MsgConfig::new(5, delay);
+                let report = run_message_passing(&cfg, seed);
+                assert!(report.completed, "{name} seed {seed}");
+                let decisions: Vec<Bit> =
+                    report.decisions.iter().map(|d| d.unwrap()).collect();
+                assert!(
+                    decisions.iter().all(|&d| d == decisions[0]),
+                    "{name} seed {seed}: {decisions:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unanimous_inputs_decide_that_input() {
+        for input in Bit::BOTH {
+            let cfg = MsgConfig::new(4, Noise::Exponential { mean: 1.0 })
+                .with_inputs(vec![input; 4]);
+            let report = run_message_passing(&cfg, 9);
+            assert!(report.completed);
+            assert!(report.decisions.iter().all(|&d| d == Some(input)));
+            // Validity still costs exactly 8 emulated operations each.
+            assert!(report.ops.iter().all(|&o| o == 8), "{:?}", report.ops);
+        }
+    }
+
+    #[test]
+    fn minority_crashes_do_not_block_the_quorum() {
+        for seed in 0..5 {
+            let cfg = MsgConfig::new(5, Noise::Exponential { mean: 1.0 })
+                .with_crashes(vec![(0, 50), (1, 120)]);
+            let report = run_message_passing(&cfg, seed);
+            assert!(report.completed, "seed {seed}");
+            let live: Vec<Bit> = report.decisions[2..]
+                .iter()
+                .map(|d| d.expect("live node must decide"))
+                .collect();
+            assert!(live.iter().all(|&d| d == live[0]), "seed {seed}: {live:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "majority quorum")]
+    fn majority_crash_plans_are_rejected() {
+        let cfg = MsgConfig::new(4, Noise::Exponential { mean: 1.0 })
+            .with_crashes(vec![(0, 1), (1, 2)]);
+        run_message_passing(&cfg, 0);
+    }
+
+    #[test]
+    fn determinism() {
+        let cfg = MsgConfig::new(4, Noise::Uniform { lo: 0.0, hi: 2.0 });
+        let a = run_message_passing(&cfg, 7);
+        let b = run_message_passing(&cfg, 7);
+        assert_eq!(a.decisions, b.decisions);
+        assert_eq!(a.deliveries, b.deliveries);
+        assert_eq!(a.sent, b.sent);
+    }
+
+    #[test]
+    fn message_cost_scales_with_quorum_size() {
+        // Each emulated op costs two broadcast phases (2n messages) plus
+        // replies; total traffic should be Θ(ops · n).
+        let cfg = MsgConfig::new(5, Noise::Exponential { mean: 1.0 });
+        let report = run_message_passing(&cfg, 3);
+        let total_ops: u64 = report.ops.iter().sum();
+        assert!(report.sent as f64 >= total_ops as f64 * 2.0 * 5.0 * 0.9);
+        assert!(report.sent as f64 <= total_ops as f64 * 8.0 * 5.0);
+    }
+
+    #[test]
+    fn rounds_are_bounded_but_larger_than_shared_memory() {
+        // Quorum waits average ~2n message delays per emulated op, which
+        // ATTENUATES the environment noise (order-statistic
+        // concentration): the race stays tied longer than in raw shared
+        // memory, so rounds are higher — but still bounded and
+        // terminating. Documented in EXPERIMENTS.md (E13).
+        let cfg = MsgConfig::new(9, Noise::Exponential { mean: 1.0 });
+        for seed in 0..5 {
+            let report = run_message_passing(&cfg, seed);
+            assert!(report.completed, "seed {seed}");
+            let max_round = report.rounds.iter().max().unwrap();
+            assert!(*max_round < 500, "seed {seed}: round {max_round}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inputs length")]
+    fn mismatched_inputs_panic() {
+        let _ = MsgConfig::new(3, Noise::Exponential { mean: 1.0 })
+            .with_inputs(vec![Bit::Zero]);
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests of the ABD emulation: agreement and validity of
+//! lean-consensus-over-ABD under proptest-generated delivery schedules
+//! and inputs.
+//!
+//! The delivery schedule is the message-passing analogue of the
+//! adversarial interleavings in the shared-memory safety suite: the
+//! generated script picks which in-flight message is delivered next.
+//! Schedules are finite, so runs may end undecided — like there, safety
+//! is checked on whatever state is reached, and a fair random tail is
+//! appended for the termination-dependent assertions.
+
+use proptest::prelude::*;
+
+use nc_memory::{Addr, Bit, RaceLayout, Word};
+use nc_msg::node::{Node, Outgoing};
+use nc_msg::Payload;
+
+fn sentinels() -> Vec<(Addr, Word)> {
+    let layout = RaceLayout::at_base(0);
+    vec![
+        (layout.slot(Bit::Zero, 0), 1),
+        (layout.slot(Bit::One, 0), 1),
+    ]
+}
+
+/// Drives nodes with a scripted delivery order (indices into the
+/// in-flight queue), then a seeded pseudo-random tail up to `max_msgs`.
+fn drive(
+    inputs: &[Bit],
+    script: &[usize],
+    tail_seed: u64,
+    max_msgs: u64,
+) -> Vec<Option<Bit>> {
+    let n = inputs.len();
+    let mut nodes: Vec<Node> = inputs
+        .iter()
+        .enumerate()
+        .map(|(i, &b)| Node::new(i as u32, n as u32, b, &sentinels()))
+        .collect();
+    let mut queue: Vec<(u32, Payload)> = Vec::new();
+    let mut out: Vec<Outgoing> = Vec::new();
+    for node in nodes.iter_mut() {
+        node.kick(&mut out);
+    }
+    let mut lcg = tail_seed | 1;
+    let mut delivered = 0u64;
+    let mut cursor = 0usize;
+    loop {
+        queue.extend(out.drain(..).map(|o| (o.to, o.payload)));
+        if queue.is_empty() || delivered >= max_msgs {
+            break;
+        }
+        let k = match script.get(cursor) {
+            Some(&s) => s % queue.len(),
+            None => {
+                lcg = lcg
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (lcg >> 33) as usize % queue.len()
+            }
+        };
+        cursor += 1;
+        let (to, payload) = queue.remove(k);
+        delivered += 1;
+        nodes[to as usize].on_message(payload, &mut out);
+    }
+    nodes.iter().map(|n| n.decision()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Agreement: under any delivery prefix + fair tail, all decisions
+    /// (if any) are equal; validity: unanimous inputs decide the input.
+    #[test]
+    fn abd_lean_agreement_under_arbitrary_delivery(
+        inputs in proptest::collection::vec(any::<bool>(), 1..5),
+        script in proptest::collection::vec(0usize..64, 0..300),
+        tail_seed in any::<u64>(),
+    ) {
+        let inputs: Vec<Bit> = inputs.into_iter().map(Bit::from).collect();
+        let decisions = drive(&inputs, &script, tail_seed, 3_000_000);
+        let decided: Vec<Bit> = decisions.iter().flatten().copied().collect();
+        if let Some(&first) = decided.first() {
+            prop_assert!(decided.iter().all(|&d| d == first), "disagreement: {decisions:?}");
+        }
+        if !inputs.is_empty() && inputs.iter().all(|&b| b == inputs[0]) {
+            for d in decided {
+                prop_assert_eq!(d, inputs[0], "validity broken");
+            }
+        }
+    }
+
+    /// A decided value never flips: replaying the same schedule longer
+    /// keeps the same decisions (monotone stability of the emulation).
+    #[test]
+    fn decisions_are_stable_under_longer_schedules(
+        inputs in proptest::collection::vec(any::<bool>(), 2..4),
+        script in proptest::collection::vec(0usize..16, 0..100),
+        tail_seed in any::<u64>(),
+    ) {
+        let inputs: Vec<Bit> = inputs.into_iter().map(Bit::from).collect();
+        let short = drive(&inputs, &script, tail_seed, 50_000);
+        let long = drive(&inputs, &script, tail_seed, 3_000_000);
+        for (s, l) in short.iter().zip(&long) {
+            if let Some(sv) = s {
+                prop_assert_eq!(Some(*sv), *l, "decision changed with more deliveries");
+            }
+        }
+    }
+}

@@ -1,0 +1,413 @@
+//! Hybrid quantum + priority scheduling on a uniprocessor (§3.2, §7).
+//!
+//! The model of Anderson–Moir (PODC 1999), as used by the paper:
+//! processes time-share one processor under a pre-emptive scheduler.
+//! Each process has a priority; a running process
+//!
+//! * may be pre-empted **at any time** by a process of strictly higher
+//!   priority,
+//! * may be pre-empted by an **equal**-priority process only once it has
+//!   exhausted its *quantum* — a minimum number of operations it must be
+//!   allowed to complete between being scheduled and becoming vulnerable,
+//! * is never pre-empted by a lower-priority process while runnable.
+//!
+//! A process need not start the protocol at the beginning of a quantum: it
+//! may have burned part (or all) of its first quantum on unrelated work
+//! ([`HybridSpec::initial_used`]).
+//!
+//! Theorem 14: with quantum ≥ 8, every process running lean-consensus
+//! decides after at most 12 operations. [`HybridSpec::legal_next`]
+//! encodes the legality rules; the engine's hybrid driver enforces them
+//! and lets a [`HybridPolicy`] (the adversary) choose among legal moves.
+
+use rand::rngs::SmallRng;
+use rand::RngExt;
+
+/// Static description of a hybrid-scheduled uniprocessor system.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct HybridSpec {
+    /// The scheduling quantum: operations a newly-scheduled process must
+    /// be allowed before equal-priority pre-emption. Theorem 14 needs 8.
+    pub quantum: u32,
+    /// Per-process priority; **higher values pre-empt lower ones**.
+    pub priorities: Vec<u32>,
+    /// Quantum already consumed by "other work" when each process is
+    /// first scheduled within the protocol execution (§3.2: a process may
+    /// start the protocol mid-quantum). Later schedulings always begin a
+    /// fresh quantum. Values are clamped to `quantum`.
+    pub initial_used: Vec<u32>,
+}
+
+impl HybridSpec {
+    /// A system of `n` equal-priority processes with the given quantum and
+    /// no initial quantum usage.
+    pub fn uniform(n: usize, quantum: u32) -> Self {
+        HybridSpec {
+            quantum,
+            priorities: vec![0; n],
+            initial_used: vec![0; n],
+        }
+    }
+
+    /// A system of `n` processes with distinct priorities `0..n` (process
+    /// `n-1` is highest) and the given quantum.
+    pub fn ladder(n: usize, quantum: u32) -> Self {
+        HybridSpec {
+            quantum,
+            priorities: (0..n as u32).collect(),
+            initial_used: vec![0; n],
+        }
+    }
+
+    /// Replaces the initial quantum usage (builder-style). Clamped to the
+    /// quantum at use time.
+    pub fn with_initial_used(mut self, initial_used: Vec<u32>) -> Self {
+        self.initial_used = initial_used;
+        self
+    }
+
+    /// Number of processes in the system.
+    pub fn len(&self) -> usize {
+        self.priorities.len()
+    }
+
+    /// Whether the system has no processes.
+    pub fn is_empty(&self) -> bool {
+        self.priorities.is_empty()
+    }
+
+    /// The quantum a process has already used when scheduled for the
+    /// `first` time (`true`) or re-scheduled (`false`).
+    pub fn used_at_schedule(&self, pid: usize, first: bool) -> u32 {
+        if first {
+            self.initial_used
+                .get(pid)
+                .copied()
+                .unwrap_or(0)
+                .min(self.quantum)
+        } else {
+            0
+        }
+    }
+
+    /// Computes the set of processes that may legally execute the next
+    /// operation.
+    ///
+    /// * `current`: the currently scheduled process, if any.
+    /// * `used_in_quantum`: operations `current` has completed in its
+    ///   present quantum (including any initial burn).
+    /// * `runnable`: per-process, whether the process still has protocol
+    ///   operations to perform (not decided, not halted).
+    ///
+    /// Rules: the current runnable process may always continue; strictly
+    /// higher-priority runnable processes may pre-empt at any time;
+    /// equal-priority runnable processes only once
+    /// `used_in_quantum >= quantum`; lower-priority processes never
+    /// pre-empt a runnable process. If there is no runnable current
+    /// process, every runnable process is legal (the adversary may have
+    /// delayed any subset, so it picks who wakes first).
+    pub fn legal_next(
+        &self,
+        current: Option<usize>,
+        used_in_quantum: u32,
+        runnable: &[bool],
+    ) -> Vec<usize> {
+        assert_eq!(
+            runnable.len(),
+            self.len(),
+            "runnable mask length {} != process count {}",
+            runnable.len(),
+            self.len()
+        );
+        match current {
+            Some(c) if runnable.get(c).copied().unwrap_or(false) => {
+                let cur_pri = self.priorities[c];
+                let exhausted = used_in_quantum >= self.quantum;
+                (0..self.len())
+                    .filter(|&j| {
+                        if !runnable[j] {
+                            return false;
+                        }
+                        if j == c {
+                            return true;
+                        }
+                        let pj = self.priorities[j];
+                        pj > cur_pri || (exhausted && pj == cur_pri)
+                    })
+                    .collect()
+            }
+            _ => (0..self.len()).filter(|&j| runnable[j]).collect(),
+        }
+    }
+}
+
+/// Execution snapshot offered to a [`HybridPolicy`] when it must choose
+/// the next process. All slices are indexed by process id.
+#[derive(Clone, Copy, Debug)]
+pub struct HybridView<'a> {
+    /// The currently scheduled process, if any.
+    pub current: Option<usize>,
+    /// The processes the model allows to run next (always non-empty when
+    /// the policy is consulted).
+    pub legal: &'a [usize],
+    /// Each process's current protocol round.
+    pub round: &'a [usize],
+    /// Protocol operations each process has executed.
+    pub steps: &'a [u64],
+    /// Whether each process's *pending* operation is a write — the
+    /// information the Theorem 14 worst case exploits (pre-empt just
+    /// before the round-1 write).
+    pub pending_write: &'a [bool],
+}
+
+/// The scheduler adversary for the hybrid model: picks the next process
+/// among the legal candidates.
+pub trait HybridPolicy {
+    /// Chooses the next process from `view.legal`. Returning `None` ends
+    /// the run (treated as schedule exhaustion by the driver).
+    fn pick(&mut self, view: HybridView<'_>) -> Option<usize>;
+}
+
+/// A benign scheduler: keeps the current process running; when it stops,
+/// schedules the lowest-id legal process.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BenignHybrid;
+
+impl HybridPolicy for BenignHybrid {
+    fn pick(&mut self, view: HybridView<'_>) -> Option<usize> {
+        if let Some(c) = view.current {
+            if view.legal.contains(&c) {
+                return Some(c);
+            }
+        }
+        view.legal.first().copied()
+    }
+}
+
+/// Schedules a uniformly random legal process each step — chaotic but
+/// legal time-sharing.
+#[derive(Clone, Debug)]
+pub struct RandomHybrid {
+    rng: SmallRng,
+}
+
+impl RandomHybrid {
+    /// Creates a random hybrid policy from its own RNG stream.
+    pub fn new(rng: SmallRng) -> Self {
+        RandomHybrid { rng }
+    }
+}
+
+impl HybridPolicy for RandomHybrid {
+    fn pick(&mut self, view: HybridView<'_>) -> Option<usize> {
+        if view.legal.is_empty() {
+            return None;
+        }
+        let k = self.rng.random_range(0..view.legal.len());
+        Some(view.legal[k])
+    }
+}
+
+/// The Theorem 14 adversary: whenever the current process is about to
+/// perform a *write* and some other process may legally pre-empt it,
+/// switch — preferring the legal process with the smallest step count to
+/// keep the race as tied as possible. Otherwise keeps the current process
+/// running (to burn its quantum towards exhaustion).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WritePreemptor;
+
+impl HybridPolicy for WritePreemptor {
+    fn pick(&mut self, view: HybridView<'_>) -> Option<usize> {
+        let cur = view.current.filter(|c| view.legal.contains(c));
+        match cur {
+            Some(c) => {
+                let about_to_write = view.pending_write.get(c).copied().unwrap_or(false);
+                if about_to_write {
+                    // Try to strand the write: hand the processor to the
+                    // most-behind other legal process.
+                    let victim = view
+                        .legal
+                        .iter()
+                        .copied()
+                        .filter(|&j| j != c)
+                        .min_by_key(|&j| (view.steps[j], j));
+                    if let Some(v) = victim {
+                        return Some(v);
+                    }
+                }
+                Some(c)
+            }
+            None => view
+                .legal
+                .iter()
+                .copied()
+                .min_by_key(|&j| (view.steps[j], j)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::stream_rng;
+
+    #[test]
+    fn uniform_and_ladder_constructors() {
+        let u = HybridSpec::uniform(3, 8);
+        assert_eq!(u.len(), 3);
+        assert!(!u.is_empty());
+        assert_eq!(u.priorities, vec![0, 0, 0]);
+        let l = HybridSpec::ladder(3, 8);
+        assert_eq!(l.priorities, vec![0, 1, 2]);
+        assert!(HybridSpec::uniform(0, 8).is_empty());
+    }
+
+    #[test]
+    fn current_process_may_always_continue() {
+        let spec = HybridSpec::uniform(3, 8);
+        let legal = spec.legal_next(Some(1), 0, &[true, true, true]);
+        assert!(legal.contains(&1));
+        // Equal priority, quantum not exhausted: only current is legal.
+        assert_eq!(legal, vec![1]);
+    }
+
+    #[test]
+    fn equal_priority_preempts_only_after_quantum() {
+        let spec = HybridSpec::uniform(3, 8);
+        let fresh = spec.legal_next(Some(0), 7, &[true, true, true]);
+        assert_eq!(fresh, vec![0]);
+        let exhausted = spec.legal_next(Some(0), 8, &[true, true, true]);
+        assert_eq!(exhausted, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn higher_priority_preempts_any_time() {
+        let spec = HybridSpec::ladder(3, 8); // priorities 0,1,2
+        let legal = spec.legal_next(Some(0), 0, &[true, true, true]);
+        assert_eq!(legal, vec![0, 1, 2]);
+        let legal = spec.legal_next(Some(1), 0, &[true, true, true]);
+        assert_eq!(legal, vec![1, 2]);
+        let legal = spec.legal_next(Some(2), 0, &[true, true, true]);
+        assert_eq!(legal, vec![2]);
+    }
+
+    #[test]
+    fn lower_priority_never_preempts_runnable() {
+        let spec = HybridSpec::ladder(2, 4);
+        // current = high priority, mid-quantum and exhausted: low priority
+        // still illegal while current is runnable.
+        assert_eq!(spec.legal_next(Some(1), 0, &[true, true]), vec![1]);
+        assert_eq!(spec.legal_next(Some(1), 99, &[true, true]), vec![1]);
+    }
+
+    #[test]
+    fn anyone_runs_when_current_stops() {
+        let spec = HybridSpec::ladder(3, 8);
+        // current decided (not runnable): every runnable process is legal.
+        let legal = spec.legal_next(Some(2), 3, &[true, true, false]);
+        assert_eq!(legal, vec![0, 1]);
+        // no current at all
+        let legal = spec.legal_next(None, 0, &[false, true, true]);
+        assert_eq!(legal, vec![1, 2]);
+    }
+
+    #[test]
+    fn no_runnable_processes_means_no_legal_moves() {
+        let spec = HybridSpec::uniform(2, 8);
+        assert!(spec.legal_next(Some(0), 0, &[false, false]).is_empty());
+        assert!(spec.legal_next(None, 0, &[false, false]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "runnable mask length")]
+    fn mismatched_mask_panics() {
+        HybridSpec::uniform(2, 8).legal_next(None, 0, &[true]);
+    }
+
+    #[test]
+    fn used_at_schedule_clamps_and_resets() {
+        let spec = HybridSpec::uniform(2, 8).with_initial_used(vec![5, 100]);
+        assert_eq!(spec.used_at_schedule(0, true), 5);
+        assert_eq!(spec.used_at_schedule(1, true), 8); // clamped
+        assert_eq!(spec.used_at_schedule(0, false), 0); // re-schedule
+        assert_eq!(spec.used_at_schedule(9, true), 0); // out of range
+    }
+
+    fn view<'a>(
+        current: Option<usize>,
+        legal: &'a [usize],
+        round: &'a [usize],
+        steps: &'a [u64],
+        pending_write: &'a [bool],
+    ) -> HybridView<'a> {
+        HybridView {
+            current,
+            legal,
+            round,
+            steps,
+            pending_write,
+        }
+    }
+
+    #[test]
+    fn benign_policy_keeps_current() {
+        let mut p = BenignHybrid;
+        let legal = [0usize, 1, 2];
+        let round = [1, 1, 1];
+        let steps = [3, 0, 0];
+        let pw = [false, false, false];
+        assert_eq!(p.pick(view(Some(0), &legal, &round, &steps, &pw)), Some(0));
+        // current not legal -> lowest id legal
+        let legal2 = [1usize, 2];
+        assert_eq!(p.pick(view(Some(0), &legal2, &round, &steps, &pw)), Some(1));
+        assert_eq!(p.pick(view(None, &legal2, &round, &steps, &pw)), Some(1));
+    }
+
+    #[test]
+    fn random_policy_picks_only_legal() {
+        let mut p = RandomHybrid::new(stream_rng(5, 0, 0));
+        let legal = [1usize, 3];
+        let round = [0; 4];
+        let steps = [0; 4];
+        let pw = [false; 4];
+        for _ in 0..50 {
+            let pick = p.pick(view(Some(1), &legal, &round, &steps, &pw)).unwrap();
+            assert!(pick == 1 || pick == 3);
+        }
+        assert_eq!(p.pick(view(None, &[], &round, &steps, &pw)), None);
+    }
+
+    #[test]
+    fn write_preemptor_strands_writes() {
+        let mut p = WritePreemptor;
+        let legal = [0usize, 1, 2];
+        let round = [1, 1, 1];
+        let steps = [2, 5, 1];
+        // current 0 about to write, others legal: picks most-behind (2).
+        let pw = [true, false, false];
+        assert_eq!(p.pick(view(Some(0), &legal, &round, &steps, &pw)), Some(2));
+        // current 0 about to read: stays.
+        let pw = [false, false, false];
+        assert_eq!(p.pick(view(Some(0), &legal, &round, &steps, &pw)), Some(0));
+    }
+
+    #[test]
+    fn write_preemptor_stays_when_alone_legal() {
+        let mut p = WritePreemptor;
+        let legal = [0usize];
+        let round = [1];
+        let steps = [2];
+        let pw = [true];
+        assert_eq!(p.pick(view(Some(0), &legal, &round, &steps, &pw)), Some(0));
+    }
+
+    #[test]
+    fn write_preemptor_fresh_start_picks_most_behind() {
+        let mut p = WritePreemptor;
+        let legal = [0usize, 1];
+        let round = [2, 1];
+        let steps = [8, 3];
+        let pw = [false, false];
+        assert_eq!(p.pick(view(None, &legal, &round, &steps, &pw)), Some(1));
+    }
+}

@@ -1,0 +1,111 @@
+//! Deterministic per-stream random number generation.
+//!
+//! Every stochastic component of a simulation (each process's noise
+//! stream, the failure coin, the backup protocol's local coins, the
+//! schedule adversary) draws from its own independently-seeded generator,
+//! derived from one run seed. This makes whole experiments reproducible
+//! from a single `u64` and keeps streams independent of each other and of
+//! iteration order.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// SplitMix64 finalizer — mixes a 64-bit value into a well-distributed
+/// 64-bit value. Used to derive independent stream seeds from
+/// `(run_seed, stream_id, salt)` triples.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Creates the deterministic RNG for stream `stream` with purpose tag
+/// `salt`, derived from `run_seed`.
+///
+/// Distinct `(run_seed, stream, salt)` triples yield independent
+/// generators; identical triples yield identical generators.
+///
+/// ```
+/// use nc_sched::stream_rng;
+/// use rand::RngExt;
+///
+/// let mut a = stream_rng(42, 0, 1);
+/// let mut b = stream_rng(42, 0, 1);
+/// assert_eq!(a.random::<u64>(), b.random::<u64>());
+///
+/// let mut c = stream_rng(42, 1, 1);
+/// assert_ne!(stream_rng(42, 0, 1).random::<u64>(), c.random::<u64>());
+/// ```
+pub fn stream_rng(run_seed: u64, stream: u64, salt: u64) -> SmallRng {
+    let mixed = splitmix64(
+        splitmix64(run_seed ^ 0xA076_1D64_78BD_642F)
+            ^ splitmix64(stream.wrapping_mul(0xE703_7ED1_A0B4_28DB))
+            ^ salt.wrapping_mul(0x8EBC_6AF0_9C88_C6E3),
+    );
+    SmallRng::seed_from_u64(mixed)
+}
+
+/// Well-known salts, so call sites across crates can't accidentally share
+/// a stream.
+pub mod salts {
+    /// Per-process operation noise `X_ij`.
+    pub const NOISE: u64 = 1;
+    /// Per-process halting failures `H_ij`.
+    pub const FAILURE: u64 = 2;
+    /// Start-time dithering `Δ_i0`.
+    pub const START: u64 = 3;
+    /// Schedule adversary choices.
+    pub const ADVERSARY: u64 = 4;
+    /// Protocol-local coins (randomized baseline, backup shared coin).
+    pub const COIN: u64 = 5;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngExt;
+
+    #[test]
+    fn same_triple_same_stream() {
+        let xs: Vec<u64> = (0..8).map(|_| 0).collect::<Vec<_>>();
+        let mut a = stream_rng(1, 2, 3);
+        let mut b = stream_rng(1, 2, 3);
+        for _ in xs {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn different_seed_different_stream() {
+        let mut a = stream_rng(1, 2, 3);
+        let mut b = stream_rng(2, 2, 3);
+        let va: Vec<u64> = (0..4).map(|_| a.random()).collect();
+        let vb: Vec<u64> = (0..4).map(|_| b.random()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn different_stream_id_different_stream() {
+        let mut a = stream_rng(1, 2, 3);
+        let mut b = stream_rng(1, 3, 3);
+        assert_ne!(a.random::<u64>(), b.random::<u64>());
+    }
+
+    #[test]
+    fn different_salt_different_stream() {
+        let mut a = stream_rng(1, 2, salts::NOISE);
+        let mut b = stream_rng(1, 2, salts::FAILURE);
+        assert_ne!(a.random::<u64>(), b.random::<u64>());
+    }
+
+    #[test]
+    fn splitmix_distributes_small_inputs() {
+        // Consecutive small seeds should not produce obviously correlated
+        // outputs; check all bytes differ somewhere across a small sample.
+        let outs: Vec<u64> = (0..16u64).map(splitmix64).collect();
+        let mut all = outs.clone();
+        all.dedup();
+        assert_eq!(all.len(), outs.len(), "splitmix collided on small inputs");
+    }
+}

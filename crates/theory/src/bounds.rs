@@ -1,0 +1,138 @@
+//! Numeric form of Lemma 5.
+//!
+//! Lemma 5: for independent events `A_1 … A_n`, if the probability that
+//! **no** event occurs is `x > 0`, then the probability that **exactly
+//! one** occurs is at least `−x ln x`.
+//!
+//! This is the engine of the "unique winner" argument (Lemma 6 /
+//! Theorem 10): at the critical time `t₀`, enough probability mass sits
+//! on "exactly one process has finished round r" to hand someone the
+//! lead. The module provides an exact evaluator for the probability and
+//! the lemma's bound, so property tests can confirm the inequality over
+//! arbitrary event sets — a machine-checked Lemma 5.
+
+/// Exact probability that exactly one of the independent events occurs,
+/// given each event's *non*-occurrence probability `q_i`.
+///
+/// # Panics
+///
+/// Panics if any `q_i` is outside `[0, 1]`.
+pub fn prob_exactly_one(qs: &[f64]) -> f64 {
+    for &q in qs {
+        assert!((0.0..=1.0).contains(&q), "q_i must be in [0,1], got {q}");
+    }
+    // Σ_i (1 - q_i) Π_{j≠i} q_j, computed stably as a single pass.
+    let mut total = 0.0;
+    for i in 0..qs.len() {
+        let mut term = 1.0 - qs[i];
+        for (j, &q) in qs.iter().enumerate() {
+            if j != i {
+                term *= q;
+            }
+        }
+        total += term;
+    }
+    total
+}
+
+/// Exact probability that none of the independent events occurs.
+pub fn prob_none(qs: &[f64]) -> f64 {
+    qs.iter().product()
+}
+
+/// Lemma 5's lower bound `−x ln x` on the probability of exactly one
+/// event, where `x` is the probability that none occurs.
+///
+/// Returns 0 at `x = 0` (the lemma requires `x > 0`; the bound's limit
+/// is 0 there anyway) and 0 at `x = 1`.
+pub fn lemma5_bound(x: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&x), "x must be in [0,1], got {x}");
+    if x == 0.0 {
+        0.0
+    } else {
+        -x * x.ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn two_fair_coins() {
+        // Exactly one head among two fair coins: 1/2. None: 1/4.
+        let qs = [0.5, 0.5];
+        assert!((prob_exactly_one(&qs) - 0.5).abs() < 1e-12);
+        assert!((prob_none(&qs) - 0.25).abs() < 1e-12);
+        // Bound: -0.25 ln 0.25 ≈ 0.3466 <= 0.5.
+        assert!(lemma5_bound(prob_none(&qs)) <= prob_exactly_one(&qs));
+    }
+
+    #[test]
+    fn degenerate_events() {
+        // All events certain: "exactly one" impossible for n >= 2, x = 0.
+        assert_eq!(prob_exactly_one(&[0.0, 0.0]), 0.0);
+        assert_eq!(lemma5_bound(0.0), 0.0);
+        // No events ever: x = 1, bound 0, exact 0.
+        assert_eq!(prob_exactly_one(&[1.0, 1.0]), 0.0);
+        assert_eq!(lemma5_bound(1.0), 0.0);
+        // Single event with probability p: exactly-one = p.
+        assert!((prob_exactly_one(&[0.3]) - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_event_set() {
+        assert_eq!(prob_exactly_one(&[]), 0.0);
+        assert_eq!(prob_none(&[]), 1.0);
+    }
+
+    #[test]
+    fn bound_peak_is_at_one_over_e() {
+        // -x ln x peaks at x = 1/e with value 1/e.
+        let peak = lemma5_bound(1.0 / std::f64::consts::E);
+        assert!((peak - 1.0 / std::f64::consts::E).abs() < 1e-12);
+        assert!(lemma5_bound(0.5) < peak);
+        assert!(lemma5_bound(0.2) < peak);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0,1]")]
+    fn invalid_q_panics() {
+        prob_exactly_one(&[1.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0,1]")]
+    fn invalid_x_panics() {
+        lemma5_bound(-0.1);
+    }
+
+    proptest! {
+        /// The machine-checked Lemma 5: the bound never exceeds the exact
+        /// probability, for arbitrary independent event sets.
+        #[test]
+        fn lemma5_holds(qs in proptest::collection::vec(0.0f64..=1.0, 1..12)) {
+            let x = prob_none(&qs);
+            if x > 0.0 {
+                let exact = prob_exactly_one(&qs);
+                let bound = lemma5_bound(x);
+                prop_assert!(
+                    bound <= exact + 1e-9,
+                    "bound {bound} exceeds exact {exact} for qs {qs:?}"
+                );
+            }
+        }
+
+        /// Probabilities stay probabilities.
+        #[test]
+        fn outputs_are_probabilities(qs in proptest::collection::vec(0.0f64..=1.0, 0..12)) {
+            let p1 = prob_exactly_one(&qs);
+            let p0 = prob_none(&qs);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&p1));
+            prop_assert!((0.0..=1.0).contains(&p0));
+            // exactly-one and none are disjoint events.
+            prop_assert!(p0 + p1 <= 1.0 + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Leader election via id consensus (footnote 2 of the paper).
+//!
+//! Binary consensus decides one bit; electing a *leader* needs agreement
+//! on a whole process id. The paper's footnote: build a `lg n`-depth
+//! tree of binary consensus objects. Here 8 worker threads race to elect
+//! one of themselves; every thread learns the same winner, and the
+//! winner is always an actual participant.
+//!
+//! Run with: `cargo run --release --example leader_election [workers]`
+
+use noisy_consensus::core::id::IdConsensus;
+use std::sync::Arc;
+
+fn main() {
+    let workers: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
+
+    println!("electing a leader among {workers} workers");
+    let election = Arc::new(IdConsensus::new(workers));
+    println!(
+        "tree depth: {} levels of binary lean-consensus\n",
+        election.depth()
+    );
+
+    let handles: Vec<_> = (0..workers)
+        .map(|id| {
+            let e = Arc::clone(&election);
+            std::thread::spawn(move || {
+                let winner = e.propose(id).expect("round limit");
+                (id, winner)
+            })
+        })
+        .collect();
+
+    let mut elected = None;
+    for h in handles {
+        let (id, winner) = h.join().expect("worker panicked");
+        println!("  worker {id}: the leader is {winner}");
+        match elected {
+            None => elected = Some(winner),
+            Some(w) => assert_eq!(w, winner, "two different leaders elected!"),
+        }
+    }
+    let leader = elected.unwrap();
+    assert!(leader < workers, "leader must be a participant");
+    println!("\nunanimous: worker {leader} leads.");
+    println!("(each tree level is one deterministic lean-consensus race, decided");
+    println!("by scheduling noise — no coins anywhere.)");
+}

@@ -1,0 +1,70 @@
+//! Watch the racing-bits mechanism at work under noisy scheduling.
+//!
+//! Simulates lean-consensus for a handful of processes under the paper's
+//! model (exponential interarrival noise), then draws the final state of
+//! the `a0`/`a1` arrays: the winning team's column of 1s reaches two
+//! rounds beyond the losing team's, which is exactly the decision
+//! condition.
+//!
+//! Run with: `cargo run --release --example noisy_race [n] [seed]`
+
+use noisy_consensus::engine::{run_noisy, setup, Limits};
+use noisy_consensus::memory::{Bit, RaceLayout};
+use noisy_consensus::sched::{Noise, TimingModel};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(6);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(42);
+
+    let inputs = setup::half_and_half(n);
+    println!("lean-consensus, n = {n}, inputs = {inputs:?}, seed = {seed}");
+    println!("noise: exponential(1) per operation, starts dithered by U(0, 1e-8)\n");
+
+    let mut inst = setup::build(setup::Algorithm::Lean, &inputs, seed);
+    let timing = TimingModel::figure1(Noise::Exponential { mean: 1.0 });
+    let report = run_noisy(&mut inst, &timing, seed, Limits::run_to_completion());
+    report.check_safety(&inputs).expect("safety");
+
+    // Draw the arrays.
+    let layout = RaceLayout::at_base(0);
+    let max_round = report.last_decision_round().unwrap_or(2);
+    println!("final racing arrays (row = round, X = bit set):\n");
+    println!("  round | a0 | a1");
+    println!("  ------+----+----");
+    for r in 1..=max_round {
+        let a0 = inst.mem.peek(layout.slot(Bit::Zero, r)) != 0;
+        let a1 = inst.mem.peek(layout.slot(Bit::One, r)) != 0;
+        println!(
+            "  {r:>5} |  {} |  {}",
+            if a0 { "X" } else { "." },
+            if a1 { "X" } else { "." }
+        );
+    }
+
+    println!();
+    for (pid, (d, round)) in report
+        .decisions
+        .iter()
+        .zip(&report.decision_rounds)
+        .enumerate()
+    {
+        println!(
+            "  P{pid}: input {}, decided {} at round {} ({} ops)",
+            inputs[pid],
+            d.map(|b| b.to_string()).unwrap_or_else(|| "-".into()),
+            round.map(|r| r.to_string()).unwrap_or_else(|| "-".into()),
+            report.ops[pid],
+        );
+    }
+    println!(
+        "\noutcome: {} — agreed on {} (first decision at round {:?}, simulated time {:.2})",
+        report.outcome,
+        report
+            .agreement_value()
+            .map(|b| b.to_string())
+            .unwrap_or_else(|| "-".into()),
+        report.first_decision_round,
+        report.sim_time,
+    );
+}

@@ -1,0 +1,49 @@
+//! Quickstart: wait-free binary consensus on real threads.
+//!
+//! Eight threads propose conflicting bits to one `NativeConsensus`
+//! object (lean-consensus over lock-free atomic arrays). All of them
+//! walk away with the same decision — the OS scheduler plays the role of
+//! the paper's noisy environment.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use std::sync::Arc;
+
+use noisy_consensus::{Bit, NativeConsensus};
+
+fn main() {
+    let threads = 8;
+    let consensus = Arc::new(NativeConsensus::new());
+
+    println!("proposing from {threads} threads (half 0, half 1)...\n");
+
+    let handles: Vec<_> = (0..threads)
+        .map(|i| {
+            let c = Arc::clone(&consensus);
+            let input = Bit::from(i % 2 == 1);
+            std::thread::spawn(move || {
+                let decision = c.propose(input).expect("round limit not reached");
+                (i, input, decision)
+            })
+        })
+        .collect();
+
+    let mut agreed = None;
+    for h in handles {
+        let (i, input, d) = h.join().expect("thread panicked");
+        println!(
+            "thread {i}: proposed {input}, decided {} at round {} after {} shared-memory ops",
+            d.value, d.round, d.ops
+        );
+        match agreed {
+            None => agreed = Some(d.value),
+            Some(v) => assert_eq!(v, d.value, "agreement violated!"),
+        }
+    }
+
+    println!(
+        "\nagreement: every thread decided {}",
+        agreed.expect("at least one thread")
+    );
+    println!("(re-run to see the other value win — the race is decided by scheduling noise)");
+}

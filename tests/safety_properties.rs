@@ -1,0 +1,160 @@
+//! Property-based safety suite: the paper's §5 lemmas must hold for
+//! EVERY schedule, every input vector, every algorithm variant, and
+//! every crash pattern. Schedules, inputs, and crash plans are generated
+//! by proptest; a failure here minimizes to a concrete counterexample
+//! schedule.
+
+use proptest::prelude::*;
+
+use noisy_consensus::core::invariants::check_array_prefix;
+use noisy_consensus::engine::adversarial::{run_adversarial, run_adversarial_with};
+use noisy_consensus::engine::{setup, Algorithm, Limits};
+use noisy_consensus::memory::{Bit, RaceLayout};
+use noisy_consensus::sched::adversary::{CrashScript, Script};
+
+fn algorithms() -> Vec<Algorithm> {
+    vec![
+        Algorithm::Lean,
+        Algorithm::Skipping,
+        Algorithm::Randomized,
+        Algorithm::Bounded { r_max: 4 },
+        Algorithm::Backup,
+    ]
+}
+
+/// Runs a scripted schedule and checks agreement + validity on whatever
+/// state it leaves behind (termination is NOT required — scripts are
+/// finite).
+fn run_and_check(alg: Algorithm, inputs: &[Bit], script: Vec<usize>, seed: u64) {
+    let mut inst = setup::build(alg, inputs, seed);
+    let mut adv = Script::new(script);
+    let report = run_adversarial(&mut inst, &mut adv, Limits::run_to_completion());
+    report
+        .check_safety(inputs)
+        .unwrap_or_else(|e| panic!("{alg:?}: {e}"));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Agreement and validity under arbitrary finite schedules, for every
+    /// algorithm variant.
+    #[test]
+    fn all_variants_safe_under_arbitrary_schedules(
+        inputs in proptest::collection::vec(any::<bool>(), 1..6),
+        script in proptest::collection::vec(0usize..6, 0..400),
+        seed in any::<u64>(),
+    ) {
+        let inputs: Vec<Bit> = inputs.into_iter().map(Bit::from).collect();
+        for alg in algorithms() {
+            run_and_check(alg, &inputs, script.clone(), seed);
+        }
+    }
+
+    /// Lemma 2's array structure holds mid-execution for the lean
+    /// variants: each racing array's set bits form a prefix rooted in a
+    /// real input.
+    #[test]
+    fn lemma2_prefix_structure_under_arbitrary_schedules(
+        inputs in proptest::collection::vec(any::<bool>(), 1..6),
+        script in proptest::collection::vec(0usize..6, 0..300),
+        seed in any::<u64>(),
+    ) {
+        let inputs: Vec<Bit> = inputs.into_iter().map(Bit::from).collect();
+        for alg in [Algorithm::Lean, Algorithm::Skipping, Algorithm::Randomized] {
+            let mut inst = setup::build(alg, &inputs, seed);
+            let mut adv = Script::new(script.clone());
+            let report = run_adversarial(&mut inst, &mut adv, Limits::run_to_completion());
+            report.check_safety(&inputs).unwrap();
+            let layout = RaceLayout::at_base(0);
+            let max_round = inst.procs.iter().map(|p| p.round()).max().unwrap_or(1);
+            check_array_prefix(
+                |b, r| inst.mem.peek(layout.slot(b, r)) != 0,
+                &inputs,
+                max_round,
+            )
+            .unwrap_or_else(|e| panic!("{alg:?}: {e}"));
+        }
+    }
+
+    /// Crashes at arbitrary points change nothing about safety.
+    #[test]
+    fn safety_with_arbitrary_crashes(
+        inputs in proptest::collection::vec(any::<bool>(), 2..6),
+        script in proptest::collection::vec(0usize..6, 0..300),
+        crashes in proptest::collection::vec((0usize..6, 0u64..60), 0..4),
+        seed in any::<u64>(),
+    ) {
+        let inputs: Vec<Bit> = inputs.into_iter().map(Bit::from).collect();
+        for alg in algorithms() {
+            let mut inst = setup::build(alg, &inputs, seed);
+            let mut adv = Script::new(script.clone());
+            let mut crash = CrashScript::new(
+                crashes
+                    .iter()
+                    .map(|&(p, s)| (p % inputs.len(), s))
+                    .collect(),
+            );
+            let report = run_adversarial_with(
+                &mut inst,
+                &mut adv,
+                &mut crash,
+                Limits::run_to_completion(),
+            );
+            report
+                .check_safety(&inputs)
+                .unwrap_or_else(|e| panic!("{alg:?}: {e}"));
+        }
+    }
+
+    /// Validity cost (Lemma 3): under ANY schedule, unanimous inputs
+    /// decide after exactly 8 operations per process for the paper's
+    /// algorithm — provided the schedule runs long enough for everyone
+    /// to finish.
+    #[test]
+    fn lemma3_exact_cost_under_arbitrary_schedules(
+        n in 1usize..6,
+        input in any::<bool>(),
+        script in proptest::collection::vec(0usize..6, 0..200),
+        seed in any::<u64>(),
+    ) {
+        let inputs = vec![Bit::from(input); n];
+        let mut inst = setup::build(Algorithm::Lean, &inputs, seed);
+        // Append a generous round-robin tail so everyone finishes.
+        let mut full = script;
+        full.extend((0..n * 10).map(|i| i % n));
+        let mut adv = Script::new(full);
+        let report = run_adversarial(&mut inst, &mut adv, Limits::run_to_completion());
+        report.check_safety(&inputs).unwrap();
+        for (pid, d) in report.decisions.iter().enumerate() {
+            prop_assert_eq!(*d, Some(Bit::from(input)));
+            prop_assert_eq!(report.ops[pid], 8, "P{} used {} ops", pid, report.ops[pid]);
+        }
+    }
+}
+
+/// Directed regression: the exact interleaving from the paper's Lemma 4
+/// proof sketch — a decider plus a maximal laggard — cannot disagree.
+#[test]
+fn decider_plus_laggard_regressions() {
+    // All 2^k interleavings of two processes for a short horizon would be
+    // expensive; instead enumerate all 3-phase splits: P0 runs a ops,
+    // P1 runs b ops, P0 runs to completion, P1 runs to completion.
+    for a in 0..12usize {
+        for b in 0..12usize {
+            let inputs = [Bit::One, Bit::Zero];
+            let mut inst = setup::build(Algorithm::Lean, &inputs, 0);
+            let mut script = Vec::new();
+            script.extend(std::iter::repeat_n(0, a));
+            script.extend(std::iter::repeat_n(1, b));
+            script.extend(std::iter::repeat_n(0, 200));
+            script.extend(std::iter::repeat_n(1, 200));
+            script.extend((0..400).map(|i| i % 2)); // fair tail
+            let mut adv = Script::new(script);
+            let report = run_adversarial(&mut inst, &mut adv, Limits::run_to_completion());
+            report
+                .check_safety(&inputs)
+                .unwrap_or_else(|e| panic!("a={a} b={b}: {e}"));
+        }
+    }
+}
