@@ -227,10 +227,7 @@ mod tests {
                 .filter(|&i| matches!(acs[i].status(), SubStatus::Pending(_)))
                 .collect();
             if pending.is_empty() {
-                return acs
-                    .iter()
-                    .map(|a| a.status().outcome().unwrap())
-                    .collect();
+                return acs.iter().map(|a| a.status().outcome().unwrap()).collect();
             }
             let raw = schedule.get(cursor).copied().unwrap_or(cursor);
             cursor += 1;

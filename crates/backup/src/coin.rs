@@ -37,9 +37,14 @@ use crate::layout::{decode_counter, encode_counter, BackupLayout};
 enum Phase {
     /// Scanning counters; `next` is the index about to be read, `sum`
     /// the partial sum of counters `0..next`.
-    Scan { next: usize, sum: i64 },
+    Scan {
+        next: usize,
+        sum: i64,
+    },
     /// Writing the new value of our own counter.
-    WriteVote { new_value: i64 },
+    WriteVote {
+        new_value: i64,
+    },
     Done(Bit),
 }
 

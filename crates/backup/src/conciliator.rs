@@ -85,9 +85,9 @@ impl Conciliator {
             Phase::WriteSeen => {
                 SubStatus::Pending(Op::Write(self.layout.seen(self.round, self.input), 1))
             }
-            Phase::ReadRivalSeen => SubStatus::Pending(Op::Read(
-                self.layout.seen(self.round, self.input.rival()),
-            )),
+            Phase::ReadRivalSeen => {
+                SubStatus::Pending(Op::Read(self.layout.seen(self.round, self.input.rival())))
+            }
             Phase::Coin(coin) => coin.status(),
             Phase::Done(b) => SubStatus::Done(*b),
         }
@@ -184,8 +184,7 @@ mod tests {
             let mut sched = rng(seed + 2000);
             let mut outs = [None, None];
             while outs.iter().any(|o| o.is_none()) {
-                let live: Vec<usize> =
-                    (0..2).filter(|&i| outs[i].is_none()).collect();
+                let live: Vec<usize> = (0..2).filter(|&i| outs[i].is_none()).collect();
                 let pick = live[sched.random_range(0..live.len())];
                 match procs[pick].status() {
                     SubStatus::Done(b) => outs[pick] = Some(b),

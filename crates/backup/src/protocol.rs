@@ -69,7 +69,11 @@ impl BackupConsensus {
     ///
     /// Panics if `pid >= layout.n()`.
     pub fn new(layout: BackupLayout, pid: usize, input: Bit, mut rng: SmallRng) -> Self {
-        assert!(pid < layout.n(), "pid {pid} out of range for n={}", layout.n());
+        assert!(
+            pid < layout.n(),
+            "pid {pid} out of range for n={}",
+            layout.n()
+        );
         let _ = rng.random::<u64>(); // decorrelate from sibling streams
         BackupConsensus {
             layout,
@@ -238,7 +242,10 @@ mod tests {
             let decisions = run_random_interleave(&mut procs, &mut mem, seed, 50_000_000)
                 .expect("backup must terminate");
             let v = decisions[0];
-            assert!(decisions.iter().all(|&d| d == v), "disagreement (seed {seed})");
+            assert!(
+                decisions.iter().all(|&d| d == v),
+                "disagreement (seed {seed})"
+            );
         }
     }
 

@@ -1,10 +1,17 @@
 //! Throughput of the discrete-event engine on Figure 1 workloads: one
 //! iteration = one full first-decision simulation at the given n.
 //!
+//! The `speedup` group is the PR-gating comparison: the optimized engine
+//! (peek-and-replace queue + scratch reuse + batched noise) vs. the
+//! naive BinaryHeap baseline (`nc_engine::baseline`, compiled via the
+//! `baseline` feature), on the acceptance workload `n = 100`, `U(0, 2)`
+//! noise, first-decision cutoff.
+//!
 //! Run with `cargo bench -p nc-bench --bench figure1_points`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use nc_engine::{run_noisy, setup, Algorithm, Limits};
+use nc_engine::baseline::run_noisy_baseline;
+use nc_engine::{run_noisy_scratch, setup, Algorithm, EngineScratch, Limits};
 use nc_sched::{Noise, TimingModel};
 use std::hint::black_box;
 
@@ -15,16 +22,65 @@ fn bench_points(c: &mut Criterion) {
     for n in [10usize, 100, 1000, 10_000] {
         let inputs = setup::half_and_half(n);
         let mut seed = 0u64;
+        let mut scratch = EngineScratch::new();
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
                 seed += 1;
                 let mut inst = setup::build(Algorithm::Lean, &inputs, seed);
-                black_box(run_noisy(&mut inst, &timing, seed, Limits::first_decision()))
+                black_box(run_noisy_scratch(
+                    &mut scratch,
+                    &mut inst,
+                    &timing,
+                    seed,
+                    Limits::first_decision(),
+                ))
             });
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_points);
+/// The acceptance-criterion comparison: optimized vs. naive engine on
+/// the same trial stream (`n = 100`, uniform `[0, 2]` noise,
+/// first-decision cutoff).
+fn bench_speedup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("speedup_n100_uniform");
+    group.sample_size(30);
+    let timing = TimingModel::figure1(Noise::Uniform { lo: 0.0, hi: 2.0 });
+    let inputs = setup::half_and_half(100);
+
+    let mut seed = 0u64;
+    group.bench_function("naive_binaryheap", |b| {
+        b.iter(|| {
+            seed += 1;
+            let mut inst = setup::build(Algorithm::Lean, &inputs, seed);
+            black_box(run_noisy_baseline(
+                &mut inst,
+                &timing,
+                seed,
+                Limits::first_decision(),
+            ))
+        });
+    });
+
+    let mut seed = 0u64;
+    let mut scratch = EngineScratch::new();
+    group.bench_function("optimized", |b| {
+        b.iter(|| {
+            seed += 1;
+            let mut inst = setup::build(Algorithm::Lean, &inputs, seed);
+            black_box(run_noisy_scratch(
+                &mut scratch,
+                &mut inst,
+                &timing,
+                seed,
+                Limits::first_decision(),
+            ))
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_speedup, bench_points);
 criterion_main!(benches);

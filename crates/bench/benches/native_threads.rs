@@ -24,11 +24,9 @@ fn decide(threads: usize) {
 fn bench_native(c: &mut Criterion) {
     let mut group = c.benchmark_group("native_decision_latency");
     for threads in [1usize, 2, 4, 8, 16] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(threads),
-            &threads,
-            |b, &t| b.iter(|| decide(t)),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| decide(t))
+        });
     }
     group.finish();
 }

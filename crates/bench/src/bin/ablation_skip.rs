@@ -5,10 +5,13 @@
 use nc_bench::{arg, experiments::ablation};
 
 fn main() {
+    nc_bench::configure_threads_from_args();
     let trials: u64 = arg("trials", 200);
     let seed: u64 = arg("seed", 1);
     let table = ablation::run(trials, seed);
     println!("{table}");
-    table.write_csv("results/ablation_skip.csv").expect("write csv");
+    table
+        .write_csv("results/ablation_skip.csv")
+        .expect("write csv");
     println!("wrote results/ablation_skip.csv");
 }

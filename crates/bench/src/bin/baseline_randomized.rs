@@ -5,12 +5,17 @@
 use nc_bench::{arg, experiments::baseline};
 
 fn main() {
+    nc_bench::configure_threads_from_args();
     let trials: u64 = arg("trials", 100);
     let seed: u64 = arg("seed", 1);
     let (noisy, lockstep) = baseline::run(trials, seed);
     println!("{noisy}");
     println!("{lockstep}");
-    noisy.write_csv("results/baseline_noisy.csv").expect("write csv");
-    lockstep.write_csv("results/baseline_lockstep.csv").expect("write csv");
+    noisy
+        .write_csv("results/baseline_noisy.csv")
+        .expect("write csv");
+    lockstep
+        .write_csv("results/baseline_lockstep.csv")
+        .expect("write csv");
     println!("wrote results/baseline_noisy.csv, results/baseline_lockstep.csv");
 }

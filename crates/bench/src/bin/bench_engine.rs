@@ -1,0 +1,144 @@
+//! Machine-readable engine benchmark: measures the optimized engine
+//! against the naive BinaryHeap baseline and the parallel sweep's
+//! multi-worker scaling, then writes `BENCH_engine.json` so future PRs
+//! can track the performance trajectory.
+//!
+//! Usage:
+//! `cargo run --release -p nc-bench --bin bench_engine [-- --trials 3000 --out BENCH_engine.json]`
+//!
+//! Workload: the acceptance configuration — Figure 1 point, `n = 100`
+//! (plus 1000 and 10000 for the scaling picture), `U(0, 2)` noise,
+//! first-decision cutoff, one full trial per iteration (instance setup
+//! included, exactly like `fig1::point`). Every number is a best-of-R
+//! measurement to shrug off scheduler noise.
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use nc_bench::{arg, configure_threads, experiments::fig1};
+use nc_engine::baseline::run_noisy_baseline;
+use nc_engine::{noisy::run_noisy_scratch, setup, EngineScratch, Limits};
+use nc_sched::{Noise, TimingModel};
+
+const REPEATS: usize = 3;
+
+/// Best-of-R wall time for `f`, returning (seconds, events).
+fn best_of<F: FnMut() -> u64>(mut f: F) -> (f64, u64) {
+    let mut best = f64::INFINITY;
+    let mut events = 0;
+    for _ in 0..REPEATS {
+        let start = Instant::now();
+        events = f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    (best, events)
+}
+
+fn bench_naive(n: usize, trials: u64) -> (f64, u64) {
+    let timing = TimingModel::figure1(Noise::Uniform { lo: 0.0, hi: 2.0 });
+    let inputs = setup::half_and_half(n);
+    best_of(|| {
+        let mut events = 0;
+        for seed in 0..trials {
+            let mut inst = setup::build(setup::Algorithm::Lean, &inputs, seed);
+            events +=
+                run_noisy_baseline(&mut inst, &timing, seed, Limits::first_decision()).total_ops;
+        }
+        events
+    })
+}
+
+fn bench_optimized(n: usize, trials: u64) -> (f64, u64) {
+    let timing = TimingModel::figure1(Noise::Uniform { lo: 0.0, hi: 2.0 });
+    let inputs = setup::half_and_half(n);
+    let mut scratch = EngineScratch::new();
+    let mut inst = setup::build_lean(&inputs);
+    best_of(|| {
+        let mut events = 0;
+        for seed in 0..trials {
+            inst.rebuild(&inputs);
+            events += run_noisy_scratch(
+                &mut scratch,
+                &mut inst,
+                &timing,
+                seed,
+                Limits::first_decision(),
+            )
+            .total_ops;
+        }
+        events
+    })
+}
+
+fn main() {
+    let trials: u64 = arg("trials", 2000);
+    let out: String = arg("out", "BENCH_engine.json".to_string());
+    let cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
+
+    let mut single = String::new();
+    let mut speedup_n100 = 0.0;
+    for (i, &n) in [100usize, 1000, 10_000].iter().enumerate() {
+        let t = (trials / (n as u64 / 100).max(1)).max(20);
+        let (naive_s, naive_ev) = bench_naive(n, t);
+        let (opt_s, opt_ev) = bench_optimized(n, t);
+        assert_eq!(naive_ev, opt_ev, "engines diverged at n = {n}");
+        let naive_eps = naive_ev as f64 / naive_s;
+        let opt_eps = opt_ev as f64 / opt_s;
+        let speedup = opt_eps / naive_eps;
+        if n == 100 {
+            speedup_n100 = speedup;
+        }
+        eprintln!(
+            "n={n}: naive {naive_eps:.3e} events/s, optimized {opt_eps:.3e} events/s, speedup {speedup:.2}x"
+        );
+        if i > 0 {
+            single.push(',');
+        }
+        single.push_str(&format!(
+            "\n    {{\"n\": {n}, \"trials\": {t}, \"events_per_trial\": {:.1}, \"naive_events_per_sec\": {naive_eps:.1}, \"optimized_events_per_sec\": {opt_eps:.1}, \"speedup\": {speedup:.3}}}",
+            naive_ev as f64 / t as f64
+        ));
+    }
+
+    // Sweep scaling: fig1::point wall time vs worker count.
+    let sweep_trials = trials.max(500);
+    let mut scaling = String::new();
+    let mut base_time = 0.0;
+    let mut threads_list: Vec<usize> = vec![1];
+    let mut w = 2;
+    while w <= cores {
+        threads_list.push(w);
+        w *= 2;
+    }
+    if *threads_list.last().unwrap() != cores {
+        threads_list.push(cores);
+    }
+    for (i, &threads) in threads_list.iter().enumerate() {
+        configure_threads(threads);
+        let (secs, _) = best_of(|| {
+            let p = fig1::point(Noise::Uniform { lo: 0.0, hi: 2.0 }, 100, sweep_trials, 1);
+            p.rounds.count()
+        });
+        if threads == 1 {
+            base_time = secs;
+        }
+        let scale = base_time / secs;
+        eprintln!("fig1 point, {threads} worker(s): {secs:.3} s ({scale:.2}x vs 1 worker)");
+        if i > 0 {
+            scaling.push(',');
+        }
+        scaling.push_str(&format!(
+            "\n    {{\"threads\": {threads}, \"seconds\": {secs:.4}, \"speedup_vs_1\": {scale:.3}}}"
+        ));
+    }
+    configure_threads(0);
+
+    let json = format!(
+        "{{\n  \"workload\": \"fig1 point: n procs, U(0,2) noise, first-decision cutoff, full trial incl. instance setup\",\n  \"baseline\": \"naive BinaryHeap driver (nc_engine::baseline, seed implementation)\",\n  \"host_cores\": {cores},\n  \"trials_n100\": {trials},\n  \"single_thread\": [{single}\n  ],\n  \"speedup_n100\": {speedup_n100:.3},\n  \"sweep_scaling_n100\": [{scaling}\n  ],\n  \"notes\": \"Numbers from `cargo run --release -p nc-bench --bin bench_engine`; best-of-{REPEATS} wall time per cell. Multi-worker sweep rows only appear on multi-core hosts. On the 1-core reference VM a queue-free random-order ablation of the execution core alone measured ~46 ns/event vs ~100 for the whole naive driver, bounding any queue-side speedup there below ~2.2x; re-measure on real multi-core hardware.\"\n}}\n"
+    );
+    let mut file = std::fs::File::create(&out).expect("create output file");
+    file.write_all(json.as_bytes()).expect("write json");
+    println!("wrote {out}");
+}

@@ -5,11 +5,14 @@
 use nc_bench::{arg, experiments::crashes};
 
 fn main() {
+    nc_bench::configure_threads_from_args();
     let n: usize = arg("n", 16);
     let trials: u64 = arg("trials", 200);
     let seed: u64 = arg("seed", 1);
     let table = crashes::run(n, trials, seed);
     println!("{table}");
-    table.write_csv("results/crash_failures.csv").expect("write csv");
+    table
+        .write_csv("results/crash_failures.csv")
+        .expect("write csv");
     println!("wrote results/crash_failures.csv");
 }

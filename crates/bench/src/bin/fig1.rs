@@ -8,6 +8,7 @@
 use nc_bench::{arg, experiments::fig1};
 
 fn main() {
+    nc_bench::configure_threads_from_args();
     let max_n: usize = arg("max-n", 100_000);
     let trials: u64 = arg("trials", 10_000);
     let seed: u64 = arg("seed", 1);

@@ -5,9 +5,12 @@
 use nc_bench::{arg, experiments::hybrid};
 
 fn main() {
+    nc_bench::configure_threads_from_args();
     let seed: u64 = arg("seed", 1);
     let table = hybrid::run(seed);
     println!("{table}");
-    table.write_csv("results/hybrid_quantum.csv").expect("write csv");
+    table
+        .write_csv("results/hybrid_quantum.csv")
+        .expect("write csv");
     println!("wrote results/hybrid_quantum.csv");
 }

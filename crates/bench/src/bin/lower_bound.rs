@@ -5,10 +5,13 @@
 use nc_bench::{arg, experiments::lower};
 
 fn main() {
+    nc_bench::configure_threads_from_args();
     let trials: u64 = arg("trials", 300);
     let seed: u64 = arg("seed", 1);
     let table = lower::run(trials, seed);
     println!("{table}");
-    table.write_csv("results/lower_bound.csv").expect("write csv");
+    table
+        .write_csv("results/lower_bound.csv")
+        .expect("write csv");
     println!("wrote results/lower_bound.csv");
 }

@@ -5,12 +5,17 @@
 use nc_bench::{arg, experiments::msgpass};
 
 fn main() {
+    nc_bench::configure_threads_from_args();
     let trials: u64 = arg("trials", 30);
     let seed: u64 = arg("seed", 1);
     let (sweep, crashes) = msgpass::run(trials, seed);
     println!("{sweep}");
     println!("{crashes}");
-    sweep.write_csv("results/message_passing.csv").expect("write csv");
-    crashes.write_csv("results/message_passing_crashes.csv").expect("write csv");
+    sweep
+        .write_csv("results/message_passing.csv")
+        .expect("write csv");
+    crashes
+        .write_csv("results/message_passing_crashes.csv")
+        .expect("write csv");
     println!("wrote results/message_passing.csv, results/message_passing_crashes.csv");
 }

@@ -5,12 +5,17 @@
 use nc_bench::{arg, experiments::race};
 
 fn main() {
+    nc_bench::configure_threads_from_args();
     let trials: u64 = arg("trials", 400);
     let seed: u64 = arg("seed", 1);
     let (sweep, failures) = race::run(trials, seed);
     println!("{sweep}");
     println!("{failures}");
-    sweep.write_csv("results/renewal_race.csv").expect("write csv");
-    failures.write_csv("results/renewal_race_failures.csv").expect("write csv");
+    sweep
+        .write_csv("results/renewal_race.csv")
+        .expect("write csv");
+    failures
+        .write_csv("results/renewal_race_failures.csv")
+        .expect("write csv");
     println!("wrote results/renewal_race.csv, results/renewal_race_failures.csv");
 }

@@ -9,6 +9,7 @@
 use nc_bench::{arg, experiments::*};
 
 fn main() {
+    nc_bench::configure_threads_from_args();
     let scale: u64 = arg("scale", 1);
     let seed: u64 = arg("seed", 1);
 

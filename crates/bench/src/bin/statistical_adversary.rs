@@ -5,10 +5,13 @@
 use nc_bench::{arg, experiments::statistical};
 
 fn main() {
+    nc_bench::configure_threads_from_args();
     let trials: u64 = arg("trials", 100);
     let seed: u64 = arg("seed", 1);
     let table = statistical::run(trials, seed);
     println!("{table}");
-    table.write_csv("results/statistical_adversary.csv").expect("write csv");
+    table
+        .write_csv("results/statistical_adversary.csv")
+        .expect("write csv");
     println!("wrote results/statistical_adversary.csv");
 }

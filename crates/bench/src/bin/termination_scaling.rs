@@ -5,12 +5,16 @@
 use nc_bench::{arg, experiments::scaling};
 
 fn main() {
+    nc_bench::configure_threads_from_args();
     let trials: u64 = arg("trials", 200);
     let seed: u64 = arg("seed", 1);
     let (sweep, tail) = scaling::run(trials, seed);
     println!("{sweep}");
     println!("{tail}");
-    sweep.write_csv("results/termination_scaling.csv").expect("write csv");
-    tail.write_csv("results/termination_tail.csv").expect("write csv");
+    sweep
+        .write_csv("results/termination_scaling.csv")
+        .expect("write csv");
+    tail.write_csv("results/termination_tail.csv")
+        .expect("write csv");
     println!("wrote results/termination_scaling.csv, results/termination_tail.csv");
 }

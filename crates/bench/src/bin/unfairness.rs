@@ -5,10 +5,13 @@
 use nc_bench::{arg, experiments::unfair};
 
 fn main() {
+    nc_bench::configure_threads_from_args();
     let ops: usize = arg("ops", 20_000);
     let seed: u64 = arg("seed", 1);
     let table = unfair::run(ops, seed);
     println!("{table}");
-    table.write_csv("results/unfairness.csv").expect("write csv");
+    table
+        .write_csv("results/unfairness.csv")
+        .expect("write csv");
     println!("wrote results/unfairness.csv");
 }

@@ -5,10 +5,13 @@
 use nc_bench::{arg, experiments::validity};
 
 fn main() {
+    nc_bench::configure_threads_from_args();
     let trials: u64 = arg("trials", 50);
     let seed: u64 = arg("seed", 1);
     let table = validity::run(trials, seed);
     println!("{table}");
-    table.write_csv("results/validity_cost.csv").expect("write csv");
+    table
+        .write_csv("results/validity_cost.csv")
+        .expect("write csv");
     println!("wrote results/validity_cost.csv");
 }

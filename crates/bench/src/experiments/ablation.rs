@@ -18,10 +18,11 @@
 //! the deciding processes' round count, which is what the verdict column
 //! reports.
 
-use nc_engine::{run_noisy, setup, Algorithm, Limits};
+use nc_engine::{noisy::run_noisy_scratch, setup, Algorithm, Limits};
 use nc_sched::{Noise, TimingModel};
 use nc_theory::OnlineStats;
 
+use crate::par_trials_scratch;
 use crate::table::{f2, Table};
 
 /// Runs the skip-ops ablation.
@@ -44,7 +45,13 @@ pub fn run(trials: u64, seed0: u64) -> Table {
         for (name, noise) in [
             ("exponential(1)", Noise::Exponential { mean: 1.0 }),
             ("uniform [0,2]", Noise::Uniform { lo: 0.0, hi: 2.0 }),
-            ("2/3,4/3", Noise::TwoPoint { lo: 2.0 / 3.0, hi: 4.0 / 3.0 }),
+            (
+                "2/3,4/3",
+                Noise::TwoPoint {
+                    lo: 2.0 / 3.0,
+                    hi: 4.0 / 3.0,
+                },
+            ),
         ] {
             let timing = TimingModel::figure1(noise);
             let inputs = setup::half_and_half(n);
@@ -54,18 +61,34 @@ pub fn run(trials: u64, seed0: u64) -> Table {
             let mut skip_time = OnlineStats::new();
             let mut lean_ops = OnlineStats::new();
             let mut skip_ops = OnlineStats::new();
-            for t in 0..trials {
+            let pairs = par_trials_scratch(trials, |scratch, t| {
                 let seed = seed0 + t * 23;
                 let mut a = setup::build(Algorithm::Lean, &inputs, seed);
-                let ra = run_noisy(&mut a, &timing, seed, Limits::run_to_completion());
-                lean_rounds.push(ra.first_decision_round.unwrap() as f64);
-                lean_time.push(ra.first_decision_time.unwrap());
-                lean_ops.push(ra.total_ops as f64);
+                let ra =
+                    run_noisy_scratch(scratch, &mut a, &timing, seed, Limits::run_to_completion());
                 let mut b = setup::build(Algorithm::Skipping, &inputs, seed);
-                let rb = run_noisy(&mut b, &timing, seed, Limits::run_to_completion());
-                skip_rounds.push(rb.first_decision_round.unwrap() as f64);
-                skip_time.push(rb.first_decision_time.unwrap());
-                skip_ops.push(rb.total_ops as f64);
+                let rb =
+                    run_noisy_scratch(scratch, &mut b, &timing, seed, Limits::run_to_completion());
+                (
+                    (
+                        ra.first_decision_round.unwrap() as f64,
+                        ra.first_decision_time.unwrap(),
+                        ra.total_ops as f64,
+                    ),
+                    (
+                        rb.first_decision_round.unwrap() as f64,
+                        rb.first_decision_time.unwrap(),
+                        rb.total_ops as f64,
+                    ),
+                )
+            });
+            for (a, b) in pairs {
+                lean_rounds.push(a.0);
+                lean_time.push(a.1);
+                lean_ops.push(a.2);
+                skip_rounds.push(b.0);
+                skip_time.push(b.1);
+                skip_ops.push(b.2);
             }
             table.push(vec![
                 n.to_string(),

@@ -13,11 +13,12 @@
 //! environment can substitute for randomness in the algorithm", and
 //! vice versa.
 
-use nc_engine::{run_adversarial, run_noisy, setup, Algorithm, Limits};
+use nc_engine::{noisy::run_noisy_scratch, run_adversarial, setup, Algorithm, Limits};
 use nc_sched::adversary::RoundRobin;
 use nc_sched::{Noise, TimingModel};
 use nc_theory::OnlineStats;
 
+use crate::par_trials_scratch;
 use crate::table::{f2, Table};
 
 /// Runs the baseline comparison. Returns the noisy table and the
@@ -35,15 +36,24 @@ pub fn run(trials: u64, seed0: u64) -> (Table, Table) {
             let inputs = setup::half_and_half(n);
             let mut rounds = OnlineStats::new();
             let mut ops = OnlineStats::new();
-            for t in 0..trials {
+            let results = par_trials_scratch(trials, |scratch, t| {
                 let seed = seed0 + t * 41;
                 let mut inst = setup::build(alg, &inputs, seed);
-                let report = run_noisy(&mut inst, &timing, seed, Limits::run_to_completion());
+                let report = run_noisy_scratch(
+                    scratch,
+                    &mut inst,
+                    &timing,
+                    seed,
+                    Limits::run_to_completion(),
+                );
                 report.check_safety(&inputs).expect("safety");
-                if let Some(r) = report.first_decision_round {
+                (report.first_decision_round, report.total_ops as f64)
+            });
+            for (round, total) in results {
+                if let Some(r) = round {
                     rounds.push(r as f64);
                 }
-                ops.push(report.total_ops as f64);
+                ops.push(total);
             }
             noisy.push(vec![
                 alg.label().into(),
@@ -56,7 +66,12 @@ pub fn run(trials: u64, seed0: u64) -> (Table, Table) {
 
     let mut lockstep = Table::new(
         "E10b: under exact lockstep round-robin (split inputs): who terminates?",
-        &["algorithm", "n", "terminates", "mean total ops when deciding"],
+        &[
+            "algorithm",
+            "n",
+            "terminates",
+            "mean total ops when deciding",
+        ],
     );
     for alg in algs {
         for &n in &[2usize, 4] {

@@ -8,21 +8,20 @@
 //! plain lean-consensus while space stays `O(log² n)` bits.
 
 use nc_core::bounded::recommended_r_max;
-use nc_engine::{run_adversarial, run_noisy, setup, Algorithm, Limits};
+use nc_engine::{noisy::run_noisy_scratch, run_adversarial, setup, Algorithm, Limits};
 use nc_memory::RaceLayout;
 use nc_sched::adversary::RoundRobin;
 use nc_sched::{Noise, TimingModel};
 use nc_theory::OnlineStats;
 
+use crate::par_trials_scratch;
 use crate::table::{f2, Table};
 
 /// Runs the bounded-space experiment for `n` processes.
 pub fn run(n: usize, trials: u64, seed0: u64) -> Table {
     let rec = recommended_r_max(n);
     let mut table = Table::new(
-        format!(
-            "E6 / Theorem 15: bounded protocol, n = {n} (recommended r_max = {rec})"
-        ),
+        format!("E6 / Theorem 15: bounded protocol, n = {n} (recommended r_max = {rec})"),
         &[
             "r_max",
             "lean bits",
@@ -44,18 +43,25 @@ pub fn run(n: usize, trials: u64, seed0: u64) -> Table {
         let inputs = setup::half_and_half(n);
         let mut engaged = 0u64;
         let mut ops = OnlineStats::new();
-        for t in 0..trials {
+        let results = par_trials_scratch(trials, |scratch, t| {
             let seed = seed0 + t * 17;
             let mut inst = setup::build(Algorithm::Bounded { r_max }, &inputs, seed);
-            let report = run_noisy(&mut inst, &timing, seed, Limits::run_to_completion());
+            let report = run_noisy_scratch(
+                scratch,
+                &mut inst,
+                &timing,
+                seed,
+                Limits::run_to_completion(),
+            );
             report.check_safety(&inputs).expect("safety");
-            ops.push(report.total_ops as f64);
-            if report
-                .decision_rounds
-                .iter()
-                .flatten()
-                .any(|&r| r > r_max)
-            {
+            (
+                report.total_ops as f64,
+                report.decision_rounds.iter().flatten().any(|&r| r > r_max),
+            )
+        });
+        for (total, hit_backup) in results {
+            ops.push(total);
+            if hit_backup {
                 engaged += 1;
             }
         }

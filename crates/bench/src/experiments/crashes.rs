@@ -14,12 +14,13 @@
 //! irreplaceable frontrunner, so killing frontrunners buys the adversary
 //! nothing.
 
-use nc_engine::noisy::run_noisy_with;
+use nc_engine::noisy::run_noisy_with_scratch;
 use nc_engine::{setup, Algorithm, Limits};
 use nc_sched::adversary::LeaderKiller;
 use nc_sched::{Noise, TimingModel};
 use nc_theory::OnlineStats;
 
+use crate::par_trials_scratch;
 use crate::table::{f2, Table};
 
 /// Runs the adaptive-crash experiment.
@@ -38,12 +39,13 @@ pub fn run(n: usize, trials: u64, seed0: u64) -> Table {
     for f in [0usize, 1, 2, 4, 8, 12] {
         let mut rounds = OnlineStats::new();
         let mut used = OnlineStats::new();
-        for t in 0..trials {
+        let results = par_trials_scratch(trials, |scratch, t| {
             let seed = seed0 + t * 53;
             let inputs = setup::half_and_half(n);
             let mut inst = setup::build(Algorithm::Lean, &inputs, seed);
             let mut killer = LeaderKiller::new(f, 1);
-            let report = run_noisy_with(
+            let report = run_noisy_with_scratch(
+                scratch,
                 &mut inst,
                 &timing,
                 seed,
@@ -52,10 +54,13 @@ pub fn run(n: usize, trials: u64, seed0: u64) -> Table {
                 None,
             );
             report.check_safety(&inputs).expect("safety");
-            if let Some(r) = report.first_decision_round {
+            (report.first_decision_round, killer.crashed().len() as f64)
+        });
+        for (round, crashed) in results {
+            if let Some(r) = round {
                 rounds.push(r as f64);
             }
-            used.push(killer.crashed().len() as f64);
+            used.push(crashed);
         }
         table.push(vec![
             f.to_string(),

@@ -39,8 +39,7 @@ pub fn run(seed0: u64) -> Table {
                 ];
                 for (k, make) in policies.into_iter().enumerate() {
                     let mut inst = setup::build(Algorithm::Lean, &inputs, seed0);
-                    let spec =
-                        HybridSpec::uniform(n, quantum).with_initial_used(vec![burn; n]);
+                    let spec = HybridSpec::uniform(n, quantum).with_initial_used(vec![burn; n]);
                     let mut policy = make();
                     let report = run_hybrid(
                         &mut inst,

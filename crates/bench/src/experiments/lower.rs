@@ -9,11 +9,13 @@
 //! `log₂ n` *operations-at-full-speed* rounds, alongside the asymptotic
 //! constant.
 
-use nc_engine::{run_noisy, setup, Algorithm, Limits};
+use nc_engine::{noisy::run_noisy_scratch, setup, Limits};
 use nc_sched::{Noise, TimingModel};
 use nc_theory::{fit_log2, OnlineStats};
 
+use crate::par_trial_chunks;
 use crate::table::{f2, f3, Table};
+use nc_engine::EngineScratch;
 
 /// Runs the lower-bound experiment.
 pub fn run(trials: u64, seed0: u64) -> Table {
@@ -30,27 +32,32 @@ pub fn run(trials: u64, seed0: u64) -> Table {
     let mut points = Vec::new();
     for &n in &[4usize, 16, 64, 256, 1024] {
         let inputs = setup::half_and_half(n);
+        let threshold = ((n as f64).log2() / 2.0).max(2.0);
+        let measure = |noise: Noise| -> Vec<f64> {
+            let timing = TimingModel::figure1(noise);
+            par_trial_chunks(
+                trials,
+                || (EngineScratch::new(), setup::build_lean(&inputs)),
+                |(scratch, inst), t| {
+                    let seed = seed0 + t * 37;
+                    inst.rebuild(&inputs);
+                    run_noisy_scratch(scratch, inst, &timing, seed, Limits::first_decision())
+                        .first_decision_round
+                        .unwrap() as f64
+                },
+            )
+        };
         let mut tp = OnlineStats::new();
         let mut survive = 0u64;
-        let threshold = ((n as f64).log2() / 2.0).max(2.0);
-        for t in 0..trials {
-            let seed = seed0 + t * 37;
-            let timing = TimingModel::figure1(Noise::theorem13());
-            let mut inst = setup::build(Algorithm::Lean, &inputs, seed);
-            let report = run_noisy(&mut inst, &timing, seed, Limits::first_decision());
-            let round = report.first_decision_round.unwrap() as f64;
+        for round in measure(Noise::theorem13()) {
             tp.push(round);
             if round > threshold {
                 survive += 1;
             }
         }
         let mut exp = OnlineStats::new();
-        for t in 0..trials {
-            let seed = seed0 + t * 37;
-            let timing = TimingModel::figure1(Noise::Exponential { mean: 1.0 });
-            let mut inst = setup::build(Algorithm::Lean, &inputs, seed);
-            let report = run_noisy(&mut inst, &timing, seed, Limits::first_decision());
-            exp.push(report.first_decision_round.unwrap() as f64);
+        for round in measure(Noise::Exponential { mean: 1.0 }) {
+            exp.push(round);
         }
         points.push((n as f64, tp.mean()));
         table.push(vec![
@@ -67,7 +74,10 @@ pub fn run(trials: u64, seed0: u64) -> Table {
         format!("{} + {}*log2(n)", f3(fit.intercept), f3(fit.slope)),
         String::new(),
         String::new(),
-        format!("asymptotic (1-e^-0.5)^2 = {}", f3((1.0 - (-0.5f64).exp()).powi(2))),
+        format!(
+            "asymptotic (1-e^-0.5)^2 = {}",
+            f3((1.0 - (-0.5f64).exp()).powi(2))
+        ),
     ]);
     table
 }

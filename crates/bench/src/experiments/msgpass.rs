@@ -14,6 +14,7 @@ use nc_theory::OnlineStats;
 
 use nc_msg::{run_message_passing, MsgConfig};
 
+use crate::par_trials;
 use crate::table::{f2, Table};
 
 /// Runs the message-passing experiment. Returns the sweep table and the
@@ -33,20 +34,31 @@ pub fn run(trials: u64, seed0: u64) -> (Table, Table) {
     for (name, delay) in [
         ("exponential(1)", Noise::Exponential { mean: 1.0 }),
         ("uniform [0,2]", Noise::Uniform { lo: 0.0, hi: 2.0 }),
-        ("2/3,4/3", Noise::TwoPoint { lo: 2.0 / 3.0, hi: 4.0 / 3.0 }),
+        (
+            "2/3,4/3",
+            Noise::TwoPoint {
+                lo: 2.0 / 3.0,
+                hi: 4.0 / 3.0,
+            },
+        ),
     ] {
         for &n in &[3usize, 5, 9] {
             let mut rounds = OnlineStats::new();
             let mut deliveries = OnlineStats::new();
             let mut times = OnlineStats::new();
             let mut agree = true;
-            for t in 0..trials {
+            let reports = par_trials(trials, |t| {
                 let seed = seed0 + t * 29;
                 let cfg = MsgConfig::new(n, delay);
-                let report = run_message_passing(&cfg, seed);
-                assert!(report.completed, "{name} n={n} seed {seed} did not complete");
-                let decisions: Vec<Bit> =
-                    report.decisions.iter().map(|d| d.unwrap()).collect();
+                run_message_passing(&cfg, seed)
+            });
+            for (t, report) in reports.into_iter().enumerate() {
+                let seed = seed0 + t as u64 * 29;
+                assert!(
+                    report.completed,
+                    "{name} n={n} seed {seed} did not complete"
+                );
+                let decisions: Vec<Bit> = report.decisions.iter().map(|d| d.unwrap()).collect();
                 agree &= decisions.iter().all(|&d| d == decisions[0]);
                 rounds.push(*report.rounds.iter().max().unwrap() as f64);
                 deliveries.push(report.deliveries as f64);
@@ -75,8 +87,7 @@ pub fn run(trials: u64, seed0: u64) -> (Table, Table) {
             let crashes: Vec<(u32, u64)> = (0..crash_count as u32)
                 .map(|i| (i, 40 + 60 * i as u64))
                 .collect();
-            let cfg =
-                MsgConfig::new(n, Noise::Exponential { mean: 1.0 }).with_crashes(crashes);
+            let cfg = MsgConfig::new(n, Noise::Exponential { mean: 1.0 }).with_crashes(crashes);
             let report = run_message_passing(&cfg, seed);
             assert!(report.completed, "n={n} seed {seed}");
             let live: Vec<Bit> = report.decisions[crash_count..]

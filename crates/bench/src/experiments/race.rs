@@ -10,6 +10,7 @@
 use nc_sched::Noise;
 use nc_theory::{fit_log2, quantile, run_race, OnlineStats, RaceConfig, RaceOutcome};
 
+use crate::par_trials;
 use crate::table::{f2, f3, Table};
 
 /// Runs the renewal-race experiment. Returns the sweep table and the
@@ -22,11 +23,11 @@ pub fn run(trials: u64, seed0: u64) -> (Table, Table) {
     let mut points = Vec::new();
     for &n in &[2usize, 8, 32, 128, 512, 2048] {
         let cfg = RaceConfig::new(n, 2, Noise::Exponential { mean: 1.0 });
+        let outcomes = par_trials(trials, |t| run_race(&cfg, seed0 + t * 7));
         let mut stats = OnlineStats::new();
         let mut rounds = Vec::new();
-        for t in 0..trials {
-            let seed = seed0 + t * 7;
-            match run_race(&cfg, seed) {
+        for outcome in outcomes {
+            match outcome {
                 RaceOutcome::Winner { round, .. } => {
                     stats.push(round as f64);
                     rounds.push(round as f64);
@@ -59,14 +60,13 @@ pub fn run(trials: u64, seed0: u64) -> (Table, Table) {
         &["h per round", "winners", "extinctions", "mean winning R"],
     );
     for &h in &[0.0, 0.01, 0.05, 0.2, 0.5] {
-        let cfg =
-            RaceConfig::new(64, 2, Noise::Exponential { mean: 1.0 }).with_halt_prob(h);
+        let cfg = RaceConfig::new(64, 2, Noise::Exponential { mean: 1.0 }).with_halt_prob(h);
+        let outcomes = par_trials(trials, |t| run_race(&cfg, seed0 + 50_000 + t * 13));
         let mut winners = 0u64;
         let mut extinct = 0u64;
         let mut stats = OnlineStats::new();
-        for t in 0..trials {
-            let seed = seed0 + 50_000 + t * 13;
-            match run_race(&cfg, seed) {
+        for outcome in outcomes {
+            match outcome {
                 RaceOutcome::Winner { round, .. } => {
                     winners += 1;
                     stats.push(round as f64);

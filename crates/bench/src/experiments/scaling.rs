@@ -6,24 +6,28 @@
 //! `a + b·log₂ n`; the tail table reports `Pr[round > k]` at `n = 256`,
 //! which Corollary 11 predicts decays geometrically in `k / O(log n)`.
 
-use nc_engine::{run_noisy, setup, Algorithm, Limits};
+use nc_engine::{noisy::run_noisy_scratch, setup, Algorithm, Limits};
 use nc_sched::{FailureModel, Noise, TimingModel};
 use nc_theory::{fit_log2, OnlineStats};
 
+use crate::par_trials_scratch;
 use crate::table::{f2, f3, Table};
 
 /// Mean first-decision round; failed (all-halted) runs are skipped.
 fn sweep_point(h: f64, n: usize, trials: u64, seed0: u64) -> (OnlineStats, u64) {
     let timing = TimingModel::figure1(Noise::Exponential { mean: 1.0 })
         .with_failures(FailureModel::Random { per_op: h });
-    let mut stats = OnlineStats::new();
-    let mut extinct = 0;
     let inputs = setup::half_and_half(n);
-    for t in 0..trials {
+    let rounds = par_trials_scratch(trials, |scratch, t| {
         let seed = seed0 + t * 131;
         let mut inst = setup::build(Algorithm::Lean, &inputs, seed);
-        let report = run_noisy(&mut inst, &timing, seed, Limits::first_decision());
-        match report.first_decision_round {
+        run_noisy_scratch(scratch, &mut inst, &timing, seed, Limits::first_decision())
+            .first_decision_round
+    });
+    let mut stats = OnlineStats::new();
+    let mut extinct = 0;
+    for r in rounds {
+        match r {
             Some(r) => stats.push(r as f64),
             None => extinct += 1,
         }
@@ -39,7 +43,14 @@ pub fn run(trials: u64, seed0: u64) -> (Table, Table) {
 
     let mut sweep = Table::new(
         "E3 / Theorem 12: mean first-decision round vs n (lean, exp(1) noise)",
-        &["h per op", "n", "trials", "mean round", "ci95", "extinct runs"],
+        &[
+            "h per op",
+            "n",
+            "trials",
+            "mean round",
+            "ci95",
+            "extinct runs",
+        ],
     );
 
     for &h in &hs {
@@ -75,13 +86,13 @@ pub fn run(trials: u64, seed0: u64) -> (Table, Table) {
     let n = 256;
     let timing = TimingModel::figure1(Noise::Exponential { mean: 1.0 });
     let inputs = setup::half_and_half(n);
-    let mut rounds = Vec::new();
-    for t in 0..trials * 4 {
+    let rounds: Vec<f64> = par_trials_scratch(trials * 4, |scratch, t| {
         let seed = seed0 + 777 + t;
         let mut inst = setup::build(Algorithm::Lean, &inputs, seed);
-        let report = run_noisy(&mut inst, &timing, seed, Limits::first_decision());
-        rounds.push(report.first_decision_round.unwrap() as f64);
-    }
+        run_noisy_scratch(scratch, &mut inst, &timing, seed, Limits::first_decision())
+            .first_decision_round
+            .unwrap() as f64
+    });
     let mut tail = Table::new(
         format!(
             "E3 tail: Pr[first-decision round > k] at n = {n} ({} trials)",

@@ -8,10 +8,11 @@
 //! per-operation bound — delays of `0, …, 0, period·M` — and this
 //! experiment measures lean-consensus against it across burst periods.
 
-use nc_engine::{run_noisy, setup, Algorithm, Limits};
+use nc_engine::{noisy::run_noisy_scratch, setup, Algorithm, Limits};
 use nc_sched::{DelayPolicy, Noise, TimingModel};
 use nc_theory::{fit_log2, OnlineStats};
 
+use crate::par_trials_scratch;
 use crate::table::{f2, f3, Table};
 
 /// Runs the statistical-adversary experiment.
@@ -24,20 +25,19 @@ pub fn run(trials: u64, seed0: u64) -> Table {
         let delay = DelayPolicy::SaveAndSpend { m: 1.0, period };
         let mut points = Vec::new();
         for &n in &[4usize, 16, 64, 256] {
-            let timing = TimingModel::figure1(Noise::Exponential { mean: 1.0 })
-                .with_delay(delay.clone());
+            let timing =
+                TimingModel::figure1(Noise::Exponential { mean: 1.0 }).with_delay(delay.clone());
             let inputs = setup::half_and_half(n);
             let mut rounds = OnlineStats::new();
-            for t in 0..trials {
+            for r in par_trials_scratch(trials, |scratch, t| {
                 let seed = seed0 + t * 61;
                 let mut inst = setup::build(Algorithm::Lean, &inputs, seed);
-                let report = run_noisy(&mut inst, &timing, seed, Limits::first_decision());
-                rounds.push(
-                    report
-                        .first_decision_round
-                        .expect("statistical adversary must not prevent termination")
-                        as f64,
-                );
+                run_noisy_scratch(scratch, &mut inst, &timing, seed, Limits::first_decision())
+                    .first_decision_round
+                    .expect("statistical adversary must not prevent termination")
+                    as f64
+            }) {
+                rounds.push(r);
             }
             points.push((n as f64, rounds.mean()));
             table.push(vec![

@@ -5,18 +5,26 @@
 //! operation count over noisy runs and a round-robin adversarial run —
 //! for the paper's algorithm both must be exactly 8.
 
-use nc_engine::{run_adversarial, run_noisy, setup, Algorithm, Limits};
+use nc_engine::{noisy::run_noisy_scratch, run_adversarial, setup, Algorithm, Limits};
 use nc_memory::Bit;
 use nc_sched::adversary::RoundRobin;
 use nc_sched::{Noise, TimingModel};
 
+use crate::par_trials_scratch;
 use crate::table::Table;
 
 /// Runs the validity-cost experiment.
 pub fn run(trials: u64, seed0: u64) -> Table {
     let mut table = Table::new(
         "E2 / Lemma 3: per-process ops with unanimous inputs (expect exactly 8 for lean)",
-        &["algorithm", "n", "schedule", "min ops", "max ops", "all decided input"],
+        &[
+            "algorithm",
+            "n",
+            "schedule",
+            "min ops",
+            "max ops",
+            "all decided input",
+        ],
     );
     let algorithms = [Algorithm::Lean, Algorithm::Skipping, Algorithm::Randomized];
     for alg in algorithms {
@@ -28,14 +36,27 @@ pub fn run(trials: u64, seed0: u64) -> Table {
                 let mut max_ops = 0u64;
                 let mut valid = true;
                 let timing = TimingModel::figure1(Noise::Exponential { mean: 1.0 });
-                for t in 0..trials {
+                let results = par_trials_scratch(trials, |scratch, t| {
                     let seed = seed0 + t;
                     let mut inst = setup::build(alg, &inputs, seed);
-                    let report = run_noisy(&mut inst, &timing, seed, Limits::run_to_completion());
+                    let report = run_noisy_scratch(
+                        scratch,
+                        &mut inst,
+                        &timing,
+                        seed,
+                        Limits::run_to_completion(),
+                    );
                     report.check_safety(&inputs).expect("safety");
-                    min_ops = min_ops.min(*report.ops.iter().min().unwrap());
-                    max_ops = max_ops.max(*report.ops.iter().max().unwrap());
-                    valid &= report.decisions.iter().all(|&d| d == Some(input));
+                    (
+                        *report.ops.iter().min().unwrap(),
+                        *report.ops.iter().max().unwrap(),
+                        report.decisions.iter().all(|&d| d == Some(input)),
+                    )
+                });
+                for (lo, hi, ok) in results {
+                    min_ops = min_ops.min(lo);
+                    max_ops = max_ops.max(hi);
+                    valid &= ok;
                 }
                 table.push(vec![
                     alg.label().into(),

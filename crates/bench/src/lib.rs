@@ -19,6 +19,85 @@ pub mod table;
 
 pub use table::Table;
 
+use nc_engine::EngineScratch;
+use rayon::prelude::*;
+
+/// Configures the worker count for all parallel trial sweeps
+/// (0 = one worker per available core). Binaries expose this as
+/// `--threads` via [`configure_threads_from_args`].
+pub fn configure_threads(threads: usize) {
+    let _ = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build_global();
+}
+
+/// Reads the `--threads` CLI flag (default: all cores) and applies it —
+/// the one-liner every experiment binary starts with.
+pub fn configure_threads_from_args() {
+    configure_threads(arg("threads", 0usize));
+}
+
+/// Runs `trials` independent trial computations across the worker pool,
+/// returning the results **in trial order**.
+///
+/// Determinism contract: `f` must be a pure function of its trial index
+/// (all experiment trials are — each derives its own seed from the
+/// index), so the output is bit-for-bit identical to the serial loop
+/// `(0..trials).map(f)` for every worker count.
+pub fn par_trials<T, F>(trials: u64, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u64) -> T + Sync,
+{
+    par_trial_chunks(trials, || (), |(), t| f(t))
+}
+
+/// [`par_trials`] with per-worker reusable state: trials are split into
+/// contiguous chunks, each chunk gets a fresh `init()` value (an
+/// [`EngineScratch`], a reusable instance, …) that its trials mutate
+/// serially. Results come back in trial order.
+///
+/// The same determinism contract applies: the state is scratch memory,
+/// so chunk boundaries (and therefore the worker count) must not affect
+/// any result — which holds exactly because the engine re-seeds all
+/// scratch state from the trial's own seed.
+pub fn par_trial_chunks<S, T, Init, F>(trials: u64, init: Init, f: F) -> Vec<T>
+where
+    T: Send,
+    Init: Fn() -> S + Sync,
+    F: Fn(&mut S, u64) -> T + Sync,
+{
+    if trials == 0 {
+        return Vec::new();
+    }
+    let workers = rayon::current_num_threads().max(1) as u64;
+    // A few chunks per worker smooths imbalance from uneven trial cost
+    // without shrinking chunks so far that scratch reuse stops paying.
+    let chunk = trials.div_ceil(workers * 4).max(1);
+    let ranges: Vec<(u64, u64)> = (0..trials)
+        .step_by(chunk as usize)
+        .map(|lo| (lo, (lo + chunk).min(trials)))
+        .collect();
+    let nested: Vec<Vec<T>> = ranges
+        .into_par_iter()
+        .map(|(lo, hi)| {
+            let mut state = init();
+            (lo..hi).map(|t| f(&mut state, t)).collect()
+        })
+        .collect();
+    nested.into_iter().flatten().collect()
+}
+
+/// [`par_trial_chunks`] specialized to the common case where the only
+/// per-worker state is an [`EngineScratch`].
+pub fn par_trials_scratch<T, F>(trials: u64, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&mut EngineScratch, u64) -> T + Sync,
+{
+    par_trial_chunks(trials, EngineScratch::new, f)
+}
+
 /// The paper's Figure 1 x-axis: 1, 2, 5 per decade, from 1 to `max_n`.
 pub fn figure1_ns(max_n: usize) -> Vec<usize> {
     let mut ns = Vec::new();
@@ -44,10 +123,11 @@ pub fn figure1_ns(max_n: usize) -> Vec<usize> {
 
 /// Trials per Figure 1 point: targets a fixed event budget per point so
 /// small `n` gets many trials (up to `base`) and huge `n` still gets a
-/// statistically useful handful.
+/// statistically useful handful. `base` caps everything (so e.g.
+/// `--trials 5` runs 5 trials, not a panicking `clamp(30, 5)`).
 pub fn trials_for(n: usize, base: u64) -> u64 {
     let budget = 40_000_000u64; // ~events per point at first-decision cutoff
-    (budget / (n as u64 * 40).max(1)).clamp(30, base)
+    (budget / (n as u64 * 40).max(1)).max(30).min(base.max(1))
 }
 
 /// Parses `--key value` style arguments; returns the value for `key`.
@@ -84,10 +164,36 @@ mod tests {
         assert_eq!(trials_for(1, 10_000), 10_000);
         assert!(trials_for(100_000, 10_000) >= 30);
         assert!(trials_for(100_000, 10_000) < trials_for(100, 10_000));
+        // Small explicit --trials values are honored, not panicked on.
+        assert_eq!(trials_for(100, 5), 5);
+        assert_eq!(trials_for(100, 0), 1);
     }
 
     #[test]
     fn arg_returns_default_without_flag() {
         assert_eq!(arg("definitely-not-passed", 42u64), 42);
+    }
+
+    #[test]
+    fn par_trials_preserves_trial_order() {
+        let out = par_trials(1000, |t| t * t);
+        assert_eq!(out, (0..1000u64).map(|t| t * t).collect::<Vec<_>>());
+        assert!(par_trials(0, |t| t).is_empty());
+    }
+
+    #[test]
+    fn par_trial_chunks_state_is_per_chunk_scratch_only() {
+        // The per-chunk state must not leak into results: a counter that
+        // workers mutate still yields a pure function of the trial index
+        // as long as f ignores it for its output.
+        let out = par_trial_chunks(
+            257,
+            || 0u64,
+            |acc, t| {
+                *acc += 1;
+                t + 1
+            },
+        );
+        assert_eq!(out, (1..=257u64).collect::<Vec<_>>());
     }
 }

@@ -120,10 +120,10 @@ mod tests {
     fn build_and_render() {
         let mut t = Table::new("demo", &["n", "mean"]);
         t.push(vec!["1".into(), f2(2.0)]);
-        t.push(vec!["10".into(), f3(3.14159)]);
+        t.push(vec!["10".into(), f3(1.25)]);
         let s = t.to_string();
         assert!(s.contains("== demo =="));
-        assert!(s.contains("3.142"));
+        assert!(s.contains("1.250"));
         assert!(s.contains("mean"));
     }
 

@@ -1,0 +1,90 @@
+//! Regression tests for the parallel-sweep determinism contract: a
+//! sweep's results are a pure function of its seed — bit-for-bit
+//! identical whether trials run serially or fanned out across any
+//! number of workers, and identical between the optimized engine and
+//! the naive baseline.
+//!
+//! (The companion property test that the event order itself — `(time,
+//! seq)` tie-breaking — is total and stable under equal `f64` times
+//! lives next to the queue: `nc_sched::queue::tests`.)
+
+use nc_bench::experiments::fig1;
+use nc_bench::{configure_threads, par_trials_scratch};
+use nc_engine::baseline::run_noisy_baseline;
+use nc_engine::noisy::run_noisy_scratch;
+use nc_engine::{setup, Limits};
+use nc_sched::{Noise, TimingModel};
+
+/// Summary of a point that must match bitwise across worker counts.
+fn point_fingerprint(threads: usize) -> Vec<(u64, u64, u64)> {
+    configure_threads(threads);
+    let mut out = Vec::new();
+    for (_, noise) in Noise::figure1_suite() {
+        let p = fig1::point(noise, 12, 64, 99);
+        out.push((
+            p.rounds.mean().to_bits(),
+            p.rounds.ci95().to_bits(),
+            p.skipped,
+        ));
+    }
+    // Restore the default for other tests in this binary.
+    configure_threads(0);
+    out
+}
+
+#[test]
+fn fig1_point_is_bitwise_identical_serial_vs_parallel() {
+    let serial = point_fingerprint(1);
+    for threads in [2, 3, 8] {
+        assert_eq!(
+            serial,
+            point_fingerprint(threads),
+            "sweep diverged at {threads} workers"
+        );
+    }
+}
+
+#[test]
+fn parallel_sweep_reports_match_baseline_engine_exactly() {
+    // Full RunReports from the optimized engine running inside the
+    // parallel harness must equal the naive serial baseline's, trial by
+    // trial.
+    let timing = TimingModel::figure1(Noise::Uniform { lo: 0.0, hi: 2.0 });
+    let inputs = setup::half_and_half(10);
+    configure_threads(4);
+    let parallel = par_trials_scratch(32, |scratch, t| {
+        let seed = 1000 + t * 7;
+        let mut inst = setup::build(setup::Algorithm::Lean, &inputs, seed);
+        run_noisy_scratch(scratch, &mut inst, &timing, seed, Limits::first_decision())
+    });
+    configure_threads(0);
+    for (t, report) in parallel.into_iter().enumerate() {
+        let seed = 1000 + t as u64 * 7;
+        let mut inst = setup::build(setup::Algorithm::Lean, &inputs, seed);
+        let naive = run_noisy_baseline(&mut inst, &timing, seed, Limits::first_decision());
+        assert_eq!(report, naive, "trial {t}");
+    }
+}
+
+#[test]
+fn lean_typed_instances_match_boxed_instances() {
+    // The monomorphized fast path (build_lean + rebuild) and the boxed
+    // generic path must produce identical reports.
+    let timing = TimingModel::figure1(Noise::Exponential { mean: 1.0 });
+    let inputs = setup::half_and_half(16);
+    let mut lean_inst = setup::build_lean(&inputs);
+    let mut scratch = nc_engine::EngineScratch::new();
+    for seed in 0..16u64 {
+        lean_inst.rebuild(&inputs);
+        let typed = run_noisy_scratch(
+            &mut scratch,
+            &mut lean_inst,
+            &timing,
+            seed,
+            Limits::first_decision(),
+        );
+        let mut boxed_inst = setup::build(setup::Algorithm::Lean, &inputs, seed);
+        let boxed = nc_engine::run_noisy(&mut boxed_inst, &timing, seed, Limits::first_decision());
+        assert_eq!(typed, boxed, "seed {seed}");
+    }
+}

@@ -320,7 +320,7 @@ mod tests {
         let r100000 = recommended_r_max(100_000);
         assert!(r10 < r1000 && r1000 < r100000);
         // log2(100001) ≈ 17, so (17+2)² = 361; sanity-check the scale.
-        assert!(r100000 >= 200 && r100000 <= 500, "got {r100000}");
+        assert!((200..=500).contains(&r100000), "got {r100000}");
     }
 
     #[test]

@@ -172,7 +172,10 @@ mod tests {
             })
             .unwrap();
             let w = winners[0];
-            assert!(winners.iter().all(|&x| x == w), "trial {trial}: {winners:?}");
+            assert!(
+                winners.iter().all(|&x| x == w),
+                "trial {trial}: {winners:?}"
+            );
             assert!(
                 proposers.contains(&w),
                 "trial {trial}: winner {w} was never proposed ({proposers:?})"

@@ -227,18 +227,13 @@ mod tests {
     fn validity_accepts_matching_and_mixed() {
         assert!(check_validity(&[Bit::One; 3], &[Some(Bit::One), None, Some(Bit::One)]).is_ok());
         // Mixed inputs: anything goes.
-        assert!(check_validity(
-            &[Bit::Zero, Bit::One],
-            &[Some(Bit::One), Some(Bit::One)]
-        )
-        .is_ok());
+        assert!(check_validity(&[Bit::Zero, Bit::One], &[Some(Bit::One), Some(Bit::One)]).is_ok());
         assert!(check_validity(&[], &[]).is_ok());
     }
 
     #[test]
     fn validity_rejects_flipped_unanimous() {
-        let err =
-            check_validity(&[Bit::Zero; 2], &[Some(Bit::Zero), Some(Bit::One)]).unwrap_err();
+        let err = check_validity(&[Bit::Zero; 2], &[Some(Bit::Zero), Some(Bit::One)]).unwrap_err();
         assert_eq!(
             err,
             SafetyViolation::InvalidDecision {

@@ -112,9 +112,10 @@ impl Protocol for LeanConsensus {
             Phase::ReadA1 { .. } => {
                 Status::Pending(Op::Read(self.layout.slot(Bit::One, self.round)))
             }
-            Phase::Write => {
-                Status::Pending(Op::Write(self.layout.slot(self.preference, self.round), one))
-            }
+            Phase::Write => Status::Pending(Op::Write(
+                self.layout.slot(self.preference, self.round),
+                one,
+            )),
             Phase::ReadPrevRival => Status::Pending(Op::Read(
                 self.layout.slot(self.preference.rival(), self.round - 1),
             )),
@@ -160,6 +161,73 @@ impl Protocol for LeanConsensus {
                 }
             }
             Phase::Done(_) => panic!("advance called on a decided process"),
+        }
+    }
+
+    /// The fused fast path: one phase match performs the pending
+    /// operation and surfaces the next status, instead of the
+    /// `status()` → `exec` → `advance` → `status()` round-trip (three
+    /// phase matches and an `Op` encode/decode). Bit-identical behavior
+    /// by construction: each arm performs exactly the operation
+    /// `status()` would have surfaced and returns exactly the status
+    /// `advance` would have produced (pinned by the protocol tests and
+    /// the engine's baseline-equivalence suite).
+    fn step_status(&mut self, mem: &mut nc_memory::SimMemory) -> Status {
+        let one: Word = Bit::One.word();
+        match self.phase {
+            Phase::ReadA0 => {
+                self.ops += 1;
+                let v = mem.exec(Op::Read(self.layout.slot(Bit::Zero, self.round)));
+                self.phase = Phase::ReadA1 {
+                    a0_set: v.expect("read returns a value") != 0,
+                };
+                Status::Pending(Op::Read(self.layout.slot(Bit::One, self.round)))
+            }
+            Phase::ReadA1 { a0_set } => {
+                self.ops += 1;
+                let a1_set = mem
+                    .exec(Op::Read(self.layout.slot(Bit::One, self.round)))
+                    .expect("read returns a value")
+                    != 0;
+                match (a0_set, a1_set) {
+                    (true, false) => self.preference = Bit::Zero,
+                    (false, true) => self.preference = Bit::One,
+                    _ => {}
+                }
+                self.phase = Phase::Write;
+                Status::Pending(Op::Write(
+                    self.layout.slot(self.preference, self.round),
+                    one,
+                ))
+            }
+            Phase::Write => {
+                self.ops += 1;
+                mem.exec(Op::Write(
+                    self.layout.slot(self.preference, self.round),
+                    one,
+                ));
+                self.phase = Phase::ReadPrevRival;
+                Status::Pending(Op::Read(
+                    self.layout.slot(self.preference.rival(), self.round - 1),
+                ))
+            }
+            Phase::ReadPrevRival => {
+                self.ops += 1;
+                let v = mem
+                    .exec(Op::Read(
+                        self.layout.slot(self.preference.rival(), self.round - 1),
+                    ))
+                    .expect("read returns a value");
+                if v == 0 {
+                    self.phase = Phase::Done(self.preference);
+                    Status::Decided(self.preference)
+                } else {
+                    self.round += 1;
+                    self.phase = Phase::ReadA0;
+                    Status::Pending(Op::Read(self.layout.slot(Bit::Zero, self.round)))
+                }
+            }
+            Phase::Done(b) => Status::Decided(b),
         }
     }
 
@@ -270,8 +338,7 @@ mod tests {
     fn random_interleaving_mixed_inputs_agree() {
         for seed in 0..10 {
             let (mut mem, _, mut procs) = setup(&[Bit::Zero, Bit::One, Bit::One, Bit::Zero]);
-            let decisions =
-                run_random_interleave(&mut procs, &mut mem, seed, 2_000_000).unwrap();
+            let decisions = run_random_interleave(&mut procs, &mut mem, seed, 2_000_000).unwrap();
             let first = decisions[0];
             assert!(decisions.iter().all(|&d| d == first), "agreement violated");
         }
@@ -284,8 +351,7 @@ mod tests {
             let (mut mem, _, mut procs) =
                 setup(&[Bit::Zero, Bit::One, Bit::Zero, Bit::One, Bit::One]);
             run_random_interleave(&mut procs, &mut mem, seed, 2_000_000).unwrap();
-            let rounds: Vec<usize> =
-                procs.iter().map(|p| p.decision_round().unwrap()).collect();
+            let rounds: Vec<usize> = procs.iter().map(|p| p.decision_round().unwrap()).collect();
             let lo = *rounds.iter().min().unwrap();
             let hi = *rounds.iter().max().unwrap();
             assert!(hi - lo <= 1, "decision rounds spread {lo}..{hi}");
@@ -351,6 +417,40 @@ mod tests {
             panic!()
         };
         assert_eq!(op, Op::Write(layout.slot(Bit::One, 1), 1));
+    }
+
+    #[test]
+    fn step_status_is_equivalent_to_exec_plus_advance() {
+        // Drive two identical instances — one through the generic
+        // status/exec/advance protocol, one through the fused
+        // step_status — against two identical memories, comparing every
+        // returned status, all observable state, and the full memory
+        // contents at each step.
+        for inputs in [vec![Bit::Zero], vec![Bit::Zero, Bit::One, Bit::One]] {
+            let (mut mem_a, layout, mut procs_a) = setup(&inputs);
+            let (mut mem_b, _, mut procs_b) = setup(&inputs);
+            for step_no in 0..200 {
+                let pid = step_no % inputs.len();
+                let a = &mut procs_a[pid];
+                let generic = match a.status() {
+                    Status::Pending(op) => {
+                        let observed = mem_a.exec(op);
+                        a.advance_status(observed)
+                    }
+                    done => done,
+                };
+                let fused = procs_b[pid].step_status(&mut mem_b);
+                assert_eq!(generic, fused, "step {step_no}");
+                assert_eq!(a.round(), procs_b[pid].round());
+                assert_eq!(a.preference(), procs_b[pid].preference());
+                assert_eq!(a.ops_completed(), procs_b[pid].ops_completed());
+                for off in 0..32 {
+                    let addr = nc_memory::Addr::new(off);
+                    assert_eq!(mem_a.peek(addr), mem_b.peek(addr), "addr {off}");
+                }
+            }
+            let _ = layout;
+        }
     }
 
     #[test]

@@ -79,6 +79,49 @@ pub trait Protocol: fmt::Debug {
     /// bugs, not recoverable conditions.
     fn advance(&mut self, read_value: Option<Word>);
 
+    /// [`Protocol::advance`] followed by [`Protocol::status`], as one
+    /// call.
+    ///
+    /// Semantically redundant, but load-bearing for throughput: the
+    /// discrete-event engine holds protocols as `Box<dyn Protocol>`, and
+    /// its hot loop needs the post-advance status after every operation.
+    /// Through the provided method both calls resolve behind a single
+    /// virtual dispatch (and inline into each other on the concrete
+    /// type), instead of two separate vtable round-trips per event.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Protocol::advance`].
+    #[inline]
+    fn advance_status(&mut self, read_value: Option<Word>) -> Status {
+        self.advance(read_value);
+        self.status()
+    }
+
+    /// Executes this machine's pending operation directly against `mem`
+    /// and returns the post-operation status; on an already-decided
+    /// machine, returns the decision without touching memory.
+    ///
+    /// Semantically this IS `status()` + [`SimMemory::exec`] +
+    /// [`Protocol::advance_status`], and the provided implementation is
+    /// exactly that. It exists as a trait method so protocols can fuse
+    /// the three (one state match instead of three, no `Op` encode/
+    /// decode round-trip) — on the engine's hot path that fusion is a
+    /// measurable fraction of whole-simulation throughput. Overrides
+    /// **must** execute the identical memory operation and return the
+    /// identical status; the engine's baseline-equivalence suite pins
+    /// this.
+    #[inline]
+    fn step_status(&mut self, mem: &mut SimMemory) -> Status {
+        match self.status() {
+            Status::Pending(op) => {
+                let observed = mem.exec(op);
+                self.advance_status(observed)
+            }
+            done => done,
+        }
+    }
+
     /// The protocol's current round number (1-based; implementation-
     /// defined but monotone). Drivers expose this to schedule adversaries
     /// and metrics.
@@ -99,6 +142,14 @@ impl<P: Protocol + ?Sized> Protocol for Box<P> {
 
     fn advance(&mut self, read_value: Option<Word>) {
         (**self).advance(read_value)
+    }
+
+    fn advance_status(&mut self, read_value: Option<Word>) -> Status {
+        (**self).advance_status(read_value)
+    }
+
+    fn step_status(&mut self, mem: &mut SimMemory) -> Status {
+        (**self).step_status(mem)
     }
 
     fn round(&self) -> usize {
@@ -321,10 +372,7 @@ mod tests {
     #[test]
     fn status_helpers() {
         assert_eq!(Status::Decided(Bit::One).decision(), Some(Bit::One));
-        assert_eq!(
-            Status::Pending(Op::Read(Addr::new(3))).decision(),
-            None
-        );
+        assert_eq!(Status::Pending(Op::Read(Addr::new(3))).decision(), None);
         assert_eq!(Status::Decided(Bit::Zero).to_string(), "decided 0");
         assert_eq!(
             Status::Pending(Op::Write(Addr::new(1), 1)).to_string(),

@@ -108,9 +108,10 @@ impl Protocol for RandomizedLean {
             Phase::ReadA1 { .. } => {
                 Status::Pending(Op::Read(self.layout.slot(Bit::One, self.round)))
             }
-            Phase::Write => {
-                Status::Pending(Op::Write(self.layout.slot(self.preference, self.round), one))
-            }
+            Phase::Write => Status::Pending(Op::Write(
+                self.layout.slot(self.preference, self.round),
+                one,
+            )),
             Phase::ReadPrevRival => Status::Pending(Op::Read(
                 self.layout.slot(self.preference.rival(), self.round - 1),
             )),
@@ -208,7 +209,7 @@ mod tests {
         let procs = inputs
             .iter()
             .enumerate()
-            .map(|(i, &b)| RandomizedLean::new(layout, b, rng(seed ^ (i as u64 + 1) * 1000)))
+            .map(|(i, &b)| RandomizedLean::new(layout, b, rng(seed ^ ((i as u64 + 1) * 1000))))
             .collect();
         (mem, layout, procs)
     }
@@ -257,8 +258,7 @@ mod tests {
         // terminates and agrees; ties can occur and the coin may fire.
         use rand::RngExt;
         for seed in 0..20u64 {
-            let (mut mem, _, mut procs) =
-                setup(&[Bit::Zero, Bit::One, Bit::Zero, Bit::One], seed);
+            let (mut mem, _, mut procs) = setup(&[Bit::Zero, Bit::One, Bit::Zero, Bit::One], seed);
             let mut sched = rng(seed.wrapping_mul(77).wrapping_add(13));
             let mut decisions = vec![None; procs.len()];
             for _ in 0..2_000_000u64 {
@@ -275,7 +275,10 @@ mod tests {
                 .into_iter()
                 .map(|d| d.expect("random interleaving should terminate"))
                 .collect();
-            assert!(all.iter().all(|&d| d == all[0]), "agreement broken (seed {seed})");
+            assert!(
+                all.iter().all(|&d| d == all[0]),
+                "agreement broken (seed {seed})"
+            );
         }
     }
 

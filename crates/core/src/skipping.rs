@@ -135,9 +135,10 @@ impl Protocol for SkippingLean {
             Phase::ReadA1 { .. } => {
                 Status::Pending(Op::Read(self.layout.slot(Bit::One, self.round)))
             }
-            Phase::Write { .. } => {
-                Status::Pending(Op::Write(self.layout.slot(self.preference, self.round), one))
-            }
+            Phase::Write { .. } => Status::Pending(Op::Write(
+                self.layout.slot(self.preference, self.round),
+                one,
+            )),
             Phase::ReadPrevRival => Status::Pending(Op::Read(
                 self.layout.slot(self.preference.rival(), self.round - 1),
             )),
@@ -248,8 +249,7 @@ mod tests {
     fn agreement_and_validity_hold() {
         for seed in 0..10 {
             let (mut mem, _, mut procs) = setup(&[Bit::Zero, Bit::One, Bit::One]);
-            let decisions =
-                run_random_interleave(&mut procs, &mut mem, seed, 2_000_000).unwrap();
+            let decisions = run_random_interleave(&mut procs, &mut mem, seed, 2_000_000).unwrap();
             let first = decisions[0];
             assert!(decisions.iter().all(|&d| d == first));
         }
@@ -301,8 +301,8 @@ mod tests {
     fn write_happens_when_own_bit_unset_even_if_rival_set() {
         let (mut mem, layout, _) = setup(&[]);
         mem.write(layout.slot(Bit::One, 1), 1); // rival (for pref 0... adopts 1!)
-        // With a0[1]=0, a1[1]=1 an input-0 process adopts 1, whose bit IS
-        // set -> skip write. Use matching input instead:
+                                                // With a0[1]=0, a1[1]=1 an input-0 process adopts 1, whose bit IS
+                                                // set -> skip write. Use matching input instead:
         let mut p = SkippingLean::new(layout, Bit::One);
         step(&mut p, &mut mem); // a0[1] = 0
         step(&mut p, &mut mem); // a1[1] = 1, own bit set -> skip write
@@ -318,7 +318,7 @@ mod tests {
     fn rival_set_after_write_skips_final_read() {
         let (mut mem, layout, _) = setup(&[]);
         mem.write(layout.slot(Bit::One, 1), 1); // rival of a 0-preferring proc...
-        // input 0 adopts 1 here; rig instead rival set for pref 1: set a0.
+                                                // input 0 adopts 1 here; rig instead rival set for pref 1: set a0.
         let mut mem2 = SimMemory::new();
         layout.install_sentinels(&mut mem2);
         mem2.write(layout.slot(Bit::Zero, 1), 1);

@@ -135,7 +135,9 @@ mod tests {
     use super::*;
     use crate::setup::{self, Algorithm};
     use nc_memory::Bit;
-    use nc_sched::adversary::{AntiLeader, LeaderKiller, RandomInterleave, RoundRobin, Script, Solo};
+    use nc_sched::adversary::{
+        AntiLeader, LeaderKiller, RandomInterleave, RoundRobin, Script, Solo,
+    };
     use nc_sched::stream_rng;
 
     #[test]

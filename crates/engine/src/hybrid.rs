@@ -29,7 +29,12 @@ pub fn run_hybrid(
     limits: Limits,
 ) -> RunReport {
     let n = inst.procs.len();
-    assert_eq!(spec.len(), n, "spec is for {} processes, instance has {n}", spec.len());
+    assert_eq!(
+        spec.len(),
+        n,
+        "spec is for {} processes, instance has {n}",
+        spec.len()
+    );
 
     let mut decided = vec![false; n];
     let mut decision_rounds: Vec<Option<usize>> = vec![None; n];

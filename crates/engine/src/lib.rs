@@ -48,6 +48,9 @@
 #![forbid(unsafe_code)]
 
 pub mod adversarial;
+#[cfg(any(test, feature = "baseline"))]
+#[path = "noisy_baseline.rs"]
+pub mod baseline;
 pub mod hybrid;
 pub mod noisy;
 pub mod report;
@@ -55,6 +58,6 @@ pub mod setup;
 
 pub use adversarial::run_adversarial;
 pub use hybrid::run_hybrid;
-pub use noisy::run_noisy;
+pub use noisy::{run_noisy, run_noisy_scratch, run_noisy_with, EngineScratch};
 pub use report::{Limits, RunOutcome, RunReport};
 pub use setup::{build, half_and_half, Algorithm, Instance};

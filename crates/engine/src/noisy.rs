@@ -1,4 +1,4 @@
-//! The timed, noisy-scheduling driver (§3.1, §9).
+//! The timed, noisy-scheduling driver (§3.1, §9) — optimized engine.
 //!
 //! Executes protocol operations in the order given by the noisy timing
 //! model: process `i`'s `j`-th operation happens at
@@ -13,66 +13,211 @@
 //! The driver also applies adaptive crash adversaries (§10's non-random
 //! failures) after every operation, and can record the full operation
 //! history for the register-semantics checker.
-
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+//!
+//! # Throughput design
+//!
+//! Figure 1 alone needs up to 10 000 trials per point, so this loop is
+//! the workspace's hottest code. Three optimizations over the naive
+//! driver (kept verbatim in [`crate::baseline`] and pinned equal by the
+//! equivalence tests):
+//!
+//! 1. **Peek-and-replace event queue** — the common case pops one event
+//!    and pushes exactly one successor for the same process (the "hold"
+//!    operation). [`nc_sched::queue::EventQueue::replace_top`] does that
+//!    as a single in-place traversal of a 4-ary tournament-select heap
+//!    over 16-byte integer-keyed events, instead of `BinaryHeap`'s
+//!    pop + push pair.
+//! 2. **Reusable [`EngineScratch`]** — per-process states, RNG streams,
+//!    the event queue, and the bookkeeping vectors are allocated once
+//!    and re-seeded across trials, so a sweep's steady state allocates
+//!    only its `RunReport`s.
+//! 3. **Batched noise draws** — when reads and writes share one noise
+//!    distribution (every Figure 1 configuration), each process draws
+//!    up to [`NOISE_BATCH`] delays per RNG-dispatch instead of one,
+//!    hoisting the distribution match and parameter validation out of
+//!    the per-event path. Each process owns its stream, so batching
+//!    cannot change any consumed value.
+//!
+//! The common-case loop ([`loop_fast`], taken when there is no crash
+//! adversary, no history recording, and no random failures) executes
+//! each event through the fused [`Protocol::step_status`] — one
+//! (monomorphizable) call per event instead of the naive driver's four
+//! virtual dispatches — and carries no per-event `Option` checks at
+//! all. Everything else takes [`loop_general`]. Equal inputs produce
+//! bit-identical reports on either path.
 
 use rand::rngs::SmallRng;
 
 use nc_core::{Protocol, Status};
-use nc_memory::Event;
+use nc_memory::{Event, Op, OpKind};
 use nc_sched::adversary::{CrashAdversary, ProcView};
+use nc_sched::queue::{Event as QueuedEvent, EventQueue};
 use nc_sched::rng::salts;
-use nc_sched::{stream_rng, TimingModel};
+use nc_sched::{stream_rng, FailureModel, Noise, TimingModel};
 
 use crate::report::{Limits, RunOutcome, RunReport};
 use crate::setup::Instance;
 
-/// An operation scheduled to occur at a simulated time.
+/// Noise samples drawn per batched RNG refill (per process).
 ///
-/// Ordered for a min-heap on `(time, seq)`: earlier times first, ties
-/// broken by insertion order for determinism.
-#[derive(Debug)]
-struct Scheduled {
-    time: f64,
-    seq: u64,
-    pid: usize,
-}
+/// Figure 1's first-decision runs execute ~20-40 operations per process,
+/// so 16 amortizes the dispatch well without over-drawing much for
+/// processes that stop early.
+pub const NOISE_BATCH: usize = 16;
 
-impl PartialEq for Scheduled {
-    fn eq(&self, other: &Self) -> bool {
-        self.cmp(other) == Ordering::Equal
-    }
-}
-
-impl Eq for Scheduled {}
-
-impl PartialOrd for Scheduled {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for Scheduled {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: BinaryHeap is a max-heap, we want earliest first.
-        other
-            .time
-            .total_cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-
+/// Per-process simulation state. Lives in [`EngineScratch`] so sweeps
+/// reuse the allocation across trials.
+///
+/// `repr(C)` pins the field order so everything the per-event path
+/// touches (`pending`, `clock`, flags, buffer cursor) shares the
+/// struct's first cache line; the RNGs and the sample buffer — touched
+/// only on refills — sit behind it.
+#[repr(C)]
 struct ProcState {
-    rng_noise: SmallRng,
-    rng_failure: SmallRng,
+    /// The operation this process's queued event will execute. Valid
+    /// whenever the process has an event in the queue; caching it here
+    /// saves a virtual `status()` call per event.
+    pending: Op,
     /// Time at which the previous operation completed (or the start
     /// time before the first operation).
     clock: f64,
     /// 1-based index of the next operation.
     next_op: u64,
+    /// Operations executed so far (reported as `RunReport::ops`).
+    ops: u64,
+    /// Next unconsumed index in `buf`; `buf_pos == buf_len` means empty.
+    buf_pos: u32,
+    /// Valid prefix length of `buf`.
+    buf_len: u32,
+    /// Next refill size: ramps 2 → 4 → … → [`NOISE_BATCH`], so processes
+    /// that execute only a few operations (every process, in a
+    /// first-decision run at large `n`) don't pay for a full batch up
+    /// front.
+    next_fill: u32,
     halted: bool,
     decided: bool,
+    rng_noise: SmallRng,
+    rng_failure: SmallRng,
+    /// Pre-drawn noise delays (valid at `buf[buf_pos..buf_len]`).
+    buf: [f64; NOISE_BATCH],
+}
+
+impl ProcState {
+    /// Next batched noise delay, refilling from this process's own
+    /// stream when the buffer is spent.
+    #[inline]
+    fn next_noise(&mut self, noise: &Noise) -> f64 {
+        if self.buf_pos == self.buf_len {
+            let fill = self.next_fill as usize;
+            noise.fill(&mut self.rng_noise, &mut self.buf[..fill]);
+            self.buf_pos = 0;
+            self.buf_len = fill as u32;
+            self.next_fill = (self.next_fill * 2).min(NOISE_BATCH as u32);
+        }
+        let x = self.buf[self.buf_pos as usize];
+        self.buf_pos += 1;
+        x
+    }
+}
+
+/// Reusable engine working memory: per-process states (with their RNG
+/// streams), the event queue, and per-run bookkeeping vectors.
+///
+/// Constructing these per trial is pure allocator churn at sweep scale;
+/// a sweep keeps one `EngineScratch` (per worker thread) and passes it
+/// to [`run_noisy_scratch`] for every trial. Reuse never leaks state
+/// between trials: every field is re-seeded from the trial's own seed.
+///
+/// # Example
+///
+/// ```
+/// use nc_engine::{noisy, setup, EngineScratch, Limits};
+/// use nc_sched::{Noise, TimingModel};
+///
+/// let timing = TimingModel::figure1(Noise::Uniform { lo: 0.0, hi: 2.0 });
+/// let inputs = setup::half_and_half(16);
+/// let mut scratch = EngineScratch::new();
+/// for seed in 0..10 {
+///     let mut inst = setup::build(setup::Algorithm::Lean, &inputs, seed);
+///     let report =
+///         noisy::run_noisy_scratch(&mut scratch, &mut inst, &timing, seed, Limits::first_decision());
+///     assert!(report.first_decision_round.is_some());
+/// }
+/// ```
+#[derive(Default)]
+pub struct EngineScratch {
+    states: Vec<ProcState>,
+    queue: EventQueue,
+    decision_rounds: Vec<Option<usize>>,
+}
+
+impl std::fmt::Debug for EngineScratch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineScratch")
+            .field("capacity", &self.states.capacity())
+            .finish()
+    }
+}
+
+impl EngineScratch {
+    /// An empty scratch; buffers grow to the first trial's size and are
+    /// reused from then on.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Re-seeds every buffer for a fresh `n`-process trial.
+    ///
+    /// When the scratch already holds `n` states they are re-seeded in
+    /// place (the common sweep case), skipping reconstruction of the
+    /// sample buffers; the failure stream is only re-derived when the
+    /// timing model can actually consume it. Neither shortcut is
+    /// observable: streams are keyed by `(seed, pid, salt)` alone, and
+    /// `buf` contents are dead until the cursor fields say otherwise.
+    fn reset(&mut self, n: usize, seed: u64, timing: &TimingModel) {
+        let need_failure_rng = !matches!(timing.failures, FailureModel::None);
+        if self.states.len() == n {
+            for (pid, st) in self.states.iter_mut().enumerate() {
+                let mut rng_start = stream_rng(seed, pid as u64, salts::START);
+                st.clock = timing.start_for(pid, &mut rng_start);
+                st.next_op = 1;
+                st.ops = 0;
+                st.buf_pos = 0;
+                st.buf_len = 0;
+                st.next_fill = 2;
+                st.halted = false;
+                st.decided = false;
+                st.rng_noise = stream_rng(seed, pid as u64, salts::NOISE);
+                if need_failure_rng {
+                    st.rng_failure = stream_rng(seed, pid as u64, salts::FAILURE);
+                }
+            }
+        } else {
+            self.states.clear();
+            self.states.reserve(n);
+            for pid in 0..n {
+                let mut rng_start = stream_rng(seed, pid as u64, salts::START);
+                self.states.push(ProcState {
+                    // Placeholder until the priming pass caches the real op.
+                    pending: Op::Read(nc_memory::Addr::new(0)),
+                    clock: timing.start_for(pid, &mut rng_start),
+                    next_op: 1,
+                    ops: 0,
+                    buf_pos: 0,
+                    buf_len: 0,
+                    next_fill: 2,
+                    halted: false,
+                    decided: false,
+                    rng_noise: stream_rng(seed, pid as u64, salts::NOISE),
+                    rng_failure: stream_rng(seed, pid as u64, salts::FAILURE),
+                    buf: [0.0; NOISE_BATCH],
+                });
+            }
+        }
+        self.decision_rounds.clear();
+        self.decision_rounds.resize(n, None);
+        self.queue.clear();
+    }
 }
 
 /// Runs an instance under the noisy-scheduling model.
@@ -82,15 +227,27 @@ struct ProcState {
 /// time). Returns when all processes have decided or halted, when the
 /// first decision happens (if `limits.stop_at_first_decision`), or when
 /// the operation budget runs out.
-pub fn run_noisy(
-    inst: &mut Instance,
+pub fn run_noisy<P: Protocol>(
+    inst: &mut Instance<P>,
     timing: &TimingModel,
     seed: u64,
     limits: Limits,
 ) -> RunReport {
-    run_noisy_with(inst, timing, seed, limits, None, None)
+    let mut scratch = EngineScratch::new();
+    run_noisy_with_scratch(&mut scratch, inst, timing, seed, limits, None, None)
 }
 
+/// [`run_noisy`] with a caller-provided [`EngineScratch`], for sweeps
+/// that run many trials and want the steady state allocation-free.
+pub fn run_noisy_scratch<P: Protocol>(
+    scratch: &mut EngineScratch,
+    inst: &mut Instance<P>,
+    timing: &TimingModel,
+    seed: u64,
+    limits: Limits,
+) -> RunReport {
+    run_noisy_with_scratch(scratch, inst, timing, seed, limits, None, None)
+}
 
 /// [`run_noisy`] with an adaptive crash adversary and optional history
 /// recording.
@@ -100,113 +257,85 @@ pub fn run_noisy(
 /// `history` is `Some`, every executed operation is appended as an
 /// [`Event`] (time, pid, op, observed value) suitable for
 /// [`nc_memory::check_register_semantics_from`].
-pub fn run_noisy_with(
-    inst: &mut Instance,
+pub fn run_noisy_with<P: Protocol>(
+    inst: &mut Instance<P>,
     timing: &TimingModel,
     seed: u64,
     limits: Limits,
-    mut crash: Option<&mut dyn CrashAdversary>,
-    mut history: Option<&mut Vec<Event>>,
+    crash: Option<&mut dyn CrashAdversary>,
+    history: Option<&mut Vec<Event>>,
+) -> RunReport {
+    let mut scratch = EngineScratch::new();
+    run_noisy_with_scratch(&mut scratch, inst, timing, seed, limits, crash, history)
+}
+
+/// The fully general entry point: scratch reuse, crash adversary, and
+/// history recording. All other `run_noisy*` functions delegate here.
+pub fn run_noisy_with_scratch<P: Protocol>(
+    scratch: &mut EngineScratch,
+    inst: &mut Instance<P>,
+    timing: &TimingModel,
+    seed: u64,
+    limits: Limits,
+    crash: Option<&mut dyn CrashAdversary>,
+    history: Option<&mut Vec<Event>>,
 ) -> RunReport {
     let n = inst.procs.len();
-    let mut queue: BinaryHeap<Scheduled> = BinaryHeap::with_capacity(n);
+    scratch.reset(n, seed, timing);
+    // Batched draws need one distribution for all op kinds; with
+    // per-kind distributions the next draw depends on the next op's
+    // kind, so fall back to per-event sampling.
+    let batch: Option<Noise> = timing.noise.uniform_kind().copied();
     let mut seq = 0u64;
-    let mut states: Vec<ProcState> = (0..n)
-        .map(|pid| {
-            let mut rng_start = stream_rng(seed, pid as u64, salts::START);
-            ProcState {
-                rng_noise: stream_rng(seed, pid as u64, salts::NOISE),
-                rng_failure: stream_rng(seed, pid as u64, salts::FAILURE),
-                clock: timing.start_for(pid, &mut rng_start),
-                next_op: 1,
-                halted: false,
-                decided: false,
-            }
-        })
-        .collect();
 
     // Prime the queue with each process's first operation.
     for pid in 0..n {
-        schedule_next(pid, &mut states, &mut queue, inst, timing, &mut seq);
-    }
-
-    let mut total_ops = 0u64;
-    let mut sim_time = 0.0f64;
-    let mut decision_rounds: Vec<Option<usize>> = vec![None; n];
-    let mut op_counts: Vec<u64> = vec![0; n];
-    let mut first_decision_round: Option<usize> = None;
-    let mut first_decision_time: Option<f64> = None;
-    let mut outcome: Option<RunOutcome> = None;
-    // Processes that are neither decided nor halted; when it reaches 0
-    // the run is over. (A counter, not a per-operation scan: the scan
-    // would make the driver O(n) per event.)
-    let mut live_undecided = states.iter().filter(|s| !s.halted).count();
-
-    'main: while let Some(ev) = queue.pop() {
-        let pid = ev.pid;
-        if states[pid].halted || states[pid].decided {
-            continue;
-        }
-        if total_ops >= limits.max_ops {
-            outcome = Some(RunOutcome::OpCapReached);
-            break;
-        }
-        sim_time = ev.time;
-
-        // Execute exactly one operation of `pid`.
         let Status::Pending(op) = inst.procs[pid].status() else {
-            // Defensive: decided processes are filtered above.
             continue;
         };
-        let observed = inst.mem.exec(op);
-        if let Some(h) = history.as_deref_mut() {
-            h.push(Event {
-                time: ev.time,
-                pid: nc_memory::Pid::new(pid as u32),
-                op,
-                observed,
-            });
-        }
-        inst.procs[pid].advance(observed);
-        total_ops += 1;
-        op_counts[pid] += 1;
-
-        // Decision?
-        if let Status::Decided(_) = inst.procs[pid].status() {
-            states[pid].decided = true;
-            live_undecided -= 1;
-            let round = inst.procs[pid].round();
-            decision_rounds[pid] = Some(round);
-            if first_decision_round.is_none() {
-                first_decision_round = Some(round);
-                first_decision_time = Some(ev.time);
-                if limits.stop_at_first_decision {
-                    outcome = Some(RunOutcome::FirstDecision);
-                    break 'main;
-                }
+        let st = &mut scratch.states[pid];
+        st.pending = op;
+        match draw_increment(st, timing, batch.as_ref(), pid, op.kind()) {
+            None => st.halted = true, // H_i1 = ∞: the op never occurs
+            Some(inc) => {
+                st.clock += inc;
+                seq += 1;
+                scratch
+                    .queue
+                    .push(QueuedEvent::new(st.clock, seq, pid as u32));
             }
-        } else {
-            schedule_next(pid, &mut states, &mut queue, inst, timing, &mut seq);
-            if states[pid].halted {
-                live_undecided -= 1; // halted by H_ij while scheduling
-            }
-        }
-
-        // Adaptive crashes (skipped entirely without an adversary: the
-        // view construction is O(n) and would dominate large-n sweeps).
-        if let Some(crash) = crash.as_deref_mut() {
-            live_undecided -= apply_crashes(crash, inst, &mut states, &op_counts);
-        }
-
-        if live_undecided == 0 {
-            break;
         }
     }
+
+    // Dispatch: the overwhelmingly common sweep configuration — no
+    // crash adversary, no history recording, no random failures, one
+    // noise distribution for both op kinds — gets a specialized loop
+    // with no per-event Option checks, no failure draws, and no
+    // stale-event filtering (without crashes or failures, a queued
+    // process can only leave the queue by deciding, so no event is ever
+    // stale). Everything else takes the general loop. Both produce
+    // bit-identical results (pinned by the equivalence tests).
+    let fast_eligible = crash.is_none()
+        && history.is_none()
+        && matches!(timing.failures, nc_sched::FailureModel::None);
+    let out = match (fast_eligible, batch) {
+        (true, Some(noise)) => loop_fast(scratch, inst, timing, &noise, seq, limits),
+        _ => loop_general(
+            scratch,
+            inst,
+            timing,
+            batch.as_ref(),
+            seq,
+            limits,
+            crash,
+            history,
+        ),
+    };
 
     // Runs that were not cut off ended because every process decided or
     // halted (directly, or by the event queue draining of halted procs).
-    let outcome = outcome.unwrap_or_else(|| {
-        if states.iter().any(|s| s.decided) {
+    let outcome = out.outcome.unwrap_or_else(|| {
+        if scratch.states.iter().any(|s| s.decided) {
             RunOutcome::AllDecided
         } else {
             RunOutcome::AllHalted
@@ -217,72 +346,231 @@ pub fn run_noisy_with(
         n,
         outcome,
         decisions: inst.procs.iter().map(|p| p.status().decision()).collect(),
-        decision_rounds,
-        ops: op_counts,
-        halted: states.iter().map(|s| s.halted).collect(),
-        first_decision_round,
-        first_decision_time,
-        total_ops,
-        sim_time,
+        decision_rounds: scratch.decision_rounds.clone(),
+        ops: scratch.states.iter().map(|s| s.ops).collect(),
+        halted: scratch.states.iter().map(|s| s.halted).collect(),
+        first_decision_round: out.first_decision_round,
+        first_decision_time: out.first_decision_time,
+        total_ops: out.total_ops,
+        sim_time: out.sim_time,
     }
 }
 
-fn schedule_next(
-    pid: usize,
-    states: &mut [ProcState],
-    queue: &mut BinaryHeap<Scheduled>,
-    inst: &Instance,
+/// What a driver loop observed; the caller folds it into a `RunReport`.
+#[derive(Default)]
+struct LoopOut {
+    total_ops: u64,
+    sim_time: f64,
+    first_decision_round: Option<usize>,
+    first_decision_time: Option<f64>,
+    outcome: Option<RunOutcome>,
+}
+
+/// The specialized hot loop: no failures, no crash adversary, no
+/// history, batched single-distribution noise.
+fn loop_fast<P: Protocol>(
+    scratch: &mut EngineScratch,
+    inst: &mut Instance<P>,
     timing: &TimingModel,
-    seq: &mut u64,
-) {
-    let Status::Pending(op) = inst.procs[pid].status() else {
-        return;
-    };
-    let state = &mut states[pid];
-    let op_index = state.next_op;
-    state.next_op += 1;
-    let increment = {
-        // Split borrows: the two RNG streams are distinct fields.
-        let ProcState {
-            rng_noise,
-            rng_failure,
-            ..
-        } = &mut *state;
-        timing.op_increment(pid, op_index, op.kind(), rng_noise, rng_failure)
-    };
-    match increment {
-        None => {
-            state.halted = true; // H_ij = ∞: the op never occurs
+    noise: &Noise,
+    mut seq: u64,
+    limits: Limits,
+) -> LoopOut {
+    let mut out = LoopOut::default();
+    while let Some(&top) = scratch.queue.peek() {
+        if out.total_ops >= limits.max_ops {
+            out.outcome = Some(RunOutcome::OpCapReached);
+            break;
         }
-        Some(inc) => {
-            state.clock += inc;
-            *seq += 1;
-            queue.push(Scheduled {
-                time: state.clock,
-                seq: *seq,
-                pid,
-            });
+        let pid = top.pid() as usize;
+        let time = top.time();
+        out.sim_time = time;
+
+        // Execute exactly one operation of `pid`, fused: the protocol
+        // performs its own pending operation against the memory and
+        // hands back the next status in one (monomorphized) call.
+        let status = inst.procs[pid].step_status(&mut inst.mem);
+        out.total_ops += 1;
+
+        let st = &mut scratch.states[pid];
+        st.ops += 1;
+        match status {
+            Status::Decided(_) => {
+                scratch.queue.pop();
+                st.decided = true;
+                let round = inst.procs[pid].round();
+                scratch.decision_rounds[pid] = Some(round);
+                if out.first_decision_round.is_none() {
+                    out.first_decision_round = Some(round);
+                    out.first_decision_time = Some(time);
+                    if limits.stop_at_first_decision {
+                        out.outcome = Some(RunOutcome::FirstDecision);
+                        break;
+                    }
+                }
+            }
+            Status::Pending(next_op) => {
+                // The hold operation: reschedule the same process in
+                // place. (`st.pending` stays stale here on purpose: the
+                // fused step never reads it, and the noise is batched so
+                // the next op's kind is not needed either.)
+                let _ = next_op;
+                let op_index = st.next_op;
+                st.next_op += 1;
+                let x = st.next_noise(noise);
+                st.clock += timing.delay.delta(pid, op_index) + x;
+                seq += 1;
+                scratch
+                    .queue
+                    .replace_top(QueuedEvent::new(st.clock, seq, pid as u32));
+            }
         }
     }
+    out
+}
+
+/// The fully general loop: random failures, adaptive crash adversaries,
+/// history recording, per-kind noise.
+#[allow(clippy::too_many_arguments)]
+fn loop_general<P: Protocol>(
+    scratch: &mut EngineScratch,
+    inst: &mut Instance<P>,
+    timing: &TimingModel,
+    batch: Option<&Noise>,
+    mut seq: u64,
+    limits: Limits,
+    mut crash: Option<&mut dyn CrashAdversary>,
+    mut history: Option<&mut Vec<Event>>,
+) -> LoopOut {
+    let mut out = LoopOut::default();
+    // Processes that are neither decided nor halted; when it reaches 0
+    // the run is over. (A counter, not a per-operation scan: the scan
+    // would make the driver O(n) per event.)
+    let mut live_undecided = scratch.states.iter().filter(|s| !s.halted).count();
+
+    'main: while let Some(&top) = scratch.queue.peek() {
+        let pid = top.pid() as usize;
+        let time = top.time();
+        {
+            // Stale events exist only under a crash adversary (a queued
+            // process halted out from under its event); drain them.
+            let st = &scratch.states[pid];
+            if st.halted || st.decided {
+                scratch.queue.pop();
+                continue;
+            }
+        }
+        if out.total_ops >= limits.max_ops {
+            out.outcome = Some(RunOutcome::OpCapReached);
+            break;
+        }
+        out.sim_time = time;
+
+        // Execute exactly one operation of `pid`.
+        let op = scratch.states[pid].pending;
+        let observed = inst.mem.exec(op);
+        if let Some(h) = history.as_deref_mut() {
+            h.push(Event {
+                time,
+                pid: nc_memory::Pid::new(pid as u32),
+                op,
+                observed,
+            });
+        }
+        let status = inst.procs[pid].advance_status(observed);
+        out.total_ops += 1;
+        scratch.states[pid].ops += 1;
+
+        match status {
+            Status::Decided(_) => {
+                scratch.queue.pop();
+                scratch.states[pid].decided = true;
+                live_undecided -= 1;
+                let round = inst.procs[pid].round();
+                scratch.decision_rounds[pid] = Some(round);
+                if out.first_decision_round.is_none() {
+                    out.first_decision_round = Some(round);
+                    out.first_decision_time = Some(time);
+                    if limits.stop_at_first_decision {
+                        out.outcome = Some(RunOutcome::FirstDecision);
+                        break 'main;
+                    }
+                }
+            }
+            Status::Pending(next_op) => {
+                let st = &mut scratch.states[pid];
+                st.pending = next_op;
+                match draw_increment(st, timing, batch, pid, next_op.kind()) {
+                    None => {
+                        st.halted = true; // H_ij = ∞: the op never occurs
+                        scratch.queue.pop();
+                        live_undecided -= 1;
+                    }
+                    Some(inc) => {
+                        st.clock += inc;
+                        seq += 1;
+                        scratch
+                            .queue
+                            .replace_top(QueuedEvent::new(st.clock, seq, pid as u32));
+                    }
+                }
+            }
+        }
+
+        // Adaptive crashes (skipped entirely without an adversary: the
+        // view construction is O(n) and would dominate large-n sweeps).
+        if let Some(crash) = crash.as_deref_mut() {
+            live_undecided -= apply_crashes(crash, inst, &mut scratch.states);
+        }
+
+        if live_undecided == 0 {
+            break;
+        }
+    }
+    out
+}
+
+/// Draws `Δ_ij + X_ij + H_ij` for the next operation of `st`'s process,
+/// consuming the failure stream first and the noise stream second
+/// (matching the naive driver's stream order exactly). `None` means the
+/// process halts (`H_ij = ∞`).
+#[inline]
+fn draw_increment(
+    st: &mut ProcState,
+    timing: &TimingModel,
+    batch: Option<&Noise>,
+    pid: usize,
+    kind: OpKind,
+) -> Option<f64> {
+    let op_index = st.next_op;
+    st.next_op += 1;
+    if timing.failures.halts(&mut st.rng_failure) {
+        return None;
+    }
+    let x = match batch {
+        Some(noise) => st.next_noise(noise),
+        None => timing.noise.sample(kind, &mut st.rng_noise),
+    };
+    Some(timing.delay.delta(pid, op_index) + x)
 }
 
 /// Applies adaptive crashes; returns how many live undecided processes
 /// were halted.
-fn apply_crashes(
+fn apply_crashes<P: Protocol>(
     crash: &mut dyn CrashAdversary,
-    inst: &Instance,
+    inst: &Instance<P>,
     states: &mut [ProcState],
-    op_counts: &[u64],
 ) -> usize {
     let enabled: Vec<bool> = states.iter().map(|s| !s.halted && !s.decided).collect();
     if !enabled.iter().any(|&e| e) {
         return 0;
     }
     let rounds: Vec<usize> = inst.procs.iter().map(|p| p.round()).collect();
+    let steps: Vec<u64> = states.iter().map(|s| s.ops).collect();
     let victims = crash.crash_now(ProcView {
         enabled: &enabled,
         round: &rounds,
-        steps: op_counts,
+        steps: &steps,
     });
     let mut newly_halted = 0;
     for v in victims {
@@ -367,7 +655,7 @@ mod tests {
 
     #[test]
     fn random_failures_halt_everyone_eventually() {
-        // h = 0.5 per op: all 4 processes die almost immediately.
+        // h = 0.9 per op: all 4 processes die almost immediately.
         let timing = exp_timing().with_failures(FailureModel::Random { per_op: 0.9 });
         let inputs = setup::alternating(4);
         let mut inst = setup::build(Algorithm::Lean, &inputs, 9);
@@ -508,5 +796,221 @@ mod tests {
         assert_eq!(report.decision_rounds[0], Some(2));
         assert_eq!(report.agreement_value(), Some(Bit::One));
         report.check_safety(&inputs).unwrap();
+    }
+
+    #[test]
+    fn scratch_reuse_is_stateless_across_trials() {
+        // Interleave very different trials through one scratch and check
+        // each against a fresh-scratch run.
+        let mut scratch = EngineScratch::new();
+        let configs: Vec<(usize, u64, TimingModel)> = vec![
+            (1, 7, exp_timing()),
+            (
+                32,
+                1,
+                TimingModel::figure1(Noise::Uniform { lo: 0.0, hi: 2.0 }),
+            ),
+            (
+                4,
+                3,
+                exp_timing().with_failures(FailureModel::Random { per_op: 0.2 }),
+            ),
+            (16, 9, TimingModel::figure1(Noise::Geometric { p: 0.5 })),
+            (2, 5, exp_timing()),
+        ];
+        for (n, seed, timing) in configs {
+            let inputs = setup::half_and_half(n);
+            let mut inst_a = setup::build(Algorithm::Lean, &inputs, seed);
+            let mut inst_b = setup::build(Algorithm::Lean, &inputs, seed);
+            let reused = run_noisy_scratch(
+                &mut scratch,
+                &mut inst_a,
+                &timing,
+                seed,
+                Limits::run_to_completion(),
+            );
+            let fresh = run_noisy(&mut inst_b, &timing, seed, Limits::run_to_completion());
+            assert_eq!(reused, fresh, "n={n} seed={seed}");
+        }
+    }
+
+    /// The optimized engine must be **bit-for-bit identical** to the
+    /// naive BinaryHeap baseline: same streams consumed in the same
+    /// per-process order, same (unique) event order, so same reports.
+    mod baseline_equivalence {
+        use super::*;
+        use crate::baseline::{run_noisy_baseline, run_noisy_with_baseline};
+
+        fn assert_equivalent(
+            alg: Algorithm,
+            inputs: &[Bit],
+            timing: &TimingModel,
+            seed: u64,
+            limits: Limits,
+        ) {
+            let mut inst_a = setup::build(alg, inputs, seed);
+            let mut inst_b = setup::build(alg, inputs, seed);
+            let optimized = run_noisy(&mut inst_a, timing, seed, limits);
+            let naive = run_noisy_baseline(&mut inst_b, timing, seed, limits);
+            assert_eq!(optimized, naive, "{alg:?} {timing:?} seed {seed}");
+        }
+
+        #[test]
+        fn figure1_suite_all_seeds() {
+            for (_, noise) in Noise::figure1_suite() {
+                let timing = TimingModel::figure1(noise);
+                for seed in 0..4 {
+                    assert_equivalent(
+                        Algorithm::Lean,
+                        &setup::half_and_half(12),
+                        &timing,
+                        seed,
+                        Limits::run_to_completion(),
+                    );
+                    assert_equivalent(
+                        Algorithm::Lean,
+                        &setup::half_and_half(40),
+                        &timing,
+                        seed,
+                        Limits::first_decision(),
+                    );
+                }
+            }
+        }
+
+        #[test]
+        fn with_random_failures() {
+            for per_op in [0.01, 0.2, 0.9] {
+                let timing = exp_timing().with_failures(FailureModel::Random { per_op });
+                for seed in 0..4 {
+                    assert_equivalent(
+                        Algorithm::Lean,
+                        &setup::half_and_half(8),
+                        &timing,
+                        seed,
+                        Limits::run_to_completion(),
+                    );
+                }
+            }
+        }
+
+        #[test]
+        fn with_per_kind_noise_and_delays() {
+            // Per-kind distributions disable the batch path; adversarial
+            // delays exercise DelayPolicy. Both must still match.
+            let timing = TimingModel {
+                start: StartTimes::dithered(),
+                delay: DelayPolicy::Periodic {
+                    period: 3,
+                    extra: 0.5,
+                },
+                noise: nc_sched::OpNoise::per_kind(
+                    Noise::Exponential { mean: 1.0 },
+                    Noise::Uniform { lo: 0.0, hi: 2.0 },
+                ),
+                failures: FailureModel::None,
+            };
+            for seed in 0..4 {
+                assert_equivalent(
+                    Algorithm::Lean,
+                    &setup::half_and_half(10),
+                    &timing,
+                    seed,
+                    Limits::run_to_completion(),
+                );
+            }
+        }
+
+        #[test]
+        fn all_algorithms() {
+            for alg in [
+                Algorithm::Lean,
+                Algorithm::Skipping,
+                Algorithm::Randomized,
+                Algorithm::Bounded { r_max: 10 },
+                Algorithm::Backup,
+            ] {
+                assert_equivalent(
+                    alg,
+                    &setup::half_and_half(6),
+                    &exp_timing(),
+                    42,
+                    Limits::run_to_completion(),
+                );
+            }
+        }
+
+        #[test]
+        fn op_cap_and_lockstep() {
+            let timing = TimingModel {
+                start: StartTimes::Simultaneous { dither: 1e-9 },
+                delay: DelayPolicy::None,
+                noise: nc_sched::OpNoise::same(Noise::Constant { value: 1.0 }),
+                failures: FailureModel::None,
+            };
+            assert_equivalent(
+                Algorithm::Lean,
+                &setup::alternating(4),
+                &timing,
+                3,
+                Limits::run_to_completion().with_max_ops(50_000),
+            );
+        }
+
+        #[test]
+        fn with_crash_adversary_and_history() {
+            for seed in 0..4 {
+                let inputs = setup::half_and_half(6);
+                let mut inst_a = setup::build(Algorithm::Lean, &inputs, seed);
+                let mut inst_b = setup::build(Algorithm::Lean, &inputs, seed);
+                let mut killer_a = LeaderKiller::new(3, 2);
+                let mut killer_b = LeaderKiller::new(3, 2);
+                let mut hist_a = Vec::new();
+                let mut hist_b = Vec::new();
+                let optimized = run_noisy_with(
+                    &mut inst_a,
+                    &exp_timing(),
+                    seed,
+                    Limits::run_to_completion(),
+                    Some(&mut killer_a),
+                    Some(&mut hist_a),
+                );
+                let naive = run_noisy_with_baseline(
+                    &mut inst_b,
+                    &exp_timing(),
+                    seed,
+                    Limits::run_to_completion(),
+                    Some(&mut killer_b),
+                    Some(&mut hist_b),
+                );
+                assert_eq!(optimized, naive, "seed {seed}");
+                assert_eq!(hist_a, hist_b, "histories diverged at seed {seed}");
+            }
+        }
+
+        #[test]
+        fn staggered_and_explicit_starts() {
+            let staggered = exp_timing().with_start(StartTimes::Staggered {
+                gap: 100.0,
+                dither: 0.5,
+            });
+            let explicit = exp_timing().with_start(StartTimes::Explicit(vec![3.0, 0.0, 7.0]));
+            for seed in 0..3 {
+                assert_equivalent(
+                    Algorithm::Lean,
+                    &setup::half_and_half(5),
+                    &staggered,
+                    seed,
+                    Limits::run_to_completion(),
+                );
+                assert_equivalent(
+                    Algorithm::Lean,
+                    &setup::alternating(3),
+                    &explicit,
+                    seed,
+                    Limits::run_to_completion(),
+                );
+            }
+        }
     }
 }

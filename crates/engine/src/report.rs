@@ -88,7 +88,11 @@ impl fmt::Display for RunOutcome {
 }
 
 /// Everything a driver observed in one run.
-#[derive(Clone, Debug)]
+///
+/// `PartialEq` compares every field, including times, **exactly** — the
+/// equivalence and determinism suites rely on bit-for-bit equality
+/// between engine variants and between serial and parallel sweeps.
+#[derive(Clone, Debug, PartialEq)]
 pub struct RunReport {
     /// Number of processes.
     pub n: usize,

@@ -49,22 +49,46 @@ impl Algorithm {
 }
 
 /// A ready-to-run set of processes over one shared memory.
+///
+/// Generic over the protocol representation: the default
+/// `Box<dyn Protocol>` lets the harness swap algorithms by name, while a
+/// concrete `P` (e.g. [`Instance<LeanConsensus>`] from [`build_lean`])
+/// monomorphizes the drivers — the protocol's `advance`/`status` inline
+/// straight into the engine's event loop with no virtual dispatch, which
+/// is worth a large constant factor on sweep workloads.
 #[derive(Debug)]
-pub struct Instance {
+pub struct Instance<P: Protocol = Box<dyn Protocol>> {
     /// The shared memory, sentinels installed.
     pub mem: SimMemory,
     /// One protocol state machine per process.
-    pub procs: Vec<Box<dyn Protocol>>,
+    pub procs: Vec<P>,
     /// The inputs the processes were created with.
     pub inputs: Vec<Bit>,
     /// Which algorithm was instantiated.
     pub algorithm: Algorithm,
 }
 
-impl Instance {
+impl<P: Protocol> Instance<P> {
     /// Number of processes.
     pub fn n(&self) -> usize {
         self.procs.len()
+    }
+}
+
+impl Instance<LeanConsensus> {
+    /// Re-initializes this instance in place for a fresh trial with
+    /// `inputs` — equivalent to [`build_lean`] but reusing every
+    /// allocation (memory words, process vector, inputs vector), so a
+    /// sweep's steady state builds instances allocation-free.
+    pub fn rebuild(&mut self, inputs: &[Bit]) {
+        assert!(!inputs.is_empty(), "need at least one process");
+        self.mem.reset();
+        let layout = race_layout(&mut self.mem);
+        self.procs.clear();
+        self.procs
+            .extend(inputs.iter().map(|&b| LeanConsensus::new(layout, b)));
+        self.inputs.clear();
+        self.inputs.extend_from_slice(inputs);
     }
 }
 
@@ -124,8 +148,7 @@ pub fn build(algorithm: Algorithm, inputs: &[Bit], seed: u64) -> Instance {
                     let rng = coin(pid);
                     let make = Box::new(move |pref: Bit| {
                         BackupConsensus::new(backup_layout, pid, pref, rng)
-                    })
-                        as Box<dyn FnOnce(Bit) -> BackupConsensus>;
+                    }) as Box<dyn FnOnce(Bit) -> BackupConsensus>;
                     Box::new(BoundedLean::new(lean_layout, b, r_max, make)) as Box<dyn Protocol>
                 })
                 .collect()
@@ -137,8 +160,7 @@ pub fn build(algorithm: Algorithm, inputs: &[Bit], seed: u64) -> Instance {
                 .iter()
                 .enumerate()
                 .map(|(pid, &b)| {
-                    Box::new(BackupConsensus::new(layout, pid, b, coin(pid)))
-                        as Box<dyn Protocol>
+                    Box::new(BackupConsensus::new(layout, pid, b, coin(pid))) as Box<dyn Protocol>
                 })
                 .collect()
         }
@@ -149,6 +171,33 @@ pub fn build(algorithm: Algorithm, inputs: &[Bit], seed: u64) -> Instance {
         procs,
         inputs: inputs.to_vec(),
         algorithm,
+    }
+}
+
+/// Builds a **monomorphized** lean-consensus instance: the same
+/// configuration as [`build`]`(Algorithm::Lean, ..)` but with concrete
+/// [`LeanConsensus`] processes instead of boxed trait objects. This is
+/// the Figure 1 hot path: the engine's event loop specializes over the
+/// protocol type and executes it without virtual dispatch.
+///
+/// lean-consensus is deterministic, so unlike [`build`] no seed is
+/// needed.
+///
+/// # Panics
+///
+/// Panics if `inputs` is empty.
+pub fn build_lean(inputs: &[Bit]) -> Instance<LeanConsensus> {
+    assert!(!inputs.is_empty(), "need at least one process");
+    let mut mem = SimMemory::new();
+    let layout = race_layout(&mut mem);
+    Instance {
+        mem,
+        procs: inputs
+            .iter()
+            .map(|&b| LeanConsensus::new(layout, b))
+            .collect(),
+        inputs: inputs.to_vec(),
+        algorithm: Algorithm::Lean,
     }
 }
 
@@ -184,7 +233,10 @@ mod tests {
 
     #[test]
     fn input_helpers() {
-        assert_eq!(half_and_half(4), vec![Bit::Zero, Bit::Zero, Bit::One, Bit::One]);
+        assert_eq!(
+            half_and_half(4),
+            vec![Bit::Zero, Bit::Zero, Bit::One, Bit::One]
+        );
         assert_eq!(half_and_half(3), vec![Bit::Zero, Bit::One, Bit::One]);
         assert_eq!(half_and_half(1), vec![Bit::One]);
         assert_eq!(unanimous(2, Bit::Zero), vec![Bit::Zero, Bit::Zero]);
@@ -234,9 +286,8 @@ mod tests {
         ] {
             let inputs = half_and_half(4);
             let mut inst = build(alg, &inputs, 99);
-            let decisions =
-                run_random_interleave(&mut inst.procs, &mut inst.mem, 3, 50_000_000)
-                    .unwrap_or_else(|| panic!("{alg:?} did not terminate"));
+            let decisions = run_random_interleave(&mut inst.procs, &mut inst.mem, 3, 50_000_000)
+                .unwrap_or_else(|| panic!("{alg:?} did not terminate"));
             assert!(
                 decisions.iter().all(|&d| d == decisions[0]),
                 "{alg:?} disagreement"

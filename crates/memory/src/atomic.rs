@@ -161,10 +161,22 @@ mod tests {
     #[test]
     fn store_load_roundtrip_across_segments() {
         let a = SegArray::new();
-        for i in [0, 1, SEGMENT_WORDS - 1, SEGMENT_WORDS, SEGMENT_WORDS * 2 + 7] {
+        for i in [
+            0,
+            1,
+            SEGMENT_WORDS - 1,
+            SEGMENT_WORDS,
+            SEGMENT_WORDS * 2 + 7,
+        ] {
             a.store(i, i as u64 + 1);
         }
-        for i in [0, 1, SEGMENT_WORDS - 1, SEGMENT_WORDS, SEGMENT_WORDS * 2 + 7] {
+        for i in [
+            0,
+            1,
+            SEGMENT_WORDS - 1,
+            SEGMENT_WORDS,
+            SEGMENT_WORDS * 2 + 7,
+        ] {
             assert_eq!(a.load(i), i as u64 + 1);
         }
     }

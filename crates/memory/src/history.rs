@@ -230,7 +230,11 @@ mod tests {
         let bad = [Event::read(1.0, p(0), a(0), 1)];
         assert!(matches!(
             check_register_semantics(&bad),
-            Err(HistoryError::StaleRead { expected: 0, observed: 1, .. })
+            Err(HistoryError::StaleRead {
+                expected: 0,
+                observed: 1,
+                ..
+            })
         ));
     }
 

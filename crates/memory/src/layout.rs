@@ -48,7 +48,11 @@ impl Region {
     ///
     /// Panics if `i >= len`.
     pub fn at(self, i: usize) -> Addr {
-        assert!(i < self.len, "region index {i} out of bounds (len {})", self.len);
+        assert!(
+            i < self.len,
+            "region index {i} out of bounds (len {})",
+            self.len
+        );
         self.base.plus(i)
     }
 
@@ -65,7 +69,11 @@ impl Region {
     ///
     /// Panics if `mid > len`.
     pub fn split_at(self, mid: usize) -> (Region, Region) {
-        assert!(mid <= self.len, "split point {mid} beyond region length {}", self.len);
+        assert!(
+            mid <= self.len,
+            "split point {mid} beyond region length {}",
+            self.len
+        );
         (
             Region::new(self.base, mid),
             Region::new(self.base.plus(mid), self.len - mid),
@@ -203,7 +211,10 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         for r in 0..100 {
             for b in Bit::BOTH {
-                assert!(seen.insert(l.slot(b, r)), "duplicate address for ({b}, {r})");
+                assert!(
+                    seen.insert(l.slot(b, r)),
+                    "duplicate address for ({b}, {r})"
+                );
             }
         }
     }

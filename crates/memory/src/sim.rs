@@ -57,6 +57,18 @@ impl SimMemory {
         }
     }
 
+    /// Returns the memory to its pristine state — all registers zero, no
+    /// regions allocated, operation counter cleared — while keeping the
+    /// backing storage, so trial sweeps can reuse one memory without
+    /// reallocating.
+    pub fn reset(&mut self) {
+        // clear() + grow-on-write re-zeroes lazily: `write` fills any
+        // resurrected range with zeros before use.
+        self.words.clear();
+        self.next_region = 0;
+        self.ops_executed = 0;
+    }
+
     /// Reserves a fresh region of `len` registers, disjoint from every
     /// region handed out before.
     ///
@@ -196,6 +208,27 @@ mod tests {
         let mut mem = SimMemory::new();
         mem.write(Addr::new(100), Bit::One.word());
         assert!(mem.footprint_words() >= 101);
+    }
+
+    #[test]
+    fn reset_restores_pristine_state_keeping_capacity() {
+        let mut mem = SimMemory::new();
+        let r = mem.alloc(8);
+        mem.write(Addr::new(3), 77);
+        mem.write(Addr::new(100), 5);
+        let cap_before = mem.words.capacity();
+        mem.reset();
+        assert_eq!(mem.ops_executed(), 0);
+        assert_eq!(mem.footprint_words(), 0);
+        assert_eq!(mem.read(Addr::new(3)), 0);
+        assert_eq!(mem.read(Addr::new(100)), 0);
+        // Regions start over from the base.
+        let r2 = mem.alloc(8);
+        assert_eq!(r2.base(), r.base());
+        // Writes after reset see zeroed storage, not stale values.
+        mem.write(Addr::new(50), 1);
+        assert_eq!(mem.read(Addr::new(3)), 0);
+        assert!(mem.words.capacity() >= cap_before.min(101));
     }
 
     #[test]

@@ -37,10 +37,7 @@ enum ClientPhase {
         best: (Stamp, Word),
     },
     /// Read phase 2 (write-back): collecting `Ack`s; will return `value`.
-    ReadBack {
-        acks: u32,
-        value: Word,
-    },
+    ReadBack { acks: u32, value: Word },
     /// Write phase 1: collecting `WriteR` stamps.
     WriteQuery {
         addr: Addr,
@@ -49,9 +46,7 @@ enum ClientPhase {
         best: Stamp,
     },
     /// Write phase 2: collecting `Ack`s.
-    WritePut {
-        acks: u32,
-    },
+    WritePut { acks: u32 },
 }
 
 /// One simulated node.
@@ -210,13 +205,21 @@ impl Node {
                     if stamp > best.0 {
                         *best = (stamp, value);
                     }
-                    if *acks >= self.n / 2 + 1 {
+                    if *acks > self.n / 2 {
                         // Phase 2: write back the freshest (stamp, value).
                         let (stamp, value) = *best;
                         let addr = *addr;
                         let op = self.fresh_op();
                         self.phase = ClientPhase::ReadBack { acks: 0, value };
-                        self.broadcast(Payload::Put { op, addr, stamp, value }, out);
+                        self.broadcast(
+                            Payload::Put {
+                                op,
+                                addr,
+                                stamp,
+                                value,
+                            },
+                            out,
+                        );
                     }
                 }
             }
@@ -235,13 +238,21 @@ impl Node {
                     if stamp > *best {
                         *best = stamp;
                     }
-                    if *acks >= self.n / 2 + 1 {
+                    if *acks > self.n / 2 {
                         let addr = *addr;
                         let value = *value;
                         let stamp = best.next_for(self.id);
                         let op = self.fresh_op();
                         self.phase = ClientPhase::WritePut { acks: 0 };
-                        self.broadcast(Payload::Put { op, addr, stamp, value }, out);
+                        self.broadcast(
+                            Payload::Put {
+                                op,
+                                addr,
+                                stamp,
+                                value,
+                            },
+                            out,
+                        );
                     }
                 }
             }
@@ -321,7 +332,9 @@ mod tests {
             let k = if scramble == 0 {
                 0
             } else {
-                lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                lcg = lcg
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (lcg >> 33) as usize % queue.len()
             };
             let (to, payload) = queue.remove(k);
@@ -343,8 +356,9 @@ mod tests {
     #[test]
     fn three_nodes_unanimous_all_decide_input() {
         for input in Bit::BOTH {
-            let mut nodes: Vec<Node> =
-                (0..3).map(|i| Node::new(i, 3, input, &sentinels())).collect();
+            let mut nodes: Vec<Node> = (0..3)
+                .map(|i| Node::new(i, 3, input, &sentinels()))
+                .collect();
             run_sync(&mut nodes, 1_000_000, 0);
             for node in &nodes {
                 assert_eq!(node.decision(), Some(input));
@@ -365,9 +379,14 @@ mod tests {
                 .map(|(i, &b)| Node::new(i as u32, 3, b, &sentinels()))
                 .collect();
             run_sync(&mut nodes, 5_000_000, scramble);
-            let decisions: Vec<Bit> =
-                nodes.iter().map(|n| n.decision().expect("decided")).collect();
-            assert!(decisions.iter().all(|&d| d == decisions[0]), "{decisions:?}");
+            let decisions: Vec<Bit> = nodes
+                .iter()
+                .map(|n| n.decision().expect("decided"))
+                .collect();
+            assert!(
+                decisions.iter().all(|&d| d == decisions[0]),
+                "{decisions:?}"
+            );
         }
     }
 
@@ -377,10 +396,32 @@ mod tests {
         let mut out = Vec::new();
         let addr = Addr::new(5);
         let op = OpId { node: 1, seq: 1 };
-        let newer = Stamp { counter: 2, writer: 1 };
-        let older = Stamp { counter: 1, writer: 1 };
-        node.on_message(Payload::Put { op, addr, stamp: newer, value: 7 }, &mut out);
-        node.on_message(Payload::Put { op, addr, stamp: older, value: 9 }, &mut out);
+        let newer = Stamp {
+            counter: 2,
+            writer: 1,
+        };
+        let older = Stamp {
+            counter: 1,
+            writer: 1,
+        };
+        node.on_message(
+            Payload::Put {
+                op,
+                addr,
+                stamp: newer,
+                value: 7,
+            },
+            &mut out,
+        );
+        node.on_message(
+            Payload::Put {
+                op,
+                addr,
+                stamp: older,
+                value: 9,
+            },
+            &mut out,
+        );
         assert_eq!(node.replica.get(&addr), Some(&(newer, 7)));
         // Both puts were acked regardless.
         let acks = out
@@ -397,7 +438,14 @@ mod tests {
         node.kick(&mut out); // starts read of a0[1], op_seq = 1
         let stale = OpId { node: 0, seq: 99 };
         node.on_message(
-            Payload::ReadR { op: stale, stamp: Stamp { counter: 9, writer: 9 }, value: 1 },
+            Payload::ReadR {
+                op: stale,
+                stamp: Stamp {
+                    counter: 9,
+                    writer: 9,
+                },
+                value: 1,
+            },
             &mut out,
         );
         // Phase must still be the original query with zero acks.

@@ -131,37 +131,85 @@ mod tests {
 
     #[test]
     fn stamps_order_lexicographically() {
-        let a = Stamp { counter: 1, writer: 9 };
-        let b = Stamp { counter: 2, writer: 0 };
+        let a = Stamp {
+            counter: 1,
+            writer: 9,
+        };
+        let b = Stamp {
+            counter: 2,
+            writer: 0,
+        };
         assert!(a < b);
-        let c = Stamp { counter: 1, writer: 3 };
+        let c = Stamp {
+            counter: 1,
+            writer: 3,
+        };
         assert!(c < a);
-        assert_eq!(Stamp::ZERO, Stamp { counter: 0, writer: 0 });
+        assert_eq!(
+            Stamp::ZERO,
+            Stamp {
+                counter: 0,
+                writer: 0
+            }
+        );
     }
 
     #[test]
     fn next_stamp_beats_everything_seen() {
-        let seen = Stamp { counter: 7, writer: 4 };
+        let seen = Stamp {
+            counter: 7,
+            writer: 4,
+        };
         let next = seen.next_for(2);
         assert!(next > seen);
-        assert!(next > Stamp { counter: 7, writer: u32::MAX });
+        assert!(
+            next > Stamp {
+                counter: 7,
+                writer: u32::MAX
+            }
+        );
         assert_eq!(next.writer, 2);
     }
 
     #[test]
     fn stamp_display() {
-        assert_eq!(Stamp { counter: 3, writer: 1 }.to_string(), "3.1");
+        assert_eq!(
+            Stamp {
+                counter: 3,
+                writer: 1
+            }
+            .to_string(),
+            "3.1"
+        );
     }
 
     #[test]
     fn payload_op_id_extraction() {
         let op = OpId { node: 2, seq: 5 };
         let msgs = [
-            Payload::ReadQ { op, addr: Addr::new(0) },
-            Payload::ReadR { op, stamp: Stamp::ZERO, value: 0 },
-            Payload::WriteQ { op, addr: Addr::new(1) },
-            Payload::WriteR { op, stamp: Stamp::ZERO },
-            Payload::Put { op, addr: Addr::new(2), stamp: Stamp::ZERO, value: 1 },
+            Payload::ReadQ {
+                op,
+                addr: Addr::new(0),
+            },
+            Payload::ReadR {
+                op,
+                stamp: Stamp::ZERO,
+                value: 0,
+            },
+            Payload::WriteQ {
+                op,
+                addr: Addr::new(1),
+            },
+            Payload::WriteR {
+                op,
+                stamp: Stamp::ZERO,
+            },
+            Payload::Put {
+                op,
+                addr: Addr::new(2),
+                stamp: Stamp::ZERO,
+                value: 1,
+            },
             Payload::Ack { op },
         ];
         for m in msgs {

@@ -222,8 +222,7 @@ mod tests {
                 let cfg = MsgConfig::new(5, delay);
                 let report = run_message_passing(&cfg, seed);
                 assert!(report.completed, "{name} seed {seed}");
-                let decisions: Vec<Bit> =
-                    report.decisions.iter().map(|d| d.unwrap()).collect();
+                let decisions: Vec<Bit> = report.decisions.iter().map(|d| d.unwrap()).collect();
                 assert!(
                     decisions.iter().all(|&d| d == decisions[0]),
                     "{name} seed {seed}: {decisions:?}"
@@ -235,8 +234,8 @@ mod tests {
     #[test]
     fn unanimous_inputs_decide_that_input() {
         for input in Bit::BOTH {
-            let cfg = MsgConfig::new(4, Noise::Exponential { mean: 1.0 })
-                .with_inputs(vec![input; 4]);
+            let cfg =
+                MsgConfig::new(4, Noise::Exponential { mean: 1.0 }).with_inputs(vec![input; 4]);
             let report = run_message_passing(&cfg, 9);
             assert!(report.completed);
             assert!(report.decisions.iter().all(|&d| d == Some(input)));
@@ -263,8 +262,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "majority quorum")]
     fn majority_crash_plans_are_rejected() {
-        let cfg = MsgConfig::new(4, Noise::Exponential { mean: 1.0 })
-            .with_crashes(vec![(0, 1), (1, 2)]);
+        let cfg =
+            MsgConfig::new(4, Noise::Exponential { mean: 1.0 }).with_crashes(vec![(0, 1), (1, 2)]);
         run_message_passing(&cfg, 0);
     }
 
@@ -308,7 +307,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "inputs length")]
     fn mismatched_inputs_panic() {
-        let _ = MsgConfig::new(3, Noise::Exponential { mean: 1.0 })
-            .with_inputs(vec![Bit::Zero]);
+        let _ = MsgConfig::new(3, Noise::Exponential { mean: 1.0 }).with_inputs(vec![Bit::Zero]);
     }
 }

@@ -25,12 +25,7 @@ fn sentinels() -> Vec<(Addr, Word)> {
 
 /// Drives nodes with a scripted delivery order (indices into the
 /// in-flight queue), then a seeded pseudo-random tail up to `max_msgs`.
-fn drive(
-    inputs: &[Bit],
-    script: &[usize],
-    tail_seed: u64,
-    max_msgs: u64,
-) -> Vec<Option<Bit>> {
+fn drive(inputs: &[Bit], script: &[usize], tail_seed: u64, max_msgs: u64) -> Vec<Option<Bit>> {
     let n = inputs.len();
     let mut nodes: Vec<Node> = inputs
         .iter()

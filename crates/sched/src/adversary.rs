@@ -304,10 +304,7 @@ impl CrashAdversary for CrashScript {
     fn crash_now(&mut self, view: ProcView<'_>) -> Vec<usize> {
         let mut out = Vec::new();
         self.plan.retain(|&(pid, at)| {
-            let due = view
-                .steps
-                .get(pid)
-                .is_some_and(|&s| s >= at)
+            let due = view.steps.get(pid).is_some_and(|&s| s >= at)
                 && view.enabled.get(pid).copied().unwrap_or(false);
             if due {
                 out.push(pid);
@@ -325,11 +322,7 @@ mod tests {
     use super::*;
     use crate::rng::stream_rng;
 
-    fn view<'a>(
-        enabled: &'a [bool],
-        round: &'a [usize],
-        steps: &'a [u64],
-    ) -> ProcView<'a> {
+    fn view<'a>(enabled: &'a [bool], round: &'a [usize], steps: &'a [u64]) -> ProcView<'a> {
         ProcView {
             enabled,
             round,
@@ -460,7 +453,9 @@ mod tests {
         let enabled = [true];
         let round = [5];
         let steps = [20];
-        assert!(NoCrashes.crash_now(view(&enabled, &round, &steps)).is_empty());
+        assert!(NoCrashes
+            .crash_now(view(&enabled, &round, &steps))
+            .is_empty());
     }
 
     #[test]

@@ -1,0 +1,486 @@
+//! A **calendar queue** specialized to the engine's workload: an O(1)
+//! "hold"-model priority queue over at most one event per process.
+//!
+//! The [`crate::queue::EventQueue`] heap pays `Θ(log n)` data-dependent
+//! comparisons per hold; at simulation scale those comparisons (and
+//! their branch mispredicts) dominate the whole engine. This structure
+//! exploits three properties the noisy-scheduling driver guarantees:
+//!
+//! 1. **Monotone times** — every inserted event's time is `≥` the
+//!    current minimum minus nothing: successors are `min + Δ` with
+//!    `Δ ≥ 0` (the model's delays and noise are non-negative). (A
+//!    defensive "move the cursor back" path keeps even out-of-model
+//!    negative increments correct, just slower.)
+//! 2. **One event per process** — the engine schedules at most one
+//!    pending operation per process, so the queue can be fully
+//!    **intrusive**: a fixed `next[pid]` array forms per-bucket linked
+//!    lists, and steady state allocates nothing at all.
+//! 3. **Clustered times** — under any i.i.d. noise with scale `m`, the
+//!    `n` next-event times live in a window of width `O(m)`, so buckets
+//!    of width `δ ≈ m/n` hold `O(1)` events each.
+//!
+//! The calendar maps time to an absolute bucket index (an
+//! order-preserving `f64` transform followed by one multiply), keeps `K`
+//! rotating buckets, and spills events beyond the horizon into an
+//! unsorted overflow list that is migrated lazily as the cursor
+//! advances. Pop scans the current bucket for the exact `(time, seq)`
+//! minimum, so the pop sequence is **identical to any correct priority
+//! queue** — bucket width and bucket count affect only speed, never
+//! order (the differential property tests pin this against the heap).
+
+use crate::queue::Event;
+
+/// Sentinel for "no process" in the intrusive lists.
+const NONE: u32 = u32::MAX;
+
+/// Largest absolute bucket index [`CalendarQueue::bucket_of`] produces.
+/// Clamping below `u64::MAX` by more than the maximum bucket count keeps
+/// `cur_abs + K` horizon arithmetic exact, so astronomically late events
+/// (the paper's pathological `2^{k²}` noise) still migrate out of the
+/// overflow list instead of sitting beyond a saturated horizon forever.
+const BUCKET_CAP: u64 = u64::MAX - (1 << 24);
+
+/// One per-process event slot in the calendar.
+#[derive(Clone, Copy, Debug)]
+struct Slot {
+    /// The event's 16-byte sort key (invalid when not queued).
+    ev: Event,
+    /// Absolute bucket index this event was filed under.
+    bucket_abs: u64,
+    /// Next pid in the same bucket's list (or [`NONE`]).
+    next: u32,
+    /// Whether this pid currently has an event queued.
+    queued: bool,
+}
+
+/// A monotone, intrusive calendar queue of [`Event`]s keyed by process
+/// id.
+///
+/// Call [`CalendarQueue::reset`] with the process count and a bucket
+/// width before each run; then [`CalendarQueue::push`],
+/// [`CalendarQueue::peek`], [`CalendarQueue::pop`] and
+/// [`CalendarQueue::replace_top`] mirror the heap API (with `peek`
+/// taking `&mut self` to cache its scan).
+///
+/// # Example
+///
+/// ```
+/// use nc_sched::calendar::CalendarQueue;
+/// use nc_sched::queue::Event;
+///
+/// let mut q = CalendarQueue::new();
+/// q.reset(2, 0.5);
+/// q.push(Event::new(2.0, 1, 0));
+/// q.push(Event::new(1.0, 2, 1));
+/// assert_eq!(q.peek().unwrap().pid(), 1);
+/// q.replace_top(Event::new(3.0, 3, 1));
+/// assert_eq!(q.peek().unwrap().pid(), 0);
+/// ```
+#[derive(Debug, Default)]
+pub struct CalendarQueue {
+    /// `heads[i]` = (stamp, first pid) — valid only when stamp matches,
+    /// which lets `reset` skip clearing `K` buckets per trial.
+    heads: Vec<(u32, u32)>,
+    stamp: u32,
+    slots: Vec<Slot>,
+    /// Bucket count mask (`K - 1`; `K` is a power of two).
+    mask: u64,
+    /// Reciprocal bucket width in key units (see [`Self::bucket_of`]).
+    inv_delta: f64,
+    /// Absolute bucket index the scan cursor is at.
+    cur_abs: u64,
+    /// Events currently filed in calendar buckets.
+    in_buckets: usize,
+    /// Events beyond the horizon, unsorted.
+    overflow: Vec<u32>,
+    /// Smallest `bucket_abs` among overflow events (stale-above: it may
+    /// undershoot after migrations, never overshoot).
+    overflow_min: u64,
+    /// Cached result of the last [`Self::peek`]: (pid, predecessor pid
+    /// or NONE). Invalidated by any mutation.
+    cached_min: Option<(u32, u32)>,
+}
+
+impl CalendarQueue {
+    /// An empty calendar; size it with [`CalendarQueue::reset`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears the queue and sizes it for pids `0..n` with bucket width
+    /// `delta` (simulated-time units). `delta` affects only performance:
+    /// any positive, finite value is correct. Non-finite or non-positive
+    /// values are replaced by `1.0`.
+    pub fn reset(&mut self, n: usize, delta: f64) {
+        let delta = if delta.is_finite() && delta > 0.0 {
+            delta
+        } else {
+            1.0
+        };
+        let k = (n.max(16)).next_power_of_two().min(1 << 22);
+        if self.heads.len() != k || self.stamp == u32::MAX {
+            self.heads.clear();
+            self.heads.resize(k, (u32::MAX, NONE));
+            self.stamp = 0;
+        }
+        self.stamp = self.stamp.wrapping_add(1);
+        self.mask = (k - 1) as u64;
+        self.inv_delta = delta.recip();
+        self.cur_abs = 0;
+        self.in_buckets = 0;
+        self.overflow.clear();
+        self.overflow_min = u64::MAX;
+        self.cached_min = None;
+        self.slots.clear();
+        self.slots.resize(
+            n,
+            Slot {
+                ev: Event::new(0.0, 0, 0),
+                bucket_abs: 0,
+                next: NONE,
+                queued: false,
+            },
+        );
+    }
+
+    /// Number of queued events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.in_buckets + self.overflow.len()
+    }
+
+    /// Whether the queue is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The absolute bucket index of a time key. Monotone in the event
+    /// time: the key map preserves order and `u64 → f64 → u64` with a
+    /// positive factor and saturating cast preserves it too.
+    #[inline]
+    fn bucket_of(&self, ev: &Event) -> u64 {
+        // Times are non-negative in the model, so their mapped keys are
+        // offset by 2^63; subtract it to keep the f64 conversion in a
+        // precise range. Negative times saturate to bucket 0 — monotone,
+        // and merely a performance corner.
+        let t = ev.time_key.saturating_sub(0x8000_0000_0000_0000);
+        // The mapped key is monotone but not linear in time; convert
+        // back through the bits for a linear scale. The cast saturates
+        // huge products, and the clamp keeps horizon arithmetic exact.
+        ((f64::from_bits(t) * self.inv_delta) as u64).min(BUCKET_CAP)
+    }
+
+    /// Inserts `ev` for its pid.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts the pid is in range and not already queued.
+    pub fn push(&mut self, ev: Event) {
+        self.cached_min = None;
+        let pid = ev.pid() as usize;
+        debug_assert!(pid < self.slots.len(), "pid {pid} out of range");
+        debug_assert!(!self.slots[pid].queued, "pid {pid} already queued");
+        let b = self.bucket_of(&ev);
+        if self.in_buckets == 0 && self.overflow.is_empty() {
+            // First event re-anchors the cursor outright.
+            self.cur_abs = b;
+        } else if b < self.cur_abs {
+            // Out-of-model (negative increment) or pre-start insert:
+            // move the cursor back. Everything between is empty or
+            // later, so correctness is unaffected.
+            self.cur_abs = b;
+        }
+        let slot = &mut self.slots[pid];
+        slot.ev = ev;
+        slot.bucket_abs = b;
+        slot.queued = true;
+        if b >= self.cur_abs.saturating_add(self.mask + 1) {
+            self.overflow.push(pid as u32);
+            self.overflow_min = self.overflow_min.min(b);
+        } else {
+            self.file_into_bucket(pid as u32, b);
+        }
+    }
+
+    #[inline]
+    fn file_into_bucket(&mut self, pid: u32, bucket_abs: u64) {
+        let idx = (bucket_abs & self.mask) as usize;
+        let head = &mut self.heads[idx];
+        let prev = if head.0 == self.stamp { head.1 } else { NONE };
+        *head = (self.stamp, pid);
+        self.slots[pid as usize].next = prev;
+        self.in_buckets += 1;
+    }
+
+    /// Moves overflow events whose buckets now fall inside the horizon
+    /// into their buckets. Called when the cursor catches up with the
+    /// overflow.
+    fn migrate_overflow(&mut self) {
+        let horizon = self.cur_abs.saturating_add(self.mask + 1);
+        let mut new_min = u64::MAX;
+        let mut i = 0;
+        while i < self.overflow.len() {
+            let pid = self.overflow[i];
+            let b = self.slots[pid as usize].bucket_abs;
+            if b < horizon {
+                self.overflow.swap_remove(i);
+                self.file_into_bucket(pid, b);
+            } else {
+                new_min = new_min.min(b);
+                i += 1;
+            }
+        }
+        self.overflow_min = new_min;
+    }
+
+    /// Finds the minimum event: advances the cursor over empty buckets,
+    /// migrating overflow as it goes, then scans the first non-empty
+    /// bucket for the exact `(time, seq)` minimum. Returns
+    /// `(pid, predecessor)` for O(1) unlinking.
+    fn scan_min(&mut self) -> Option<(u32, u32)> {
+        if let Some(hit) = self.cached_min {
+            return Some(hit);
+        }
+        if self.is_empty() {
+            return None;
+        }
+        loop {
+            if self.in_buckets == 0 {
+                // Everything lives in the overflow: jump straight to its
+                // first bucket and migrate.
+                self.cur_abs = self.overflow_min;
+                self.migrate_overflow();
+                continue;
+            }
+            if self.overflow_min <= self.cur_abs {
+                self.migrate_overflow();
+            }
+            let idx = (self.cur_abs & self.mask) as usize;
+            let head = self.heads[idx];
+            if head.0 == self.stamp && head.1 != NONE {
+                // Scan the bucket's list for the smallest key, but only
+                // among events of *this* absolute bucket (an index can
+                // also hold horizon-edge events one rotation ahead).
+                let mut best = NONE;
+                let mut best_prev = NONE;
+                let mut best_key = u128::MAX;
+                let mut prev = NONE;
+                let mut cur = head.1;
+                let mut saw_current = false;
+                while cur != NONE {
+                    let slot = &self.slots[cur as usize];
+                    if slot.bucket_abs == self.cur_abs {
+                        saw_current = true;
+                        let k = slot.ev.key();
+                        if k < best_key {
+                            best_key = k;
+                            best = cur;
+                            best_prev = prev;
+                        }
+                    }
+                    prev = cur;
+                    cur = slot.next;
+                }
+                if saw_current {
+                    self.cached_min = Some((best, best_prev));
+                    return Some((best, best_prev));
+                }
+            }
+            self.cur_abs += 1;
+        }
+    }
+
+    /// The earliest event, if any (cached until the next mutation).
+    #[inline]
+    pub fn peek(&mut self) -> Option<Event> {
+        self.scan_min().map(|(pid, _)| self.slots[pid as usize].ev)
+    }
+
+    /// Unlinks the event of `pid` given its list predecessor.
+    #[inline]
+    fn unlink(&mut self, pid: u32, prev: u32) {
+        let idx = (self.slots[pid as usize].bucket_abs & self.mask) as usize;
+        let next = self.slots[pid as usize].next;
+        if prev == NONE {
+            self.heads[idx].1 = next;
+        } else {
+            self.slots[prev as usize].next = next;
+        }
+        self.slots[pid as usize].queued = false;
+        self.in_buckets -= 1;
+        self.cached_min = None;
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<Event> {
+        let (pid, prev) = self.scan_min()?;
+        let ev = self.slots[pid as usize].ev;
+        self.unlink(pid, prev);
+        Some(ev)
+    }
+
+    /// Replaces the earliest event with `ev` — the O(1) hold operation.
+    /// (Unlike [`crate::queue::EventQueue::replace_top`] this does not
+    /// return the new minimum: computing it costs a scan, and the
+    /// engine's loop re-peeks at the top of the next iteration anyway.)
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue is empty.
+    pub fn replace_top(&mut self, ev: Event) {
+        let (pid, prev) = self.scan_min().expect("replace_top on empty queue");
+        self.unlink(pid, prev);
+        self.push(ev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::EventQueue;
+    use proptest::prelude::*;
+
+    fn drain(q: &mut CalendarQueue) -> Vec<Event> {
+        std::iter::from_fn(|| q.pop()).collect()
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = CalendarQueue::new();
+        q.reset(5, 0.8);
+        for (i, t) in [5.0, 1.0, 3.0, 2.0, 4.0].iter().enumerate() {
+            q.push(Event::new(*t, i as u64, i as u32));
+        }
+        let times: Vec<f64> = drain(&mut q).iter().map(|e| e.time()).collect();
+        assert_eq!(times, vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn equal_times_break_by_seq() {
+        let mut q = CalendarQueue::new();
+        q.reset(3, 1.0);
+        q.push(Event::new(1.0, 7, 0));
+        q.push(Event::new(1.0, 3, 1));
+        q.push(Event::new(1.0, 5, 2));
+        let seqs: Vec<u64> = drain(&mut q).iter().map(|e| e.seq()).collect();
+        assert_eq!(seqs, vec![3, 5, 7]);
+    }
+
+    #[test]
+    fn far_future_events_go_through_overflow() {
+        let mut q = CalendarQueue::new();
+        q.reset(4, 0.01); // horizon = 16-ish buckets * 0.01
+        q.push(Event::new(0.0, 0, 0));
+        q.push(Event::new(1000.0, 1, 1));
+        q.push(Event::new(2.0f64.powi(80), 2, 2));
+        q.push(Event::new(0.005, 3, 3));
+        let order: Vec<u32> = drain(&mut q).iter().map(|e| e.pid()).collect();
+        assert_eq!(order, vec![0, 3, 1, 2]);
+    }
+
+    #[test]
+    fn reset_reuses_without_leaking_state() {
+        let mut q = CalendarQueue::new();
+        for trial in 0..50u64 {
+            q.reset(8, 0.25);
+            for pid in 0..8u32 {
+                q.push(Event::new(trial as f64 + pid as f64 * 0.1, pid as u64, pid));
+            }
+            let drained = drain(&mut q);
+            assert_eq!(drained.len(), 8, "trial {trial}");
+            assert!(drained.windows(2).all(|w| w[0].key_cmp(&w[1]).is_lt()));
+        }
+    }
+
+    #[test]
+    fn degenerate_delta_is_still_correct() {
+        for delta in [f64::NAN, 0.0, -3.0, f64::INFINITY, 1e300, 1e-300] {
+            let mut q = CalendarQueue::new();
+            q.reset(4, delta);
+            for pid in 0..4u32 {
+                q.push(Event::new(4.0 - pid as f64, pid as u64, pid));
+            }
+            let pids: Vec<u32> = drain(&mut q).iter().map(|e| e.pid()).collect();
+            assert_eq!(pids, vec![3, 2, 1, 0], "delta {delta}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "replace_top on empty queue")]
+    fn replace_top_empty_panics() {
+        let mut q = CalendarQueue::new();
+        q.reset(1, 1.0);
+        q.replace_top(Event::new(1.0, 1, 0));
+    }
+
+    proptest! {
+        /// Differential test against the heap under hold-model traffic:
+        /// identical pop sequences for any increments (including zero,
+        /// huge, and mixed magnitudes) and any bucket width.
+        #[test]
+        fn hold_traffic_matches_heap(
+            starts in proptest::collection::vec(0.0f64..10.0, 1..40),
+            incs in proptest::collection::vec(0.0f64..1e3, 0..200),
+            delta_exp in -12i32..12,
+            huge_tail in any::<bool>(),
+        ) {
+            let n = starts.len();
+            let mut cal = CalendarQueue::new();
+            cal.reset(n, 2.0f64.powi(delta_exp));
+            let mut heap = EventQueue::new();
+            let mut seq = 0u64;
+            for (pid, &t) in starts.iter().enumerate() {
+                let e = Event::new(t, seq, pid as u32);
+                seq += 1;
+                cal.push(e);
+                heap.push(e);
+            }
+            for (i, &inc) in incs.iter().enumerate() {
+                let top_h = *heap.peek().unwrap();
+                let top_c = cal.peek().unwrap();
+                prop_assert_eq!(top_h, top_c, "diverged before hold {}", i);
+                // Occasionally produce an extreme jump to exercise the
+                // overflow path.
+                let inc = if huge_tail && i % 13 == 0 { inc * 1e12 } else { inc };
+                let new = Event::new(top_h.time() + inc, seq, top_h.pid());
+                seq += 1;
+                heap.pop();
+                heap.push(new);
+                cal.replace_top(new);
+            }
+            let heap_rest: Vec<Event> = std::iter::from_fn(|| heap.pop()).collect();
+            let cal_rest: Vec<Event> = std::iter::from_fn(|| cal.pop()).collect();
+            prop_assert_eq!(heap_rest, cal_rest);
+        }
+
+        /// Mixed push/pop traffic (no hold structure) also matches,
+        /// including events pushed behind the cursor (the defensive
+        /// move-back path).
+        #[test]
+        fn push_pop_traffic_matches_heap(
+            ops in proptest::collection::vec((any::<bool>(), 0.0f64..50.0), 1..120),
+        ) {
+            let n = ops.len();
+            let mut cal = CalendarQueue::new();
+            cal.reset(n, 0.5);
+            let mut heap = EventQueue::new();
+            let mut next_pid = 0u32;
+            let mut seq = 0u64;
+            for &(is_pop, t) in &ops {
+                if is_pop {
+                    prop_assert_eq!(heap.pop(), cal.pop());
+                } else {
+                    let e = Event::new(t, seq, next_pid);
+                    next_pid += 1;
+                    seq += 1;
+                    heap.push(e);
+                    cal.push(e);
+                }
+            }
+            let heap_rest: Vec<Event> = std::iter::from_fn(|| heap.pop()).collect();
+            let cal_rest: Vec<Event> = std::iter::from_fn(|| cal.pop()).collect();
+            prop_assert_eq!(heap_rest, cal_rest);
+        }
+    }
+}

@@ -39,13 +39,19 @@
 #![forbid(unsafe_code)]
 
 pub mod adversary;
+pub mod calendar;
 pub mod hybrid;
 pub mod noise;
+pub mod queue;
 pub mod rng;
 pub mod timing;
+pub mod tree;
 
 pub use adversary::{Adversary, CrashAdversary, ProcView};
+pub use calendar::CalendarQueue;
 pub use hybrid::{HybridPolicy, HybridSpec, HybridView};
 pub use noise::{Noise, OpNoise};
+pub use queue::{Event as QueuedEvent, EventQueue};
 pub use rng::stream_rng;
 pub use timing::{DelayPolicy, FailureModel, StartTimes, TimingModel};
+pub use tree::EventTree;

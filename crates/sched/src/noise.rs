@@ -126,10 +126,19 @@ impl Noise {
                     hi: 2.0,
                 },
             ),
-            ("2/3,4/3", Noise::TwoPoint { lo: 2.0 / 3.0, hi: 4.0 / 3.0 }),
+            (
+                "2/3,4/3",
+                Noise::TwoPoint {
+                    lo: 2.0 / 3.0,
+                    hi: 4.0 / 3.0,
+                },
+            ),
             (
                 "0.5 + exponential(0.5)",
-                Noise::DelayedExponential { delay: 0.5, mean: 0.5 },
+                Noise::DelayedExponential {
+                    delay: 0.5,
+                    mean: 0.5,
+                },
             ),
             ("geometric(0.5)", Noise::Geometric { p: 0.5 }),
             ("uniform [0,2]", Noise::Uniform { lo: 0.0, hi: 2.0 }),
@@ -173,7 +182,10 @@ impl Noise {
                 lo + (hi - lo) * rng.random::<f64>()
             }
             Noise::TwoPoint { lo, hi } => {
-                assert!(lo >= 0.0 && hi >= 0.0, "two-point values must be non-negative");
+                assert!(
+                    lo >= 0.0 && hi >= 0.0,
+                    "two-point values must be non-negative"
+                );
                 if rng.random::<bool>() {
                     hi
                 } else {
@@ -199,11 +211,76 @@ impl Noise {
                 value
             }
             Noise::Pathological { max_k } => {
-                let cap = max_k.min(PATHOLOGICAL_MAX_K).max(1);
+                let cap = max_k.clamp(1, PATHOLOGICAL_MAX_K);
                 // k is geometric(1/2) on {1, 2, ...}, clamped to cap (the
                 // clamp collects the truncated tail mass).
                 let k = (sample_geometric(rng, 0.5) as u32).min(cap);
                 2f64.powi((k * k) as i32)
+            }
+        }
+    }
+
+    /// Draws `out.len()` delays into `out`, identical to calling
+    /// [`Noise::sample`] once per slot in order.
+    ///
+    /// The engine's hot loop uses this to batch draws per process: the
+    /// variant dispatch and parameter validation happen once per batch
+    /// instead of once per event, while the consumed value sequence — and
+    /// therefore every simulation result — is exactly the same, because
+    /// each process draws from its own private stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the distribution's parameters are invalid (same rules
+    /// as [`Noise::sample`]).
+    pub fn fill<R: Rng>(&self, rng: &mut R, out: &mut [f64]) {
+        match *self {
+            Noise::Exponential { mean } => {
+                assert!(mean > 0.0, "exponential mean must be positive");
+                for slot in out {
+                    *slot = sample_exponential(rng, mean);
+                }
+            }
+            Noise::DelayedExponential { delay, mean } => {
+                assert!(delay >= 0.0, "delay must be non-negative");
+                assert!(mean > 0.0, "exponential mean must be positive");
+                for slot in out {
+                    *slot = delay + sample_exponential(rng, mean);
+                }
+            }
+            Noise::Uniform { lo, hi } => {
+                assert!(lo >= 0.0 && hi > lo, "uniform needs 0 <= lo < hi");
+                let span = hi - lo;
+                for slot in out {
+                    *slot = lo + span * rng.random::<f64>();
+                }
+            }
+            Noise::TwoPoint { lo, hi } => {
+                assert!(
+                    lo >= 0.0 && hi >= 0.0,
+                    "two-point values must be non-negative"
+                );
+                for slot in out {
+                    *slot = if rng.random::<bool>() { hi } else { lo };
+                }
+            }
+            Noise::Geometric { p } => {
+                assert!(p > 0.0 && p < 1.0, "geometric p must be in (0,1)");
+                for slot in out {
+                    *slot = sample_geometric(rng, p);
+                }
+            }
+            Noise::Constant { value } => {
+                assert!(value >= 0.0, "constant delay must be non-negative");
+                out.fill(value);
+            }
+            // Rejection (TruncatedNormal) and heavy-tail clamping
+            // (Pathological) have per-sample control flow anyway; reuse
+            // the scalar sampler to keep one source of truth.
+            Noise::TruncatedNormal { .. } | Noise::Pathological { .. } => {
+                for slot in out {
+                    *slot = self.sample(rng);
+                }
             }
         }
     }
@@ -222,7 +299,12 @@ impl Noise {
             // The truncation at ±5 sd of the Figure 1 parameters removes
             // negligible, *symmetric* mass, so the mean is (to double
             // precision on symmetric bounds) the normal mean.
-            Noise::TruncatedNormal { mean, sd: _, lo, hi } => {
+            Noise::TruncatedNormal {
+                mean,
+                sd: _,
+                lo,
+                hi,
+            } => {
                 let symmetric = (mean - lo - (hi - mean)).abs() < 1e-12;
                 if symmetric {
                     Some(mean)
@@ -308,6 +390,19 @@ impl OpNoise {
     pub fn is_degenerate(&self) -> bool {
         self.read.is_degenerate() || self.write.is_degenerate()
     }
+
+    /// The single distribution applied to **all** operation kinds, if
+    /// reads and writes share one (the common case, and the condition
+    /// for the engine's batched-draw fast path: with per-kind
+    /// distributions the next draw depends on the next operation's kind,
+    /// which is not known in advance).
+    pub fn uniform_kind(&self) -> Option<&Noise> {
+        if self.read == self.write {
+            Some(&self.read)
+        } else {
+            None
+        }
+    }
 }
 
 fn sample_exponential<R: Rng>(rng: &mut R, mean: f64) -> f64 {
@@ -373,9 +468,15 @@ mod tests {
         let cases = [
             Noise::Exponential { mean: 1.0 },
             Noise::Exponential { mean: 2.5 },
-            Noise::DelayedExponential { delay: 0.5, mean: 0.5 },
+            Noise::DelayedExponential {
+                delay: 0.5,
+                mean: 0.5,
+            },
             Noise::Uniform { lo: 0.0, hi: 2.0 },
-            Noise::TwoPoint { lo: 2.0 / 3.0, hi: 4.0 / 3.0 },
+            Noise::TwoPoint {
+                lo: 2.0 / 3.0,
+                hi: 4.0 / 3.0,
+            },
             Noise::Geometric { p: 0.5 },
             Noise::Geometric { p: 0.1 },
             Noise::TruncatedNormal {
@@ -484,7 +585,7 @@ mod tests {
             let l = x.log2().round() as u32;
             let k = (l as f64).sqrt().round() as u32;
             assert_eq!(k * k, l, "sample {x} is not 2^(k^2)");
-            assert!(k >= 1 && k <= PATHOLOGICAL_MAX_K);
+            assert!((1..=PATHOLOGICAL_MAX_K).contains(&k));
         }
     }
 
@@ -525,19 +626,66 @@ mod tests {
     #[test]
     fn op_noise_same_and_per_kind() {
         let same = OpNoise::same(Noise::Exponential { mean: 1.0 });
-        assert_eq!(
-            same.for_kind(OpKind::Read),
-            same.for_kind(OpKind::Write)
-        );
+        assert_eq!(same.for_kind(OpKind::Read), same.for_kind(OpKind::Write));
         let split = OpNoise::per_kind(
             Noise::Constant { value: 1.0 },
             Noise::Uniform { lo: 0.0, hi: 1.0 },
         );
         assert!(split.is_degenerate()); // read side is constant
-        assert_eq!(split.for_kind(OpKind::Read), &Noise::Constant { value: 1.0 });
+        assert_eq!(
+            split.for_kind(OpKind::Read),
+            &Noise::Constant { value: 1.0 }
+        );
         let mut r = rng();
         assert_eq!(split.sample(OpKind::Read, &mut r), 1.0);
         assert!(split.sample(OpKind::Write, &mut r) < 1.0);
+    }
+
+    #[test]
+    fn fill_matches_sequential_sampling_exactly() {
+        let cases = [
+            Noise::Exponential { mean: 1.0 },
+            Noise::DelayedExponential {
+                delay: 0.5,
+                mean: 0.5,
+            },
+            Noise::Uniform { lo: 0.0, hi: 2.0 },
+            Noise::TwoPoint {
+                lo: 2.0 / 3.0,
+                hi: 4.0 / 3.0,
+            },
+            Noise::Geometric { p: 0.5 },
+            Noise::TruncatedNormal {
+                mean: 1.0,
+                sd: 0.2,
+                lo: 0.0,
+                hi: 2.0,
+            },
+            Noise::Constant { value: 1.0 },
+            Noise::pathological(),
+        ];
+        for noise in cases {
+            let mut a = rng();
+            let mut b = rng();
+            let sequential: Vec<f64> = (0..257).map(|_| noise.sample(&mut a)).collect();
+            let mut batched = vec![0.0; 257];
+            // Uneven batch boundaries must not matter.
+            noise.fill(&mut b, &mut batched[..100]);
+            noise.fill(&mut b, &mut batched[100..103]);
+            noise.fill(&mut b, &mut batched[103..]);
+            assert_eq!(sequential, batched, "{noise}");
+        }
+    }
+
+    #[test]
+    fn uniform_kind_detects_shared_distribution() {
+        let same = OpNoise::same(Noise::Exponential { mean: 1.0 });
+        assert_eq!(same.uniform_kind(), Some(&Noise::Exponential { mean: 1.0 }));
+        let split = OpNoise::per_kind(
+            Noise::Exponential { mean: 1.0 },
+            Noise::Uniform { lo: 0.0, hi: 1.0 },
+        );
+        assert_eq!(split.uniform_kind(), None);
     }
 
     #[test]
@@ -548,7 +696,13 @@ mod tests {
         );
         assert_eq!(Noise::pathological().to_string(), "pathological(k<=30)");
         assert_eq!(
-            Noise::TruncatedNormal { mean: 1.0, sd: 0.2, lo: 0.0, hi: 2.0 }.to_string(),
+            Noise::TruncatedNormal {
+                mean: 1.0,
+                sd: 0.2,
+                lo: 0.0,
+                hi: 2.0
+            }
+            .to_string(),
             "normal(1,0.04000000000000001) on (0,2)"
         );
     }

@@ -124,7 +124,7 @@ impl DelayPolicy {
             DelayPolicy::Constant { delta } => *delta,
             DelayPolicy::Periodic { period, extra } => {
                 let p = (*period).max(1);
-                if op_index % p == 0 {
+                if op_index.is_multiple_of(p) {
                     *extra
                 } else {
                     0.0
@@ -133,7 +133,7 @@ impl DelayPolicy {
             DelayPolicy::PerProcess(deltas) => deltas.get(pid).copied().unwrap_or(0.0),
             DelayPolicy::SaveAndSpend { m, period } => {
                 let p = (*period).max(1);
-                if op_index % p == 0 {
+                if op_index.is_multiple_of(p) {
                     *m * p as f64
                 } else {
                     0.0
@@ -322,7 +322,10 @@ mod tests {
 
     #[test]
     fn staggered_starts_grow_with_pid() {
-        let st = StartTimes::Staggered { gap: 10.0, dither: 0.0 };
+        let st = StartTimes::Staggered {
+            gap: 10.0,
+            dither: 0.0,
+        };
         let mut r = rng();
         assert_eq!(st.start_for(0, &mut r), 0.0);
         assert_eq!(st.start_for(3, &mut r), 30.0);
@@ -360,7 +363,10 @@ mod tests {
         let policies = [
             DelayPolicy::None,
             DelayPolicy::Constant { delta: 0.5 },
-            DelayPolicy::Periodic { period: 3, extra: 2.0 },
+            DelayPolicy::Periodic {
+                period: 3,
+                extra: 2.0,
+            },
             DelayPolicy::PerProcess(vec![0.1, 0.9, 0.4]),
             DelayPolicy::SaveAndSpend { m: 0.5, period: 4 },
         ];
@@ -377,12 +383,18 @@ mod tests {
 
     #[test]
     fn periodic_delays_hit_every_period() {
-        let p = DelayPolicy::Periodic { period: 4, extra: 1.5 };
+        let p = DelayPolicy::Periodic {
+            period: 4,
+            extra: 1.5,
+        };
         assert_eq!(p.delta(0, 4), 1.5);
         assert_eq!(p.delta(0, 8), 1.5);
         assert_eq!(p.delta(0, 5), 0.0);
         // period 0 is clamped to 1 (every op)
-        let always = DelayPolicy::Periodic { period: 0, extra: 1.0 };
+        let always = DelayPolicy::Periodic {
+            period: 0,
+            extra: 1.0,
+        };
         assert_eq!(always.delta(0, 1), 1.0);
     }
 
@@ -435,17 +447,22 @@ mod tests {
 
     #[test]
     fn op_increment_none_when_halted() {
-        let model =
-            TimingModel::default().with_failures(FailureModel::Random { per_op: 1.0 });
+        let model = TimingModel::default().with_failures(FailureModel::Random { per_op: 1.0 });
         let mut nr = rng();
         let mut fr = rng();
-        assert_eq!(model.op_increment(0, 1, OpKind::Write, &mut nr, &mut fr), None);
+        assert_eq!(
+            model.op_increment(0, 1, OpKind::Write, &mut nr, &mut fr),
+            None
+        );
     }
 
     #[test]
     fn builders_replace_fields() {
         let m = TimingModel::default()
-            .with_start(StartTimes::Staggered { gap: 1.0, dither: 0.0 })
+            .with_start(StartTimes::Staggered {
+                gap: 1.0,
+                dither: 0.0,
+            })
             .with_delay(DelayPolicy::Constant { delta: 0.5 })
             .with_failures(FailureModel::Random { per_op: 0.01 });
         assert_eq!(m.delay.bound_m(), 0.5);
@@ -456,7 +473,10 @@ mod tests {
     #[test]
     fn default_model_is_figure1_exponential() {
         let m = TimingModel::default();
-        assert_eq!(m.noise.for_kind(OpKind::Read), &Noise::Exponential { mean: 1.0 });
+        assert_eq!(
+            m.noise.for_kind(OpKind::Read),
+            &Noise::Exponential { mean: 1.0 }
+        );
         assert_eq!(m.failures, FailureModel::None);
         assert_eq!(m.delay, DelayPolicy::None);
     }

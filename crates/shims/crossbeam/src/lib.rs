@@ -1,0 +1,79 @@
+//! A minimal stand-in for `crossbeam::scope`, implemented over
+//! `std::thread::scope` (stable since Rust 1.63).
+//!
+//! The build environment is offline, so the real `crossbeam` cannot be
+//! fetched. Only the scoped-thread API surface this workspace uses is
+//! provided: `crossbeam::scope(|s| { s.spawn(|_| ...) })` returning a
+//! `Result` whose `Ok` is the closure's return value.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+/// Result type of [`scope`], matching crossbeam's shape (`Err` carries a
+/// child-thread panic payload; this shim propagates panics via std's
+/// scope instead, so `Err` never actually occurs).
+pub type ScopeResult<T> = std::thread::Result<T>;
+
+/// A scope handle for spawning threads that may borrow from the caller.
+///
+/// `Copy`, so it can be captured by `move` closures and re-used, exactly
+/// like crossbeam's `&Scope`.
+#[derive(Debug, Clone, Copy)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives the scope again (for
+    /// nested spawning), mirroring crossbeam's signature — call sites
+    /// that don't nest simply ignore it with `|_|`.
+    pub fn spawn<F, T>(self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        self.inner.spawn(move || f(self))
+    }
+}
+
+/// Creates a scope for spawning borrowing threads; all spawned threads
+/// are joined before this returns.
+///
+/// # Errors
+///
+/// Never returns `Err` in this shim (kept for call-site compatibility
+/// with crossbeam, whose scope reports child panics as `Err`). A panic
+/// in an unjoined child thread propagates as a panic instead.
+pub fn scope<'env, F, R>(f: F) -> ScopeResult<R>
+where
+    F: for<'scope> FnOnce(Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = super::scope(|s| {
+            let handles: Vec<_> = data.iter().map(|&x| s.spawn(move |_| x * 10)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn nested_spawn_through_the_scope_arg() {
+        let out = super::scope(|s| {
+            let h = s.spawn(|inner| {
+                let h2 = inner.spawn(|_| 21u64);
+                h2.join().unwrap() * 2
+            });
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(out, 42);
+    }
+}

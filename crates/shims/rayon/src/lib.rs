@@ -1,0 +1,261 @@
+//! A small, std-thread stand-in for the parts of the `rayon` crate this
+//! workspace uses.
+//!
+//! The build environment is fully offline, so the real `rayon` cannot be
+//! fetched. This shim provides the same names for the subset the
+//! experiment harness needs — `into_par_iter().map(f).collect()` plus a
+//! global thread-count knob — implemented with `std::thread::scope`.
+//!
+//! Semantics guaranteed (and relied on by the determinism tests):
+//!
+//! * `collect()` preserves input order exactly, so a parallel map is
+//!   **bit-for-bit identical** to its serial equivalent whenever the
+//!   mapped function is a pure function of its item.
+//! * Work is split into one contiguous chunk per worker; with one thread
+//!   the map degenerates to a plain serial loop (no thread spawn).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Global worker-count override: 0 = use available parallelism.
+static NUM_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// The number of worker threads parallel iterators will use.
+pub fn current_num_threads() -> usize {
+    let configured = NUM_THREADS.load(Ordering::Relaxed);
+    if configured != 0 {
+        return configured;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Error returned by [`ThreadPoolBuilder::build_global`] (never actually
+/// produced by this shim; kept for API compatibility).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Configures the global worker count, mirroring rayon's builder API.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Starts a builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker count (0 = available parallelism).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Installs the configuration globally. Unlike real rayon this may be
+    /// called repeatedly; the latest call wins.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        NUM_THREADS.store(self.num_threads, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+/// Parallel iterator traits and adapters.
+pub mod iter {
+    use super::current_num_threads;
+
+    /// Conversion into a (materialized) parallel iterator.
+    pub trait IntoParallelIterator {
+        /// Element type.
+        type Item: Send;
+        /// Materializes the elements for parallel consumption.
+        fn into_par_iter(self) -> ParIter<Self::Item>;
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        fn into_par_iter(self) -> ParIter<T> {
+            ParIter { items: self }
+        }
+    }
+
+    macro_rules! impl_into_par_range {
+        ($($t:ty),*) => {$(
+            impl IntoParallelIterator for std::ops::Range<$t> {
+                type Item = $t;
+                fn into_par_iter(self) -> ParIter<$t> {
+                    ParIter { items: self.collect() }
+                }
+            }
+        )*};
+    }
+
+    impl_into_par_range!(u64, u32, usize);
+
+    /// A materialized parallel iterator (this shim is eager: items are
+    /// collected up front, then mapped in ordered contiguous chunks).
+    #[derive(Debug)]
+    pub struct ParIter<T> {
+        items: Vec<T>,
+    }
+
+    impl<T: Send> ParIter<T> {
+        /// Maps each element through `f` in parallel.
+        pub fn map<U, F>(self, f: F) -> ParMap<T, F>
+        where
+            U: Send,
+            F: Fn(T) -> U + Sync,
+        {
+            ParMap {
+                items: self.items,
+                f,
+            }
+        }
+
+        /// Consumes the iterator, yielding the items in order (used by
+        /// tests and as an escape hatch).
+        pub fn into_vec(self) -> Vec<T> {
+            self.items
+        }
+    }
+
+    /// The result of [`ParIter::map`]: a pending ordered parallel map.
+    #[derive(Debug)]
+    pub struct ParMap<T, F> {
+        items: Vec<T>,
+        f: F,
+    }
+
+    impl<T, F> ParMap<T, F> {
+        /// Runs the map across the configured worker count and collects
+        /// results **in input order**.
+        pub fn collect<C>(self) -> C
+        where
+            T: Send,
+            F: Sync,
+            C: FromIterator<<F as MapFn<T>>::Output>,
+            F: MapFn<T>,
+            <F as MapFn<T>>::Output: Send,
+        {
+            run_ordered(self.items, &self.f).into_iter().collect()
+        }
+    }
+
+    /// Object-safe-ish view of `Fn(T) -> U` that lets `collect` name the
+    /// output type without an extra type parameter at the call site.
+    pub trait MapFn<T> {
+        /// The mapped output type.
+        type Output;
+        /// Applies the function.
+        fn call(&self, item: T) -> Self::Output;
+    }
+
+    impl<T, U, F: Fn(T) -> U> MapFn<T> for F {
+        type Output = U;
+        fn call(&self, item: T) -> U {
+            (*self)(item)
+        }
+    }
+
+    /// Maps `items` through `f` preserving order; chunked across workers.
+    fn run_ordered<T, F>(items: Vec<T>, f: &F) -> Vec<<F as MapFn<T>>::Output>
+    where
+        T: Send,
+        F: MapFn<T> + Sync,
+        <F as MapFn<T>>::Output: Send,
+    {
+        let n = items.len();
+        let workers = current_num_threads().max(1).min(n.max(1));
+        if workers <= 1 || n <= 1 {
+            return items.into_iter().map(|it| f.call(it)).collect();
+        }
+        let chunk = n.div_ceil(workers);
+        let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
+        let mut items = items;
+        // Split back-to-front so each split_off is O(chunk).
+        let mut bounds: Vec<usize> = (1..workers).map(|w| w * chunk).filter(|&b| b < n).collect();
+        bounds.reverse();
+        let mut tails: Vec<Vec<T>> = Vec::new();
+        for b in bounds {
+            tails.push(items.split_off(b));
+        }
+        chunks.push(items);
+        tails.reverse();
+        chunks.extend(tails);
+
+        let mut out: Vec<Vec<<F as MapFn<T>>::Output>> = Vec::new();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|c| s.spawn(move || c.into_iter().map(|it| f.call(it)).collect::<Vec<_>>()))
+                .collect();
+            for h in handles {
+                out.push(h.join().expect("parallel map worker panicked"));
+            }
+        });
+        out.into_iter().flatten().collect()
+    }
+}
+
+/// The usual rayon prelude: traits needed for `into_par_iter().map(..)`.
+pub mod prelude {
+    pub use crate::iter::{IntoParallelIterator, ParIter, ParMap};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn ordered_map_matches_serial() {
+        let serial: Vec<u64> = (0..1000u64).map(|x| x * x).collect();
+        let parallel: Vec<u64> = (0..1000u64).into_par_iter().map(|x| x * x).collect();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn vec_source_preserves_order() {
+        let v: Vec<String> = vec!["a".into(), "b".into(), "c".into()];
+        let out: Vec<String> = v.clone().into_par_iter().map(|s| format!("{s}!")).collect();
+        assert_eq!(out, vec!["a!", "b!", "c!"]);
+    }
+
+    #[test]
+    fn single_thread_config_still_completes() {
+        ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build_global()
+            .unwrap();
+        let out: Vec<u64> = (0..64u64).into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(out, (1..65u64).collect::<Vec<_>>());
+        // Restore default for other tests in this binary.
+        ThreadPoolBuilder::new()
+            .num_threads(0)
+            .build_global()
+            .unwrap();
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<u64> = Vec::<u64>::new().into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn current_num_threads_is_positive() {
+        assert!(current_num_threads() >= 1);
+    }
+}

@@ -8,9 +8,9 @@
 //! directly — independent of the consensus algorithm — along with the
 //! numeric lemmas and the statistics the experiment harness reports:
 //!
-//! * [`race`] — the delayed renewal race `S'_ir = Δ_i0 + Σ (Δ_ij + X_ij
-//!   + H_ij)`, with the winner-by-`c` detection of Theorem 10 and the
-//!   halting failures of §3.1.2.
+//! * [`race`] — the delayed renewal race
+//!   `S'_ir = Δ_i0 + Σ (Δ_ij + X_ij + H_ij)`, with the winner-by-`c`
+//!   detection of Theorem 10 and the halting failures of §3.1.2.
 //! * [`bounds`] — Lemma 5's `−x ln x` lower bound on the probability
 //!   that exactly one of a set of independent events occurs, with an
 //!   exact evaluator to compare against.

@@ -312,11 +312,12 @@ mod tests {
 
     #[test]
     fn adversarial_delays_do_not_stop_the_race() {
-        let cfg = RaceConfig::new(8, 2, Noise::Exponential { mean: 1.0 })
-            .with_delay(DelayPolicy::Periodic {
+        let cfg = RaceConfig::new(8, 2, Noise::Exponential { mean: 1.0 }).with_delay(
+            DelayPolicy::Periodic {
                 period: 3,
                 extra: 5.0,
-            });
+            },
+        );
         for seed in 0..10 {
             assert!(matches!(run_race(&cfg, seed), RaceOutcome::Winner { .. }));
         }

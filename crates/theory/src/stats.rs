@@ -265,8 +265,7 @@ mod tests {
             s.push(x);
         }
         let mean = xs.iter().sum::<f64>() / xs.len() as f64;
-        let var =
-            xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (xs.len() - 1) as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (xs.len() - 1) as f64;
         assert!((s.mean() - mean).abs() < 1e-12);
         assert!((s.sample_var() - var).abs() < 1e-12);
         assert_eq!(s.min(), 1.0);
@@ -302,7 +301,6 @@ mod tests {
         e.merge(&all);
         assert_eq!(e.count(), all.count());
         let before = all;
-        let mut all = all;
         all.merge(&OnlineStats::new());
         assert_eq!(all.count(), before.count());
     }

@@ -47,7 +47,10 @@ fn main() {
     }
 
     println!("\nspace accounting (Theorem 15):");
-    println!("  lean arrays a0/a1:    {lean_words} bits ({} rounds + sentinels)", r_max);
+    println!(
+        "  lean arrays a0/a1:    {lean_words} bits ({} rounds + sentinels)",
+        r_max
+    );
     println!(
         "  recommended r_max(n): {} = O(log² n), so backup runs with probability n^-c",
         recommended_r_max(n)

@@ -40,7 +40,9 @@ fn main() {
     let crash_count = (n - 1) / 2;
     if crash_count > 0 {
         println!("\n-- again, crashing {crash_count} node(s) mid-run --");
-        let crashes: Vec<(u32, u64)> = (0..crash_count as u32).map(|i| (i, 50 + 80 * i as u64)).collect();
+        let crashes: Vec<(u32, u64)> = (0..crash_count as u32)
+            .map(|i| (i, 50 + 80 * i as u64))
+            .collect();
         let cfg = MsgConfig::new(n, Noise::Exponential { mean: 1.0 }).with_crashes(crashes);
         let report = run_message_passing(&cfg, seed + 1);
         assert!(report.completed);

@@ -43,7 +43,11 @@ fn every_algorithm_under_every_driver_is_safe() {
         let mut inst = setup::build(alg, &inputs, 2);
         let mut adv = RandomInterleave::new(stream_rng(2, 0, 4));
         let report = run_adversarial(&mut inst, &mut adv, Limits::run_to_completion());
-        assert_eq!(report.outcome, RunOutcome::AllDecided, "{alg:?} adversarial");
+        assert_eq!(
+            report.outcome,
+            RunOutcome::AllDecided,
+            "{alg:?} adversarial"
+        );
         report.check_safety(&inputs).unwrap();
 
         // Hybrid driver (random legal policy).
@@ -99,7 +103,11 @@ fn noisy_and_adversarial_agree_with_native_on_unanimity_cost() {
         let mut inst = setup::build(Algorithm::Lean, &inputs, 1);
         let timing = TimingModel::figure1(Noise::Geometric { p: 0.5 });
         let report = run_noisy(&mut inst, &timing, 1, Limits::run_to_completion());
-        assert!(report.ops.iter().all(|&o| o == 8), "noisy: {:?}", report.ops);
+        assert!(
+            report.ops.iter().all(|&o| o == 8),
+            "noisy: {:?}",
+            report.ops
+        );
 
         let native = noisy_consensus::NativeConsensus::new();
         let d = native.propose(input).unwrap();
@@ -156,7 +164,10 @@ fn bounded_protocol_backup_rate_is_low_under_noise() {
 #[test]
 fn deterministic_reports_across_identical_runs() {
     let inputs = setup::half_and_half(12);
-    let timing = TimingModel::figure1(Noise::TwoPoint { lo: 2.0 / 3.0, hi: 4.0 / 3.0 });
+    let timing = TimingModel::figure1(Noise::TwoPoint {
+        lo: 2.0 / 3.0,
+        hi: 4.0 / 3.0,
+    });
     let run = |seed| {
         let mut inst = setup::build(Algorithm::Lean, &inputs, seed);
         let r = run_noisy(&mut inst, &timing, seed, Limits::run_to_completion());

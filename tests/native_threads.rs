@@ -16,7 +16,7 @@ fn stress_agreement_many_trials() {
                 .map(|i| {
                     let c = Arc::clone(&consensus);
                     s.spawn(move |_| {
-                        c.propose(Bit::from((i as u64 + trial) % 2 == 0))
+                        c.propose(Bit::from((i as u64 + trial).is_multiple_of(2)))
                             .expect("round limit")
                     })
                 })
@@ -50,7 +50,11 @@ fn native_decisions_are_fast_in_practice() {
                     s.spawn(move |_| c.propose(Bit::from(i % 2 == 0)).unwrap().round)
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).max().unwrap()
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .max()
+                .unwrap()
         })
         .unwrap();
         assert!(max_round <= 64, "trial {trial}: round {max_round}");
@@ -109,7 +113,9 @@ fn many_consensus_objects_in_parallel() {
             let objects: Vec<_> = objects.iter().map(Arc::clone).collect();
             s.spawn(move |_| {
                 for (k, obj) in objects.iter().enumerate() {
-                    let _ = obj.propose(Bit::from((k as u64 + t) % 2 == 0)).unwrap();
+                    let _ = obj
+                        .propose(Bit::from((k as u64 + t).is_multiple_of(2)))
+                        .unwrap();
                 }
             });
         }

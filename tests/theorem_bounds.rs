@@ -59,7 +59,10 @@ fn theorem12_with_random_failures() {
     }
     // With h = 1%, a 32-process race virtually always produces a winner
     // before extinction.
-    assert!(decided >= trials * 9 / 10, "only {decided}/{trials} decided");
+    assert!(
+        decided >= trials * 9 / 10,
+        "only {decided}/{trials} decided"
+    );
 }
 
 /// Theorem 13's lower-bound mechanism: with the two-point {1,2}
@@ -81,10 +84,7 @@ fn theorem13_two_point_is_slowest() {
     );
     // And it grows with n (the Ω(log n) direction).
     let small = mean_first_round(Noise::theorem13(), 2, 200, 0xB0B);
-    assert!(
-        two_point > small + 0.3,
-        "no growth: {small} -> {two_point}"
-    );
+    assert!(two_point > small + 0.3, "no growth: {small} -> {two_point}");
 }
 
 /// Theorem 14: quantum ≥ 8 ⇒ ≤ 12 ops per process, adversarial
