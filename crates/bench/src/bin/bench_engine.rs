@@ -1,26 +1,42 @@
 //! Machine-readable engine benchmark: measures the optimized engine
 //! against the naive BinaryHeap baseline and the parallel sweep's
 //! multi-worker scaling, then writes `BENCH_engine.json` so future PRs
-//! can track the performance trajectory.
+//! can track the performance trajectory. Doubles as the CI performance
+//! gate: exits nonzero if the optimized engine falls below
+//! `--min-speedup` (default 1.5x) over the baseline at n = 100.
 //!
 //! Usage:
-//! `cargo run --release -p nc-bench --bin bench_engine [-- --trials 3000 --out BENCH_engine.json]`
+//! `cargo run --release -p nc-bench --bin bench_engine [-- --trials 3000 --min-speedup 1.5 --out BENCH_engine.json]`
 //!
 //! Workload: the acceptance configuration — Figure 1 point, `n = 100`
 //! (plus 1000 and 10000 for the scaling picture), `U(0, 2)` noise,
 //! first-decision cutoff, one full trial per iteration (instance setup
 //! included, exactly like `fig1::point`). Every number is a best-of-R
 //! measurement to shrug off scheduler noise.
+//!
+//! Per n, five single-thread cells: the naive baseline, the sequential
+//! optimized engine (scratch reuse, auto queue), the same engine with
+//! the queue forced to heap and to tree (the queue ablation backing
+//! [`nc_sched::select::TREE_MIN_N`]), and the `--lanes`-wide pipelined
+//! engine (K trials in lockstep — still one thread; the lane-interleave
+//! ablation behind [`nc_bench::PIPELINE_LANES`]). The headline
+//! "optimized" number is the best of sequential and pipelined.
 
 use std::io::Write as _;
 use std::time::Instant;
 
-use nc_bench::{arg, configure_threads, experiments::fig1};
+use nc_bench::{
+    arg, configure_threads, experiments::fig1, par_lean_trials_pipelined, PIPELINE_LANES,
+};
 use nc_engine::baseline::run_noisy_baseline;
-use nc_engine::{noisy::run_noisy_scratch, setup, EngineScratch, Limits};
+use nc_engine::{noisy::run_noisy_scratch, setup, EngineScratch, Limits, QueuePolicy};
 use nc_sched::{Noise, TimingModel};
 
 const REPEATS: usize = 3;
+
+fn timing() -> TimingModel {
+    TimingModel::figure1(Noise::Uniform { lo: 0.0, hi: 2.0 })
+}
 
 /// Best-of-R wall time for `f`, returning (seconds, events).
 fn best_of<F: FnMut() -> u64>(mut f: F) -> (f64, u64) {
@@ -35,7 +51,7 @@ fn best_of<F: FnMut() -> u64>(mut f: F) -> (f64, u64) {
 }
 
 fn bench_naive(n: usize, trials: u64) -> (f64, u64) {
-    let timing = TimingModel::figure1(Noise::Uniform { lo: 0.0, hi: 2.0 });
+    let timing = timing();
     let inputs = setup::half_and_half(n);
     best_of(|| {
         let mut events = 0;
@@ -48,10 +64,11 @@ fn bench_naive(n: usize, trials: u64) -> (f64, u64) {
     })
 }
 
-fn bench_optimized(n: usize, trials: u64) -> (f64, u64) {
-    let timing = TimingModel::figure1(Noise::Uniform { lo: 0.0, hi: 2.0 });
+/// Sequential optimized engine with a chosen queue policy.
+fn bench_sequential(n: usize, trials: u64, policy: QueuePolicy) -> (f64, u64) {
+    let timing = timing();
     let inputs = setup::half_and_half(n);
-    let mut scratch = EngineScratch::new();
+    let mut scratch = EngineScratch::with_queue(policy);
     let mut inst = setup::build_lean(&inputs);
     best_of(|| {
         let mut events = 0;
@@ -70,35 +87,75 @@ fn bench_optimized(n: usize, trials: u64) -> (f64, u64) {
     })
 }
 
+/// The full optimized stack: pipelined lanes, auto queue. Run on one
+/// worker so the number stays a single-thread measurement.
+fn bench_pipelined(n: usize, trials: u64, lanes: usize) -> (f64, u64) {
+    let timing = timing();
+    let inputs = setup::half_and_half(n);
+    best_of(|| {
+        par_lean_trials_pipelined(
+            trials,
+            lanes,
+            &inputs,
+            &timing,
+            Limits::first_decision(),
+            |t| t,
+            |report| report.total_ops,
+        )
+        .iter()
+        .sum()
+    })
+}
+
 fn main() {
     let trials: u64 = arg("trials", 2000);
+    // The pipelined column is the lane-interleave ablation; 4 lanes by
+    // default regardless of the production PIPELINE_LANES setting, so
+    // the K > 1 trade stays measured on every record.
+    let lanes: usize = arg("lanes", 4);
+    let min_speedup: f64 = arg("min-speedup", 1.5);
     let out: String = arg("out", "BENCH_engine.json".to_string());
     let cores = std::thread::available_parallelism()
         .map(|c| c.get())
         .unwrap_or(1);
 
+    // Single-thread cells (the pipelined bench goes through the worker
+    // pool; pin it to one worker).
+    configure_threads(1);
     let mut single = String::new();
     let mut speedup_n100 = 0.0;
     for (i, &n) in [100usize, 1000, 10_000].iter().enumerate() {
         let t = (trials / (n as u64 / 100).max(1)).max(20);
         let (naive_s, naive_ev) = bench_naive(n, t);
-        let (opt_s, opt_ev) = bench_optimized(n, t);
-        assert_eq!(naive_ev, opt_ev, "engines diverged at n = {n}");
+        let (seq_s, seq_ev) = bench_sequential(n, t, QueuePolicy::Auto);
+        let (heap_s, _) = bench_sequential(n, t, QueuePolicy::Heap);
+        let (tree_s, _) = bench_sequential(n, t, QueuePolicy::Tree);
+        let (pipe_s, pipe_ev) = bench_pipelined(n, t, lanes);
+        assert_eq!(naive_ev, seq_ev, "engines diverged at n = {n}");
+        assert_eq!(naive_ev, pipe_ev, "pipelined engine diverged at n = {n}");
         let naive_eps = naive_ev as f64 / naive_s;
-        let opt_eps = opt_ev as f64 / opt_s;
-        let speedup = opt_eps / naive_eps;
+        let seq_eps = seq_ev as f64 / seq_s;
+        let heap_eps = naive_ev as f64 / heap_s;
+        let tree_eps = naive_ev as f64 / tree_s;
+        let pipe_eps = pipe_ev as f64 / pipe_s;
+        // The headline is the best single-thread configuration — on the
+        // reference VM that is the sequential engine (lanes = 1); the
+        // pipelined column stays as the recorded K-lane ablation.
+        let best_eps = seq_eps.max(pipe_eps);
+        let speedup = best_eps / naive_eps;
         if n == 100 {
             speedup_n100 = speedup;
         }
         eprintln!(
-            "n={n}: naive {naive_eps:.3e} events/s, optimized {opt_eps:.3e} events/s, speedup {speedup:.2}x"
+            "n={n}: naive {naive_eps:.3e} ev/s, sequential {seq_eps:.3e} (heap {heap_eps:.3e}, tree {tree_eps:.3e}), pipelined x{lanes} {pipe_eps:.3e} ev/s, speedup {speedup:.2}x"
         );
         if i > 0 {
             single.push(',');
         }
         single.push_str(&format!(
-            "\n    {{\"n\": {n}, \"trials\": {t}, \"events_per_trial\": {:.1}, \"naive_events_per_sec\": {naive_eps:.1}, \"optimized_events_per_sec\": {opt_eps:.1}, \"speedup\": {speedup:.3}}}",
-            naive_ev as f64 / t as f64
+            "\n    {{\"n\": {n}, \"trials\": {t}, \"events_per_trial\": {:.1}, \"naive_events_per_sec\": {naive_eps:.1}, \"heap_events_per_sec\": {heap_eps:.1}, \"tree_events_per_sec\": {tree_eps:.1}, \"pipelined_{lanes}lane_events_per_sec\": {pipe_eps:.1}, \"optimized_events_per_sec\": {best_eps:.1}, \"speedup\": {speedup:.3}, \"speedup_sequential\": {:.3}}}",
+            naive_ev as f64 / t as f64,
+            seq_eps / naive_eps
         ));
     }
 
@@ -136,9 +193,16 @@ fn main() {
     configure_threads(0);
 
     let json = format!(
-        "{{\n  \"workload\": \"fig1 point: n procs, U(0,2) noise, first-decision cutoff, full trial incl. instance setup\",\n  \"baseline\": \"naive BinaryHeap driver (nc_engine::baseline, seed implementation)\",\n  \"host_cores\": {cores},\n  \"trials_n100\": {trials},\n  \"single_thread\": [{single}\n  ],\n  \"speedup_n100\": {speedup_n100:.3},\n  \"sweep_scaling_n100\": [{scaling}\n  ],\n  \"notes\": \"Numbers from `cargo run --release -p nc-bench --bin bench_engine`; best-of-{REPEATS} wall time per cell. Multi-worker sweep rows only appear on multi-core hosts. On the 1-core reference VM a queue-free random-order ablation of the execution core alone measured ~46 ns/event vs ~100 for the whole naive driver, bounding any queue-side speedup there below ~2.2x; re-measure on real multi-core hardware.\"\n}}\n"
+        "{{\n  \"workload\": \"fig1 point: n procs, U(0,2) noise, first-decision cutoff, full trial incl. instance setup\",\n  \"baseline\": \"naive BinaryHeap driver (nc_engine::baseline, seed implementation)\",\n  \"optimized\": \"SoA scratch engine, auto queue (heap < TREE_MIN_N <= tree); best of sequential (PIPELINE_LANES={PIPELINE_LANES}) and the {lanes}-lane pipelined ablation, one thread\",\n  \"host_cores\": {cores},\n  \"trials_n100\": {trials},\n  \"single_thread\": [{single}\n  ],\n  \"speedup_n100\": {speedup_n100:.3},\n  \"sweep_scaling_n100\": [{scaling}\n  ],\n  \"notes\": \"Numbers from `cargo run --release -p nc-bench --bin bench_engine`; best-of-{REPEATS} wall time per cell. speedup_sequential isolates the engine without trial pipelining; heap/tree columns are the queue ablation behind TREE_MIN_N; the pipelined column is the K-lane lockstep interleave. On the 1-core reference VM the interleave LOSES (K working sets overflow the VM's cache, and the serial queue-free execution-core ablation of ~46 ns/event leaves no memory-level parallelism to harvest), so PIPELINE_LANES defaults to 1 there; re-measure --lanes 2..8 on hardware with real per-core cache. Multi-worker sweep rows only appear on multi-core hosts.\"\n}}\n"
     );
     let mut file = std::fs::File::create(&out).expect("create output file");
     file.write_all(json.as_bytes()).expect("write json");
     println!("wrote {out}");
+
+    if speedup_n100 < min_speedup {
+        eprintln!(
+            "PERF REGRESSION: optimized engine is {speedup_n100:.3}x the naive baseline at n=100 (gate: {min_speedup}x)"
+        );
+        std::process::exit(1);
+    }
 }

@@ -8,18 +8,21 @@
 //! 10 000 trials per point up to `n = 100 000`; trials here scale down
 //! with `n` to keep the event budget laptop-sized (tunable).
 //!
-//! Trials fan out across the worker pool ([`crate::par_trial_chunks`]),
-//! each worker reusing one [`EngineScratch`] and one monomorphized lean
-//! instance; per-trial seeds derive from the trial index alone, so the
-//! sweep is **bit-for-bit identical** at every `--threads` setting
-//! (pinned by the determinism regression tests).
+//! Trials fan out across the worker pool
+//! ([`crate::par_lean_trials_pipelined`]), each worker advancing
+//! [`crate::PIPELINE_LANES`] monomorphized lean trials in lockstep
+//! (software pipelining; 1 lane — plain sequential trials — on the
+//! reference VM, where the interleave measures as a loss). Per-trial
+//! seeds derive from the trial index alone and lanes share no state, so
+//! the sweep is **bit-for-bit identical** at every `--threads` setting
+//! and every lane width (pinned by the determinism regression tests).
 
-use nc_engine::{noisy::run_noisy_scratch, setup, EngineScratch, Limits};
+use nc_engine::{setup, Limits};
 use nc_sched::{Noise, TimingModel};
 use nc_theory::OnlineStats;
 
 use crate::table::{f2, Table};
-use crate::{figure1_ns, par_trial_chunks, trials_for};
+use crate::{figure1_ns, par_lean_trials_pipelined, trials_for, PIPELINE_LANES};
 
 /// One measured Figure 1 point: first-decision round statistics plus
 /// the number of trials that were skipped because they never produced a
@@ -59,15 +62,14 @@ pub fn point(noise: Noise, n: usize, trials: u64, seed0: u64) -> PointStats {
         Limits::first_decision()
     };
 
-    let rounds: Vec<Option<usize>> = par_trial_chunks(
+    let rounds: Vec<Option<usize>> = par_lean_trials_pipelined(
         trials,
-        || (EngineScratch::new(), setup::build_lean(&inputs)),
-        |(scratch, inst), t| {
-            let seed = trial_seed(seed0, t);
-            inst.rebuild(&inputs);
-            let report = run_noisy_scratch(scratch, inst, &timing, seed, limits);
-            report.first_decision_round
-        },
+        PIPELINE_LANES,
+        &inputs,
+        &timing,
+        limits,
+        |t| trial_seed(seed0, t),
+        |report| report.first_decision_round,
     );
 
     // Fold in trial order: Welford accumulation order affects the

@@ -19,8 +19,13 @@ pub mod table;
 
 pub use table::Table;
 
-use nc_engine::EngineScratch;
+use nc_engine::noisy::run_noisy_batch;
+use nc_engine::{setup, EngineScratch, Instance, Limits, RunReport};
+use nc_memory::Bit;
+use nc_sched::TimingModel;
 use rayon::prelude::*;
+
+use nc_core::LeanConsensus;
 
 /// Configures the worker count for all parallel trial sweeps
 /// (0 = one worker per available core). Binaries expose this as
@@ -96,6 +101,97 @@ where
     F: Fn(&mut EngineScratch, u64) -> T + Sync,
 {
     par_trial_chunks(trials, EngineScratch::new, f)
+}
+
+/// Lanes each worker interleaves in the software-pipelined sweep
+/// ([`par_lean_trials_pipelined`]) by default.
+///
+/// Interleaving K > 1 independent trials multiplies the per-worker
+/// working set by K in exchange for overlapping the lanes' cache-miss
+/// chains. On the 1-core reference VM that trade **loses** at every
+/// measured scale (2 lanes: −8% at n = 1000, −25% at n = 10000; 4
+/// lanes: worse — see `BENCH_engine.json`'s pipelined column), because
+/// the VM's cache is too small to hold even two lanes' state, so the
+/// default is 1 (sequential trials, zero overhead — `bench_engine`
+/// asserts the K > 1 path stays bit-identical). Raise it via the
+/// `lanes` argument on hardware with enough private cache per core for
+/// K working sets; re-measure with
+/// `cargo run --release -p nc-bench --bin bench_engine -- --lanes K`.
+pub const PIPELINE_LANES: usize = 1;
+
+/// The software-pipelined variant of [`par_trial_chunks`] for
+/// monomorphized lean-consensus sweeps — the Figure 1 hot path.
+///
+/// Trials split into contiguous chunks across the worker pool exactly
+/// like [`par_trial_chunks`]; within a chunk, each worker advances up
+/// to `lanes` trials in lockstep through
+/// [`nc_engine::noisy::run_noisy_batch`], one event per lane per turn,
+/// so the lanes' independent dependency chains overlap in the core's
+/// pipeline (hiding queue-pop latency). Trial `t` runs with seed
+/// `seed_of(t)` on a fresh rebuild of `inputs`; `finish` maps its
+/// [`RunReport`] to the result. Results come back **in trial order**.
+///
+/// Determinism contract: lanes share no state and every trial is a pure
+/// function of its index, so the output is bit-for-bit identical for
+/// every worker count *and* every lane width, including `lanes == 1`
+/// (pinned by the determinism regression tests).
+pub fn par_lean_trials_pipelined<T, SeedF, FinF>(
+    trials: u64,
+    lanes: usize,
+    inputs: &[Bit],
+    timing: &TimingModel,
+    limits: Limits,
+    seed_of: SeedF,
+    finish: FinF,
+) -> Vec<T>
+where
+    T: Send,
+    SeedF: Fn(u64) -> u64 + Sync,
+    FinF: Fn(RunReport) -> T + Sync,
+{
+    if trials == 0 {
+        return Vec::new();
+    }
+    let lanes = lanes.max(1);
+    let workers = rayon::current_num_threads().max(1) as u64;
+    let chunk = trials.div_ceil(workers * 4).max(1);
+    let ranges: Vec<(u64, u64)> = (0..trials)
+        .step_by(chunk as usize)
+        .map(|lo| (lo, (lo + chunk).min(trials)))
+        .collect();
+    let nested: Vec<Vec<T>> = ranges
+        .into_par_iter()
+        .map(|(lo, hi)| {
+            let width = lanes.min((hi - lo) as usize);
+            let mut scratches: Vec<EngineScratch> =
+                (0..width).map(|_| EngineScratch::new()).collect();
+            let mut insts: Vec<Instance<LeanConsensus>> =
+                (0..width).map(|_| setup::build_lean(inputs)).collect();
+            let mut seeds = vec![0u64; width];
+            let mut out = Vec::with_capacity((hi - lo) as usize);
+            let mut t = lo;
+            while t < hi {
+                let g = ((hi - t) as usize).min(width);
+                for (j, seed) in seeds[..g].iter_mut().enumerate() {
+                    *seed = seed_of(t + j as u64);
+                }
+                for inst in insts[..g].iter_mut() {
+                    inst.rebuild(inputs);
+                }
+                let reports = run_noisy_batch(
+                    &mut scratches[..g],
+                    &mut insts[..g],
+                    timing,
+                    &seeds[..g],
+                    limits,
+                );
+                out.extend(reports.into_iter().map(&finish));
+                t += g as u64;
+            }
+            out
+        })
+        .collect();
+    nested.into_iter().flatten().collect()
 }
 
 /// The paper's Figure 1 x-axis: 1, 2, 5 per decade, from 1 to `max_n`.

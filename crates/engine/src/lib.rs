@@ -58,6 +58,10 @@ pub mod setup;
 
 pub use adversarial::run_adversarial;
 pub use hybrid::run_hybrid;
-pub use noisy::{run_noisy, run_noisy_scratch, run_noisy_with, EngineScratch};
+pub use noisy::{run_noisy, run_noisy_batch, run_noisy_scratch, run_noisy_with, EngineScratch};
 pub use report::{Limits, RunOutcome, RunReport};
 pub use setup::{build, half_and_half, Algorithm, Instance};
+
+// Re-exported so engine callers can pick a queue without importing
+// nc-sched directly.
+pub use nc_sched::select::{QueueKind, QueuePolicy};

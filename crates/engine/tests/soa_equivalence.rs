@@ -1,0 +1,265 @@
+//! The SoA engine's oracle-pinning suite: the optimized driver (SoA
+//! scratch, either queue, any pipeline width) must produce **byte
+//! identical** [`nc_engine::RunReport`]s to the naive BinaryHeap
+//! baseline (`nc_engine::baseline`, the untouched seed implementation)
+//! across the full scenario matrix — algorithms × noise distributions ×
+//! crash adversaries × failure models × both queue implementations.
+//!
+//! Runs only with the `baseline` feature (which compiles the oracle
+//! into the library): `cargo test -p nc-engine --features baseline`.
+//! Workspace-level `cargo test --workspace` also enables it through
+//! `nc-bench`'s feature unification; CI carries an explicit
+//! `--features baseline` leg so the suite can never silently vanish.
+
+#![cfg(feature = "baseline")]
+
+use nc_engine::baseline::{run_noisy_baseline, run_noisy_with_baseline};
+use nc_engine::noisy::run_noisy_batch;
+use nc_engine::{
+    run_noisy_scratch, setup, Algorithm, EngineScratch, Limits, QueuePolicy, RunReport,
+};
+use nc_memory::Bit;
+use nc_sched::adversary::{CrashAdversary, CrashScript, LeaderKiller};
+use nc_sched::{DelayPolicy, FailureModel, Noise, StartTimes, TimingModel};
+
+const QUEUES: [QueuePolicy; 3] = [QueuePolicy::Heap, QueuePolicy::Tree, QueuePolicy::Auto];
+
+fn algorithms() -> [Algorithm; 5] {
+    [
+        Algorithm::Lean,
+        Algorithm::Skipping,
+        Algorithm::Randomized,
+        Algorithm::Bounded { r_max: 8 },
+        Algorithm::Backup,
+    ]
+}
+
+/// Runs `(alg, inputs, timing, seed, limits)` through the optimized
+/// engine under `policy` and asserts the report equals the baseline's.
+fn assert_matches_oracle(
+    alg: Algorithm,
+    inputs: &[Bit],
+    timing: &TimingModel,
+    seed: u64,
+    limits: Limits,
+    policy: QueuePolicy,
+) -> RunReport {
+    let mut scratch = EngineScratch::with_queue(policy);
+    let mut inst_opt = setup::build(alg, inputs, seed);
+    let mut inst_ref = setup::build(alg, inputs, seed);
+    let optimized = run_noisy_scratch(&mut scratch, &mut inst_opt, timing, seed, limits);
+    let oracle = run_noisy_baseline(&mut inst_ref, timing, seed, limits);
+    assert_eq!(
+        optimized, oracle,
+        "{alg:?} × {timing:?} × seed {seed} × {policy:?}"
+    );
+    optimized
+}
+
+/// The headline matrix: every algorithm × every Figure 1 noise
+/// distribution × both queues (plus auto), run to completion and to
+/// first decision.
+#[test]
+fn algorithms_by_noise_by_queue_match_oracle() {
+    for alg in algorithms() {
+        for (_, noise) in Noise::figure1_suite() {
+            let timing = TimingModel::figure1(noise);
+            for policy in QUEUES {
+                for seed in 0..2 {
+                    assert_matches_oracle(
+                        alg,
+                        &setup::half_and_half(8),
+                        &timing,
+                        seed,
+                        Limits::run_to_completion(),
+                        policy,
+                    );
+                    assert_matches_oracle(
+                        alg,
+                        &setup::alternating(6),
+                        &timing,
+                        seed,
+                        Limits::first_decision(),
+                        policy,
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Random halting failures across both queues (exercises the general
+/// loop's stale-event drain and the failure-RNG stream order).
+#[test]
+fn random_failures_by_queue_match_oracle() {
+    for per_op in [0.01, 0.2, 0.9] {
+        let timing = TimingModel::figure1(Noise::Exponential { mean: 1.0 })
+            .with_failures(FailureModel::Random { per_op });
+        for policy in QUEUES {
+            for seed in 0..3 {
+                assert_matches_oracle(
+                    Algorithm::Lean,
+                    &setup::half_and_half(8),
+                    &timing,
+                    seed,
+                    Limits::run_to_completion(),
+                    policy,
+                );
+            }
+        }
+    }
+}
+
+/// Adaptive and scripted crash adversaries across both queues, with
+/// histories compared event by event.
+#[test]
+fn crash_adversaries_by_queue_match_oracle() {
+    let timing = TimingModel::figure1(Noise::Exponential { mean: 1.0 });
+    type MakeCrash = fn() -> Box<dyn CrashAdversary>;
+    let adversaries: [MakeCrash; 3] = [
+        || Box::new(LeaderKiller::new(3, 2)),
+        || Box::new(CrashScript::new(vec![(0, 1), (2, 5)])),
+        || Box::new(CrashScript::new(vec![(1, 3)])),
+    ];
+    for make in adversaries {
+        for policy in QUEUES {
+            for seed in 0..3 {
+                let inputs = setup::half_and_half(6);
+                let mut scratch = EngineScratch::with_queue(policy);
+                let mut inst_opt = setup::build(Algorithm::Lean, &inputs, seed);
+                let mut inst_ref = setup::build(Algorithm::Lean, &inputs, seed);
+                let mut crash_opt = make();
+                let mut crash_ref = make();
+                let mut hist_opt = Vec::new();
+                let mut hist_ref = Vec::new();
+                let optimized = nc_engine::noisy::run_noisy_with_scratch(
+                    &mut scratch,
+                    &mut inst_opt,
+                    &timing,
+                    seed,
+                    Limits::run_to_completion(),
+                    Some(crash_opt.as_mut()),
+                    Some(&mut hist_opt),
+                );
+                let oracle = run_noisy_with_baseline(
+                    &mut inst_ref,
+                    &timing,
+                    seed,
+                    Limits::run_to_completion(),
+                    Some(crash_ref.as_mut()),
+                    Some(&mut hist_ref),
+                );
+                assert_eq!(optimized, oracle, "crash × {policy:?} × seed {seed}");
+                assert_eq!(
+                    hist_opt, hist_ref,
+                    "history diverged, {policy:?} seed {seed}"
+                );
+            }
+        }
+    }
+}
+
+/// Per-kind noise (batching disabled), adversarial delay policies, and
+/// non-default start times — the general loop's sampling paths — across
+/// both queues.
+#[test]
+fn general_loop_configs_by_queue_match_oracle() {
+    let configs = [
+        TimingModel {
+            start: StartTimes::dithered(),
+            delay: DelayPolicy::Periodic {
+                period: 3,
+                extra: 0.5,
+            },
+            noise: nc_sched::OpNoise::per_kind(
+                Noise::Exponential { mean: 1.0 },
+                Noise::Uniform { lo: 0.0, hi: 2.0 },
+            ),
+            failures: FailureModel::None,
+        },
+        TimingModel::figure1(Noise::Uniform { lo: 0.0, hi: 2.0 }).with_start(
+            StartTimes::Staggered {
+                gap: 50.0,
+                dither: 0.25,
+            },
+        ),
+        TimingModel::figure1(Noise::Geometric { p: 0.5 })
+            .with_delay(DelayPolicy::SaveAndSpend { m: 0.5, period: 4 }),
+    ];
+    for timing in &configs {
+        for policy in QUEUES {
+            for seed in 0..2 {
+                assert_matches_oracle(
+                    Algorithm::Lean,
+                    &setup::half_and_half(9),
+                    timing,
+                    seed,
+                    Limits::run_to_completion(),
+                    policy,
+                );
+            }
+        }
+    }
+}
+
+/// A run big enough that `QueuePolicy::Auto` actually selects the tree
+/// (n ≥ TREE_MIN_N) stays pinned to the oracle.
+#[test]
+fn auto_policy_above_tree_threshold_matches_oracle() {
+    let n = nc_sched::select::TREE_MIN_N;
+    let timing = TimingModel::figure1(Noise::Uniform { lo: 0.0, hi: 2.0 });
+    let report = assert_matches_oracle(
+        Algorithm::Lean,
+        &setup::half_and_half(n),
+        &timing,
+        1,
+        Limits::first_decision(),
+        QueuePolicy::Auto,
+    );
+    assert!(report.first_decision_round.is_some());
+}
+
+/// Determinism across pipeline widths: a sweep's reports are identical
+/// whether trials run one at a time or interleaved K-wide, for several
+/// K — and equal to the oracle's, trial by trial.
+#[test]
+fn pipelined_widths_match_sequential_and_oracle() {
+    let timing = TimingModel::figure1(Noise::Uniform { lo: 0.0, hi: 2.0 });
+    let inputs = setup::half_and_half(10);
+    let trials: u64 = 12;
+    let seed_of = |t: u64| 900 + t * 13;
+
+    let sweep = |width: usize| -> Vec<RunReport> {
+        let mut out = Vec::new();
+        let mut scratches: Vec<EngineScratch> = (0..width).map(|_| EngineScratch::new()).collect();
+        let mut t = 0;
+        while t < trials {
+            let g = ((trials - t) as usize).min(width);
+            let seeds: Vec<u64> = (0..g as u64).map(|j| seed_of(t + j)).collect();
+            let mut insts: Vec<_> = seeds
+                .iter()
+                .map(|&s| setup::build(Algorithm::Lean, &inputs, s))
+                .collect();
+            out.extend(run_noisy_batch(
+                &mut scratches[..g],
+                &mut insts,
+                &timing,
+                &seeds,
+                Limits::first_decision(),
+            ));
+            t += g as u64;
+        }
+        out
+    };
+
+    let sequential = sweep(1);
+    for width in [2usize, 3, 4, 7] {
+        assert_eq!(sweep(width), sequential, "width {width} diverged");
+    }
+    for (t, report) in sequential.iter().enumerate() {
+        let seed = seed_of(t as u64);
+        let mut inst = setup::build(Algorithm::Lean, &inputs, seed);
+        let oracle = run_noisy_baseline(&mut inst, &timing, seed, Limits::first_decision());
+        assert_eq!(*report, oracle, "trial {t} diverged from oracle");
+    }
+}

@@ -44,6 +44,7 @@ pub mod hybrid;
 pub mod noise;
 pub mod queue;
 pub mod rng;
+pub mod select;
 pub mod timing;
 pub mod tree;
 
@@ -53,5 +54,6 @@ pub use hybrid::{HybridPolicy, HybridSpec, HybridView};
 pub use noise::{Noise, OpNoise};
 pub use queue::{Event as QueuedEvent, EventQueue};
 pub use rng::stream_rng;
+pub use select::{QueueKind, QueuePolicy, SimQueue};
 pub use timing::{DelayPolicy, FailureModel, StartTimes, TimingModel};
 pub use tree::EventTree;

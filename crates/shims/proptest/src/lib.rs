@@ -9,13 +9,22 @@
 //!   `#![proptest_config(ProptestConfig::with_cases(n))]` header);
 //! * [`Strategy`] implementations for numeric ranges, `any::<T>()`,
 //!   tuples, and [`collection::vec`];
-//! * [`prop_assert!`] / [`prop_assert_eq!`].
+//! * [`prop_assert!`] / [`prop_assert_eq!`];
+//! * **bounded shrinking**: when a case fails, the runner retries with
+//!   smaller inputs — vectors truncated to their minimum length, half,
+//!   and all-but-last; numbers halved toward their range's start; tuple
+//!   components shrunk one at a time — adopting any candidate that
+//!   still fails, up to [`MAX_SHRINK_STEPS`] steps. The final panic
+//!   reports the failing case index plus the minimized counterexample,
+//!   so schedule-shaped failures (`Vec<usize>` scripts) come back
+//!   short.
 //!
 //! Differences from real proptest, by design: cases are generated from a
 //! **deterministic** per-test seed (derived from the test's module path
-//! and name), and failing cases are **not shrunk** — the panic message
-//! includes the case index so a failure is still reproducible by
-//! construction.
+//! and name), shrinking is truncation/halving only (no per-element
+//! exploration, no persistence file), and intermediate failing shrink
+//! attempts print their panic messages (the default hook is left alone
+//! because tests run concurrently).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -47,12 +56,29 @@ impl Default for ProptestConfig {
     }
 }
 
+/// Upper bound on adopted shrink steps per failing case: enough to
+/// halve any generated vector down to its minimum length several times
+/// over, small enough that a flaky environment can't loop for long.
+pub const MAX_SHRINK_STEPS: u32 = 64;
+
 /// A generator of test inputs.
 pub trait Strategy {
-    /// The type of value generated.
-    type Value;
+    /// The type of value generated. `Clone` lets the shrinker re-run
+    /// the property body on candidates; `Debug` lets the final panic
+    /// print the minimized counterexample.
+    type Value: Clone + std::fmt::Debug;
+
     /// Generates one value.
     fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+
+    /// Candidate simplifications of a failing `value`, most aggressive
+    /// first. Candidates must stay inside the strategy's own value
+    /// space (a shrunk vector never goes below its minimum length, a
+    /// shrunk number never leaves its range). The default — no
+    /// candidates — means "atomic, don't shrink".
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
 }
 
 macro_rules! impl_strategy_int_range {
@@ -65,6 +91,12 @@ macro_rules! impl_strategy_int_range {
                 let r = ((rng.random::<u64>() as u128 * span) >> 64) as i128;
                 (self.start as i128 + r) as $t
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_toward(self.start as i128, *value as i128)
+                    .into_iter()
+                    .map(|v| v as $t)
+                    .collect()
+            }
         }
         impl Strategy for RangeInclusive<$t> {
             type Value = $t;
@@ -75,17 +107,53 @@ macro_rules! impl_strategy_int_range {
                 let r = ((rng.random::<u64>() as u128 * span) >> 64) as i128;
                 (lo as i128 + r) as $t
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_toward(*self.start() as i128, *value as i128)
+                    .into_iter()
+                    .map(|v| v as $t)
+                    .collect()
+            }
         }
     )*};
 }
 
 impl_strategy_int_range!(usize, u64, u32, u16, u8, i64, i32);
 
+/// Integer shrink candidates: the range's start, then the midpoint
+/// between start and the failing value (skipping no-ops).
+fn shrink_toward(start: i128, value: i128) -> Vec<i128> {
+    let mut out = Vec::new();
+    if value != start {
+        out.push(start);
+        let mid = start + (value - start) / 2;
+        if mid != start && mid != value {
+            out.push(mid);
+        }
+    }
+    out
+}
+
+/// Float shrink candidates: the anchor, then the midpoint toward it.
+fn shrink_toward_f64(anchor: f64, value: f64) -> Vec<f64> {
+    let mut out = Vec::new();
+    if value != anchor && value.is_finite() {
+        out.push(anchor);
+        let mid = anchor + (value - anchor) / 2.0;
+        if mid != anchor && mid != value {
+            out.push(mid);
+        }
+    }
+    out
+}
+
 impl Strategy for Range<f64> {
     type Value = f64;
     fn generate(&self, rng: &mut SmallRng) -> f64 {
         assert!(self.start < self.end, "empty range strategy");
         self.start + (self.end - self.start) * rng.random::<f64>()
+    }
+    fn shrink(&self, value: &f64) -> Vec<f64> {
+        shrink_toward_f64(self.start, *value)
     }
 }
 
@@ -102,6 +170,9 @@ impl Strategy for RangeInclusive<f64> {
             _ => lo + (hi - lo) * rng.random::<f64>(),
         }
     }
+    fn shrink(&self, value: &f64) -> Vec<f64> {
+        shrink_toward_f64(*self.start(), *value)
+    }
 }
 
 /// Strategy produced by [`any`].
@@ -113,18 +184,48 @@ pub fn any<T>() -> Any<T> {
     Any(std::marker::PhantomData)
 }
 
-macro_rules! impl_any {
+macro_rules! impl_any_int {
     ($($t:ty),*) => {$(
         impl Strategy for Any<$t> {
             type Value = $t;
             fn generate(&self, rng: &mut SmallRng) -> $t {
                 rng.random::<$t>()
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_toward(0, *value as i128)
+                    .into_iter()
+                    .map(|v| v as $t)
+                    .collect()
+            }
         }
     )*};
 }
 
-impl_any!(bool, u8, u16, u32, u64, usize, i32, i64, f64);
+impl_any_int!(u8, u16, u32, u64, usize, i32, i64);
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut SmallRng) -> bool {
+        rng.random::<bool>()
+    }
+    fn shrink(&self, value: &bool) -> Vec<bool> {
+        if *value {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+impl Strategy for Any<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut SmallRng) -> f64 {
+        rng.random::<f64>()
+    }
+    fn shrink(&self, value: &f64) -> Vec<f64> {
+        shrink_toward_f64(0.0, *value)
+    }
+}
 
 macro_rules! impl_strategy_tuple {
     ($(($($s:ident . $idx:tt),+))*) => {$(
@@ -132,6 +233,17 @@ macro_rules! impl_strategy_tuple {
             type Value = ($($s::Value,)+);
             fn generate(&self, rng: &mut SmallRng) -> Self::Value {
                 ($(self.$idx.generate(rng),)+)
+            }
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = cand;
+                        out.push(next);
+                    }
+                )+
+                out
             }
         }
     )*};
@@ -174,6 +286,22 @@ pub mod collection {
             };
             (0..n).map(|_| self.elem.generate(rng)).collect()
         }
+
+        /// Bounded vector shrinking: prefixes at the minimum length,
+        /// half the current length, and length − 1 (in that order,
+        /// skipping out-of-range and no-op candidates). Repeated
+        /// adoption by the runner walks a failing schedule down to a
+        /// short prefix in O(log len) steps.
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let min = self.len.start;
+            let mut out: Vec<Vec<S::Value>> = Vec::new();
+            for k in [min, value.len() / 2, value.len().saturating_sub(1)] {
+                if k >= min && k < value.len() && !out.iter().any(|c| c.len() == k) {
+                    out.push(value[..k].to_vec());
+                }
+            }
+            out
+        }
     }
 }
 
@@ -192,6 +320,60 @@ fn fnv1a(s: &str) -> u64 {
 /// proptest API.
 pub fn test_rng(test_id: &str, case: u32) -> SmallRng {
     SmallRng::seed_from_u64(fnv1a(test_id) ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Greedy bounded shrink: repeatedly adopt the first candidate that
+/// still fails (`passes` returns `false`), up to [`MAX_SHRINK_STEPS`]
+/// adoptions. Returns the minimized failing value and how many steps
+/// were taken. Used by [`run_property`].
+pub fn shrink_failure<S: Strategy>(
+    strategy: &S,
+    mut failing: S::Value,
+    mut passes: impl FnMut(&S::Value) -> bool,
+) -> (S::Value, u32) {
+    let mut steps = 0u32;
+    'outer: while steps < MAX_SHRINK_STEPS {
+        for cand in strategy.shrink(&failing) {
+            if !passes(&cand) {
+                failing = cand;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (failing, steps)
+}
+
+/// The property runner behind the [`proptest!`] macro: generates
+/// `config.cases` deterministic cases from `strategy`, runs `body` on
+/// each, and on the first failure shrinks it ([`shrink_failure`])
+/// before panicking with the case index and minimized counterexample.
+///
+/// Failing attempts (the original and each failing shrink candidate)
+/// print their panic message through the default hook; only the final
+/// panic carries the minimized report.
+pub fn run_property<S: Strategy>(
+    strategy: &S,
+    config: ProptestConfig,
+    test_id: &str,
+    body: impl Fn(S::Value),
+) {
+    let passes = |vals: &S::Value| -> bool {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(vals.clone()))).is_ok()
+    };
+    for case in 0..config.cases {
+        let mut rng = test_rng(test_id, case);
+        let vals = strategy.generate(&mut rng);
+        if !passes(&vals) {
+            let (min, steps) = shrink_failure(strategy, vals, &passes);
+            panic!(
+                "property `{test_id}` failed at case {case} of {}; minimal counterexample \
+                 ({steps} shrink step(s)): {min:#?}",
+                config.cases,
+            );
+        }
+    }
 }
 
 /// Asserts a property within a [`proptest!`] body.
@@ -222,15 +404,12 @@ macro_rules! __proptest_fns {
         $(
             $(#[$meta])*
             fn $name() {
-                let __config: $crate::ProptestConfig = $cfg;
-                for __case in 0..__config.cases {
-                    let mut __rng = $crate::test_rng(
-                        concat!(module_path!(), "::", stringify!($name)),
-                        __case,
-                    );
-                    $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
-                    $body
-                }
+                $crate::run_property(
+                    &($(($strat),)+),
+                    $cfg,
+                    concat!(module_path!(), "::", stringify!($name)),
+                    |($($arg,)+)| $body,
+                );
             }
         )*
     };
@@ -300,6 +479,69 @@ mod tests {
         assert_eq!((0u64..100).generate(&mut a), (0u64..100).generate(&mut b));
     }
 
+    #[test]
+    fn int_shrink_moves_toward_range_start() {
+        let cands = Strategy::shrink(&(3usize..100), &90);
+        assert_eq!(cands, vec![3, 46]);
+        // Already minimal: nothing to try.
+        assert!(Strategy::shrink(&(3usize..100), &3).is_empty());
+        // any::<T>() shrinks toward zero.
+        assert_eq!(Strategy::shrink(&any::<u64>(), &8), vec![0, 4]);
+        assert_eq!(Strategy::shrink(&any::<bool>(), &true), vec![false]);
+        assert!(Strategy::shrink(&any::<bool>(), &false).is_empty());
+    }
+
+    #[test]
+    fn vec_shrink_respects_min_len_and_truncates() {
+        let strat = collection::vec(0usize..10, 2..20);
+        let v: Vec<usize> = (0..12).collect();
+        let cands = Strategy::shrink(&strat, &v);
+        // min-length prefix, half, all-but-last — in that order.
+        assert_eq!(
+            cands.iter().map(Vec::len).collect::<Vec<_>>(),
+            vec![2, 6, 11]
+        );
+        for c in &cands {
+            assert_eq!(&v[..c.len()], c.as_slice(), "candidates are prefixes");
+        }
+        // At the minimum length there is nothing left to try.
+        assert!(Strategy::shrink(&strat, &v[..2].to_vec()).is_empty());
+    }
+
+    #[test]
+    fn tuple_shrink_varies_one_component_at_a_time() {
+        let strat = (0u64..50, any::<bool>());
+        let cands = Strategy::shrink(&strat, &(40, true));
+        assert!(cands.contains(&(0, true)));
+        assert!(cands.contains(&(20, true)));
+        assert!(cands.contains(&(40, false)));
+        // Never both at once.
+        assert!(!cands.contains(&(0, false)));
+    }
+
+    #[test]
+    fn shrink_failure_minimizes_a_failing_schedule() {
+        // Property: "no element is >= 7". A long failing vector must
+        // minimize down to a short prefix that still contains the bad
+        // element.
+        let strat = collection::vec(0usize..10, 0..64);
+        let failing = vec![7, 1, 2, 3, 4, 5, 6, 1, 2, 3];
+        let (min, steps) =
+            crate::shrink_failure(&strat, failing, |v: &Vec<usize>| v.iter().all(|&x| x < 7));
+        assert_eq!(min, vec![7], "minimal counterexample is the one bad prefix");
+        assert!((1..=crate::MAX_SHRINK_STEPS).contains(&steps));
+    }
+
+    #[test]
+    fn shrink_failure_is_bounded() {
+        // A property that always fails cannot loop forever.
+        let strat = collection::vec(0usize..10, 0..64);
+        let failing: Vec<usize> = (0..60).collect();
+        let (min, steps) = crate::shrink_failure(&strat, failing, |_: &Vec<usize>| false);
+        assert!(steps <= crate::MAX_SHRINK_STEPS);
+        assert!(min.is_empty(), "always-failing vec shrinks to its min len");
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(16))]
 
@@ -320,5 +562,35 @@ mod tests {
         fn macro_without_config_uses_default(x in 0u64..5) {
             prop_assert!(x < 5);
         }
+    }
+
+    /// The macro's failure path (generate → detect → shrink → report)
+    /// end-to-end, without an actually failing #[test]: expand a
+    /// property fn by hand, run it caught, inspect the panic payload.
+    #[test]
+    fn macro_failure_reports_minimized_counterexample() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+            fn failing_property(xs in collection::vec(0usize..100, 0..40)) {
+                prop_assert!(xs.iter().all(|&x| x < 90), "saw a big element");
+            }
+        }
+        let err = std::panic::catch_unwind(failing_property)
+            .expect_err("property with reachable failure must fail");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| "non-string panic".into());
+        assert!(
+            msg.contains("failed at case") && msg.contains("minimal counterexample"),
+            "unexpected failure report: {msg}"
+        );
+        // The minimized vector is printed with one element per line in
+        // {:#?}; a single remaining element means real minimization
+        // happened (the generated vectors are up to 40 long).
+        assert!(
+            msg.contains("shrink step"),
+            "report should mention shrink steps: {msg}"
+        );
     }
 }
