@@ -23,7 +23,39 @@ use nc_sched::{Noise, TimingModel};
 use nc_theory::OnlineStats;
 
 use crate::par_trials_scratch;
+use crate::scenario::{Preset, Scenario, Spec};
 use crate::table::{f2, Table};
+
+/// Registry entry: E9.
+#[derive(Clone, Copy, Debug)]
+pub struct SkipAblation;
+
+impl Scenario for SkipAblation {
+    fn spec(&self) -> Spec {
+        Spec {
+            id: "E9",
+            title: "Skip-ops ablation: \"superfluous\" operations are load-bearing",
+            artifact: "§4 discussion",
+            outputs: &["ablation_skip.csv"],
+            trials_label: "trials",
+            size_label: "-",
+            full: Preset {
+                trials: 100,
+                size: 0,
+                cap: 0,
+            },
+            smoke: Preset {
+                trials: 2,
+                size: 0,
+                cap: 0,
+            },
+        }
+    }
+
+    fn run(&self, p: Preset, seed: u64) -> Vec<Table> {
+        vec![run(p.trials, seed)]
+    }
+}
 
 /// Runs the skip-ops ablation.
 pub fn run(trials: u64, seed0: u64) -> Table {

@@ -19,11 +19,49 @@ use nc_sched::{Noise, TimingModel};
 use nc_theory::OnlineStats;
 
 use crate::par_trials_scratch;
+use crate::scenario::{Preset, Scenario, Spec};
 use crate::table::{f2, Table};
 
-/// Runs the baseline comparison. Returns the noisy table and the
-/// lockstep table.
-pub fn run(trials: u64, seed0: u64) -> (Table, Table) {
+/// Registry entry: E10.
+#[derive(Clone, Copy, Debug)]
+pub struct Baselines;
+
+impl Scenario for Baselines {
+    fn spec(&self) -> Spec {
+        Spec {
+            id: "E10",
+            title: "Lean vs local-coin vs shared-coin baselines, noisy and lockstep",
+            artifact: "§1 framing (randomized baselines)",
+            outputs: &["baseline_noisy.csv", "baseline_lockstep.csv"],
+            trials_label: "trials",
+            size_label: "-",
+            // Lean and the local-coin variant never decide under exact
+            // lockstep (that is the point of the table), so every such
+            // run burns the whole lockstep op cap — the smoke tier
+            // shrinks the cap, not just the trial count.
+            full: Preset {
+                trials: 60,
+                size: 0,
+                cap: 5_000_000,
+            },
+            smoke: Preset {
+                trials: 2,
+                size: 0,
+                cap: 40_000,
+            },
+        }
+    }
+
+    fn run(&self, p: Preset, seed: u64) -> Vec<Table> {
+        let (noisy, lockstep) = run(p.trials, p.cap, seed);
+        vec![noisy, lockstep]
+    }
+}
+
+/// Runs the baseline comparison with the given lockstep operation cap
+/// (non-deciders stop there). Returns the noisy table and the lockstep
+/// table.
+pub fn run(trials: u64, lockstep_cap: u64, seed0: u64) -> (Table, Table) {
     let algs = [Algorithm::Lean, Algorithm::Randomized, Algorithm::Backup];
 
     let mut noisy = Table::new(
@@ -85,7 +123,7 @@ pub fn run(trials: u64, seed0: u64) -> (Table, Table) {
                 let report = run_adversarial(
                     &mut inst,
                     &mut RoundRobin::new(),
-                    Limits::run_to_completion().with_max_ops(5_000_000),
+                    Limits::run_to_completion().with_max_ops(lockstep_cap),
                 );
                 report.check_safety(&inputs).expect("safety");
                 if report.outcome.decided() {

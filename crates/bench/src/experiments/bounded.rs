@@ -15,7 +15,39 @@ use nc_sched::{Noise, TimingModel};
 use nc_theory::OnlineStats;
 
 use crate::par_trials_scratch;
+use crate::scenario::{Preset, Scenario, Spec};
 use crate::table::{f2, Table};
+
+/// Registry entry: E6.
+#[derive(Clone, Copy, Debug)]
+pub struct BoundedSpace;
+
+impl Scenario for BoundedSpace {
+    fn spec(&self) -> Spec {
+        Spec {
+            id: "E6",
+            title: "Bounded-space combined protocol: backup engagement vs r_max",
+            artifact: "Theorem 15",
+            outputs: &["bounded_space.csv"],
+            trials_label: "trials",
+            size_label: "n",
+            full: Preset {
+                trials: 60,
+                size: 16,
+                cap: 0,
+            },
+            smoke: Preset {
+                trials: 3,
+                size: 8,
+                cap: 0,
+            },
+        }
+    }
+
+    fn run(&self, p: Preset, seed: u64) -> Vec<Table> {
+        vec![run(p.size, p.trials, seed)]
+    }
+}
 
 /// Runs the bounded-space experiment for `n` processes.
 pub fn run(n: usize, trials: u64, seed0: u64) -> Table {

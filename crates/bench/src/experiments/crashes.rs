@@ -21,7 +21,39 @@ use nc_sched::{Noise, TimingModel};
 use nc_theory::OnlineStats;
 
 use crate::par_trials_scratch;
+use crate::scenario::{Preset, Scenario, Spec};
 use crate::table::{f2, Table};
+
+/// Registry entry: E11.
+#[derive(Clone, Copy, Debug)]
+pub struct AdaptiveCrashes;
+
+impl Scenario for AdaptiveCrashes {
+    fn spec(&self) -> Spec {
+        Spec {
+            id: "E11",
+            title: "Adaptive leader-killer crashes: flat rounds vs crash budget",
+            artifact: "§10 (adaptive crashes)",
+            outputs: &["crash_failures.csv"],
+            trials_label: "trials",
+            size_label: "n",
+            full: Preset {
+                trials: 100,
+                size: 16,
+                cap: 0,
+            },
+            smoke: Preset {
+                trials: 3,
+                size: 8,
+                cap: 0,
+            },
+        }
+    }
+
+    fn run(&self, p: Preset, seed: u64) -> Vec<Table> {
+        vec![run(p.size, p.trials, seed)]
+    }
+}
 
 /// Runs the adaptive-crash experiment.
 pub fn run(n: usize, trials: u64, seed0: u64) -> Table {

@@ -21,6 +21,7 @@ use nc_engine::{setup, Limits};
 use nc_sched::{Noise, TimingModel};
 use nc_theory::OnlineStats;
 
+use crate::scenario::{Preset, Scenario, Spec};
 use crate::table::{f2, Table};
 use crate::{figure1_ns, par_lean_trials_pipelined, trials_for, PIPELINE_LANES};
 
@@ -124,6 +125,37 @@ pub fn run(max_n: usize, base_trials: u64, seed: u64) -> Table {
         eprintln!("fig1: n = {n} done ({trials} trials/distribution)");
     }
     table
+}
+
+/// Registry entry: E1, the paper's headline figure.
+#[derive(Clone, Copy, Debug)]
+pub struct Fig1;
+
+impl Scenario for Fig1 {
+    fn spec(&self) -> Spec {
+        Spec {
+            id: "E1",
+            title: "Figure 1: mean first-termination round vs n, six distributions",
+            artifact: "Figure 1 (§9)",
+            outputs: &["fig1.csv"],
+            trials_label: "trials",
+            size_label: "max-n",
+            full: Preset {
+                trials: 1_000,
+                size: 100_000,
+                cap: 0,
+            },
+            smoke: Preset {
+                trials: 5,
+                size: 12,
+                cap: 0,
+            },
+        }
+    }
+
+    fn run(&self, p: Preset, seed: u64) -> Vec<Table> {
+        vec![run(p.size, p.trials, seed)]
+    }
 }
 
 #[cfg(test)]

@@ -10,10 +10,51 @@ use nc_engine::{run_hybrid, setup, Algorithm, Limits};
 use nc_sched::hybrid::{BenignHybrid, HybridPolicy, HybridSpec, RandomHybrid, WritePreemptor};
 use nc_sched::stream_rng;
 
+use crate::scenario::{Preset, Scenario, Spec};
 use crate::table::Table;
 
-/// Runs the hybrid-scheduling experiment.
-pub fn run(seed0: u64) -> Table {
+/// Registry entry: E5.
+#[derive(Clone, Copy, Debug)]
+pub struct HybridQuantum;
+
+impl Scenario for HybridQuantum {
+    fn spec(&self) -> Spec {
+        Spec {
+            id: "E5",
+            title: "Hybrid quantum/priority uniprocessor: ≤ 12 ops for quantum ≥ 8",
+            artifact: "Theorem 14",
+            outputs: &["hybrid_quantum.csv"],
+            trials_label: "trials",
+            size_label: "max-quantum",
+            // The policy sweep is exhaustive rather than sampled, so
+            // there is no trials knob (0 = not applicable, and --scale
+            // is honestly a no-op). The preemptor burns the whole op
+            // cap below quantum 8, so the smoke tier trims both the
+            // quantum sweep and the cap — otherwise this scenario alone
+            // would dominate debug-build golden runs.
+            full: Preset {
+                trials: 0,
+                size: 16,
+                cap: 2_000_000,
+            },
+            smoke: Preset {
+                trials: 0,
+                size: 3,
+                cap: 20_000,
+            },
+        }
+    }
+
+    fn run(&self, p: Preset, seed: u64) -> Vec<Table> {
+        vec![run(p.size as u32, p.cap, seed)]
+    }
+}
+
+/// Runs the hybrid-scheduling experiment, sweeping the quantum from 1
+/// to `max_quantum` with each run's operation budget capped at `op_cap`
+/// (runs the policy prevents from deciding — the preemptor below
+/// quantum 8 — stop there and report `all decided = false`).
+pub fn run(max_quantum: u32, op_cap: u64, seed0: u64) -> Table {
     let mut table = Table::new(
         "E5 / Theorem 14: worst per-process ops on a hybrid-scheduled uniprocessor",
         &[
@@ -26,7 +67,7 @@ pub fn run(seed0: u64) -> Table {
         ],
     );
 
-    for quantum in 1..=16u32 {
+    for quantum in 1..=max_quantum {
         let mut worst = [0u64; 3];
         let mut all_decided = true;
         for n in [2usize, 3, 4, 6, 8] {
@@ -45,7 +86,7 @@ pub fn run(seed0: u64) -> Table {
                         &mut inst,
                         &spec,
                         policy.as_mut(),
-                        Limits::run_to_completion().with_max_ops(2_000_000),
+                        Limits::run_to_completion().with_max_ops(op_cap),
                     );
                     report.check_safety(&inputs).expect("safety");
                     worst[k] = worst[k].max(report.max_ops_per_process());

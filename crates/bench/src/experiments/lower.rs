@@ -14,8 +14,40 @@ use nc_sched::{Noise, TimingModel};
 use nc_theory::{fit_log2, OnlineStats};
 
 use crate::par_trial_chunks;
+use crate::scenario::{Preset, Scenario, Spec};
 use crate::table::{f2, f3, Table};
 use nc_engine::EngineScratch;
+
+/// Registry entry: E4.
+#[derive(Clone, Copy, Debug)]
+pub struct LowerBound;
+
+impl Scenario for LowerBound {
+    fn spec(&self) -> Spec {
+        Spec {
+            id: "E4",
+            title: "Ω(log n) lower bound via two-point {1,2} noise",
+            artifact: "Theorem 13",
+            outputs: &["lower_bound.csv"],
+            trials_label: "trials",
+            size_label: "-",
+            full: Preset {
+                trials: 150,
+                size: 0,
+                cap: 0,
+            },
+            smoke: Preset {
+                trials: 2,
+                size: 0,
+                cap: 0,
+            },
+        }
+    }
+
+    fn run(&self, p: Preset, seed: u64) -> Vec<Table> {
+        vec![run(p.trials, seed)]
+    }
+}
 
 /// Runs the lower-bound experiment.
 pub fn run(trials: u64, seed0: u64) -> Table {

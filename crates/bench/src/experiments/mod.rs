@@ -1,4 +1,6 @@
-//! One module per experiment in DESIGN.md's per-experiment index.
+//! One module per experiment in DESIGN.md's per-experiment index; each
+//! module also registers itself in [`crate::scenario::REGISTRY`], which
+//! is what the `repro` binary and the golden/determinism tests drive.
 //!
 //! | Module | Exp | Paper artifact |
 //! |--------|-----|----------------|

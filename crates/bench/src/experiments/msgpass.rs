@@ -15,11 +15,47 @@ use nc_theory::OnlineStats;
 use nc_msg::{run_message_passing, MsgConfig};
 
 use crate::par_trials;
+use crate::scenario::{Preset, Scenario, Spec};
 use crate::table::{f2, Table};
 
-/// Runs the message-passing experiment. Returns the sweep table and the
-/// crash-tolerance table.
-pub fn run(trials: u64, seed0: u64) -> (Table, Table) {
+/// Registry entry: E13.
+#[derive(Clone, Copy, Debug)]
+pub struct MessagePassing;
+
+impl Scenario for MessagePassing {
+    fn spec(&self) -> Spec {
+        Spec {
+            id: "E13",
+            title: "Lean-consensus over ABD registers on a noisy network",
+            artifact: "§10 (message-passing extension)",
+            outputs: &["message_passing.csv", "message_passing_crashes.csv"],
+            trials_label: "trials",
+            size_label: "max-n",
+            // A single n = 9 two-point trial delivers ~170k messages;
+            // the smoke tier stops at n = 5 to keep debug-build golden
+            // runs in the milliseconds.
+            full: Preset {
+                trials: 15,
+                size: 9,
+                cap: 0,
+            },
+            smoke: Preset {
+                trials: 2,
+                size: 5,
+                cap: 0,
+            },
+        }
+    }
+
+    fn run(&self, p: Preset, seed: u64) -> Vec<Table> {
+        let (sweep, crashes) = run(p.trials, p.size, seed);
+        vec![sweep, crashes]
+    }
+}
+
+/// Runs the message-passing experiment over cluster sizes up to
+/// `max_n`. Returns the sweep table and the crash-tolerance table.
+pub fn run(trials: u64, max_n: usize, seed0: u64) -> (Table, Table) {
     let mut sweep = Table::new(
         "E13 / §10: lean-consensus over ABD registers on a noisy network",
         &[
@@ -42,7 +78,7 @@ pub fn run(trials: u64, seed0: u64) -> (Table, Table) {
             },
         ),
     ] {
-        for &n in &[3usize, 5, 9] {
+        for &n in [3usize, 5, 9].iter().filter(|&&n| n <= max_n) {
             let mut rounds = OnlineStats::new();
             let mut deliveries = OnlineStats::new();
             let mut times = OnlineStats::new();
@@ -79,7 +115,10 @@ pub fn run(trials: u64, seed0: u64) -> (Table, Table) {
         "E13 crash tolerance: minority crashes mid-run (ABD quorums carry on)",
         &["n", "crashed", "live agreement", "mean max round"],
     );
-    for &(n, crash_count) in &[(3usize, 1usize), (5, 2), (9, 4)] {
+    for &(n, crash_count) in [(3usize, 1usize), (5, 2), (9, 4)]
+        .iter()
+        .filter(|&&(n, _)| n <= max_n)
+    {
         let mut rounds = OnlineStats::new();
         let mut agree = true;
         for t in 0..trials {

@@ -11,7 +11,41 @@ use nc_sched::Noise;
 use nc_theory::{fit_log2, quantile, run_race, OnlineStats, RaceConfig, RaceOutcome};
 
 use crate::par_trials;
-use crate::table::{f2, f3, Table};
+use crate::scenario::{Preset, Scenario, Spec};
+use crate::table::{f2, f3, fstable, Table};
+
+/// Registry entry: E8 (the with-failures leg covers what DESIGN.md's
+/// index once split out as E12).
+#[derive(Clone, Copy, Debug)]
+pub struct RenewalRace;
+
+impl Scenario for RenewalRace {
+    fn spec(&self) -> Spec {
+        Spec {
+            id: "E8",
+            title: "Abstract renewal race: lead-c stopping time and failure variant",
+            artifact: "Theorem 10 / Corollary 11",
+            outputs: &["renewal_race.csv", "renewal_race_failures.csv"],
+            trials_label: "trials",
+            size_label: "-",
+            full: Preset {
+                trials: 200,
+                size: 0,
+                cap: 0,
+            },
+            smoke: Preset {
+                trials: 3,
+                size: 0,
+                cap: 0,
+            },
+        }
+    }
+
+    fn run(&self, p: Preset, seed: u64) -> Vec<Table> {
+        let (sweep, failures) = run(p.trials, seed);
+        vec![sweep, failures]
+    }
+}
 
 /// Runs the renewal-race experiment. Returns the sweep table and the
 /// failures table.
@@ -76,7 +110,7 @@ pub fn run(trials: u64, seed0: u64) -> (Table, Table) {
             }
         }
         failures.push(vec![
-            h.to_string(),
+            fstable(h, 3),
             winners.to_string(),
             extinct.to_string(),
             f2(stats.mean()),

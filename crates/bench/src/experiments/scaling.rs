@@ -11,7 +11,40 @@ use nc_sched::{FailureModel, Noise, TimingModel};
 use nc_theory::{fit_log2, OnlineStats};
 
 use crate::par_trials_scratch;
-use crate::table::{f2, f3, Table};
+use crate::scenario::{Preset, Scenario, Spec};
+use crate::table::{f2, f3, fstable, Table};
+
+/// Registry entry: E3.
+#[derive(Clone, Copy, Debug)]
+pub struct TerminationScaling;
+
+impl Scenario for TerminationScaling {
+    fn spec(&self) -> Spec {
+        Spec {
+            id: "E3",
+            title: "Θ(log n) termination, halting-failure sweep, exponential tail",
+            artifact: "Theorem 12",
+            outputs: &["termination_scaling.csv", "termination_tail.csv"],
+            trials_label: "trials",
+            size_label: "-",
+            full: Preset {
+                trials: 100,
+                size: 0,
+                cap: 0,
+            },
+            smoke: Preset {
+                trials: 2,
+                size: 0,
+                cap: 0,
+            },
+        }
+    }
+
+    fn run(&self, p: Preset, seed: u64) -> Vec<Table> {
+        let (sweep, tail) = run(p.trials, seed);
+        vec![sweep, tail]
+    }
+}
 
 /// Mean first-decision round; failed (all-halted) runs are skipped.
 fn sweep_point(h: f64, n: usize, trials: u64, seed0: u64) -> (OnlineStats, u64) {
@@ -58,7 +91,7 @@ pub fn run(trials: u64, seed0: u64) -> (Table, Table) {
         for &n in &ns {
             let (stats, extinct) = sweep_point(h, n, trials, seed0);
             sweep.push(vec![
-                h.to_string(),
+                fstable(h, 3),
                 n.to_string(),
                 trials.to_string(),
                 f2(stats.mean()),
@@ -72,7 +105,7 @@ pub fn run(trials: u64, seed0: u64) -> (Table, Table) {
         if points.len() >= 2 {
             let fit = fit_log2(&points);
             sweep.push(vec![
-                h.to_string(),
+                fstable(h, 3),
                 "fit".into(),
                 String::new(),
                 format!("{} + {}*log2(n)", f3(fit.intercept), f3(fit.slope)),
@@ -104,7 +137,7 @@ pub fn run(trials: u64, seed0: u64) -> (Table, Table) {
     for mult in 1..=5 {
         let k = (mean * mult as f64).round();
         let p = rounds.iter().filter(|&&r| r > k).count() as f64 / rounds.len() as f64;
-        tail.push(vec![format!("{k} ({mult}x mean)"), f3(p)]);
+        tail.push(vec![format!("{} ({mult}x mean)", fstable(k, 0)), f3(p)]);
     }
 
     (sweep, tail)

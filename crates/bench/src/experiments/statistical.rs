@@ -13,7 +13,39 @@ use nc_sched::{DelayPolicy, Noise, TimingModel};
 use nc_theory::{fit_log2, OnlineStats};
 
 use crate::par_trials_scratch;
+use crate::scenario::{Preset, Scenario, Spec};
 use crate::table::{f2, f3, Table};
+
+/// Registry entry: E14.
+#[derive(Clone, Copy, Debug)]
+pub struct StatisticalAdversary;
+
+impl Scenario for StatisticalAdversary {
+    fn spec(&self) -> Spec {
+        Spec {
+            id: "E14",
+            title: "Save-and-spend statistical adversary: burst-period sweep",
+            artifact: "§10 (statistical adversary)",
+            outputs: &["statistical_adversary.csv"],
+            trials_label: "trials",
+            size_label: "-",
+            full: Preset {
+                trials: 60,
+                size: 0,
+                cap: 0,
+            },
+            smoke: Preset {
+                trials: 2,
+                size: 0,
+                cap: 0,
+            },
+        }
+    }
+
+    fn run(&self, p: Preset, seed: u64) -> Vec<Table> {
+        vec![run(p.trials, seed)]
+    }
+}
 
 /// Runs the statistical-adversary experiment.
 pub fn run(trials: u64, seed0: u64) -> Table {

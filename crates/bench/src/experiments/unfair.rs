@@ -11,7 +11,39 @@
 use nc_sched::{stream_rng, Noise};
 use nc_theory::OnlineStats;
 
+use crate::scenario::{Preset, Scenario, Spec};
 use crate::table::{f2, Table};
+
+/// Registry entry: E7.
+#[derive(Clone, Copy, Debug)]
+pub struct Unfairness;
+
+impl Scenario for Unfairness {
+    fn spec(&self) -> Spec {
+        Spec {
+            id: "E7",
+            title: "Pathological unfairness: divergent expected overtaking",
+            artifact: "Theorem 1",
+            outputs: &["unfairness.csv"],
+            trials_label: "ops",
+            size_label: "-",
+            full: Preset {
+                trials: 10_000,
+                size: 0,
+                cap: 0,
+            },
+            smoke: Preset {
+                trials: 300,
+                size: 0,
+                cap: 0,
+            },
+        }
+    }
+
+    fn run(&self, p: Preset, seed: u64) -> Vec<Table> {
+        vec![run(p.trials as usize, seed)]
+    }
+}
 
 /// Measures overtaking: simulate two processes' operation times for
 /// `ops` operations of process A and count how many operations B fits

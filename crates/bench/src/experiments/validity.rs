@@ -11,7 +11,39 @@ use nc_sched::adversary::RoundRobin;
 use nc_sched::{Noise, TimingModel};
 
 use crate::par_trials_scratch;
+use crate::scenario::{Preset, Scenario, Spec};
 use crate::table::Table;
+
+/// Registry entry: E2.
+#[derive(Clone, Copy, Debug)]
+pub struct ValidityCost;
+
+impl Scenario for ValidityCost {
+    fn spec(&self) -> Spec {
+        Spec {
+            id: "E2",
+            title: "Validity cost: exactly 8 ops with unanimous inputs",
+            artifact: "Lemma 3",
+            outputs: &["validity_cost.csv"],
+            trials_label: "trials",
+            size_label: "-",
+            full: Preset {
+                trials: 20,
+                size: 0,
+                cap: 0,
+            },
+            smoke: Preset {
+                trials: 2,
+                size: 0,
+                cap: 0,
+            },
+        }
+    }
+
+    fn run(&self, p: Preset, seed: u64) -> Vec<Table> {
+        vec![run(p.trials, seed)]
+    }
+}
 
 /// Runs the validity-cost experiment.
 pub fn run(trials: u64, seed0: u64) -> Table {

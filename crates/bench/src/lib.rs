@@ -1,20 +1,32 @@
 //! Experiment harness for the `noisy-consensus` workspace.
 //!
-//! Each experiment in DESIGN.md's per-experiment index (E1–E11) is a
-//! function in [`experiments`] returning a [`Table`]; the binaries in
-//! `src/bin/` are thin wrappers that run one experiment with CLI-tunable
-//! parameters, print the table, and drop a CSV under `results/`.
-//! `cargo run --release -p nc-bench --bin repro_all` regenerates
-//! everything.
+//! Each experiment in DESIGN.md's per-experiment index (E1–E14) is a
+//! module in [`experiments`] that registers itself as a
+//! [`scenario::Scenario`]: a static descriptor (id, paper artifact,
+//! output CSVs, full-scale and smoke presets) plus a preset-driven
+//! runner returning [`Table`]s. The single `repro` binary drives the
+//! whole registry:
+//!
+//! ```sh
+//! cargo run --release -p nc-bench --bin repro -- --list
+//! cargo run --release -p nc-bench --bin repro -- --only E1,E7 --scale 10
+//! cargo run --release -p nc-bench --bin repro -- --smoke --check crates/bench/tests/golden
+//! ```
+//!
+//! Every run writes its CSVs plus a machine-readable `manifest.json`
+//! under `--out-dir` (default `results/`). Smoke runs are pinned by
+//! committed golden CSVs (`tests/golden_repro.rs`).
 //!
 //! Criterion benchmarks (native-thread latency, component throughput,
-//! Figure 1 point cost) live under `benches/`.
+//! Figure 1 point cost) live under `benches/`; the engine perf gate is
+//! the separate `bench_engine` binary.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
 pub mod experiments;
+pub mod scenario;
 pub mod table;
 
 pub use table::Table;
@@ -224,6 +236,12 @@ pub fn figure1_ns(max_n: usize) -> Vec<usize> {
 pub fn trials_for(n: usize, base: u64) -> u64 {
     let budget = 40_000_000u64; // ~events per point at first-decision cutoff
     (budget / (n as u64 * 40).max(1)).max(30).min(base.max(1))
+}
+
+/// Returns whether a bare `--key` flag (no value) was passed.
+pub fn flag(key: &str) -> bool {
+    let want = format!("--{key}");
+    std::env::args().any(|a| a == want)
 }
 
 /// Parses `--key value` style arguments; returns the value for `key`.

@@ -1,0 +1,370 @@
+//! The scenario registry: one descriptor + runner per experiment.
+//!
+//! Every experiment module registers itself here by implementing
+//! [`Scenario`]: a static [`Spec`] (id, title, paper artifact, output
+//! CSV names, full-scale and smoke presets) plus a `run` method that
+//! interprets a [`Preset`] and returns one [`Table`] per declared
+//! output. The single `repro` binary drives the whole suite off
+//! [`REGISTRY`] — adding an experiment is one module + one registry
+//! line, not a new binary.
+//!
+//! Two preset tiers per scenario:
+//!
+//! * **full** — the CI-sized defaults the old `repro_all` binary used
+//!   (the deleted standalone binaries defaulted ~2× higher; multiply
+//!   with `--scale` for paper-grade runs);
+//! * **smoke** — a tiny fixed-seed configuration (seconds for the whole
+//!   suite, even in debug builds) whose CSVs are committed under
+//!   `crates/bench/tests/golden/` and byte-compared by
+//!   `tests/golden_repro.rs` on every test run. Smoke output is the
+//!   regression fingerprint of the entire experiment pipeline: engine,
+//!   scheduler, statistics, and formatting.
+
+use crate::experiments::{
+    ablation, baseline, bounded, crashes, fig1, hybrid, lower, msgpass, race, scaling, statistical,
+    unfair, validity,
+};
+use crate::table::Table;
+
+/// The seed every smoke run (and therefore every golden CSV) is pinned
+/// to. Changing it invalidates all goldens at once — regenerate with
+/// `cargo run --release -p nc-bench --bin repro -- --smoke --out-dir
+/// crates/bench/tests/golden`.
+pub const SMOKE_SEED: u64 = 1;
+
+/// A scale-free parameter preset for one scenario run.
+///
+/// The three knobs cover every experiment's tunable surface; each
+/// scenario's [`Spec`] labels what its knobs mean (`trials_label`,
+/// `size_label`), and knobs a scenario ignores are zero.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Preset {
+    /// Trial count (per point, where applicable). `--scale` multiplies
+    /// this and only this — sizes and caps are structural.
+    pub trials: u64,
+    /// Primary size knob: `n`, `max-n`, or `max-quantum`, per
+    /// [`Spec::size_label`]. `0` = not applicable.
+    pub size: usize,
+    /// Operation-budget cap for the scenario legs that run adversarial
+    /// schedules to exhaustion (E5's preemptor, E10's lockstep). `0` =
+    /// not applicable.
+    pub cap: u64,
+}
+
+impl Preset {
+    /// Applies the `--scale` multiplier to the trial count.
+    pub fn scaled(self, scale: u64) -> Self {
+        Preset {
+            trials: self.trials.saturating_mul(scale.max(1)),
+            ..self
+        }
+    }
+}
+
+/// The static descriptor of a registered scenario.
+#[derive(Clone, Copy, Debug)]
+pub struct Spec {
+    /// Experiment id from DESIGN.md's index (`"E1"`, …, `"E14"`).
+    pub id: &'static str,
+    /// One-line scenario title (the tables carry their own long titles).
+    pub title: &'static str,
+    /// The paper artifact this scenario reproduces.
+    pub artifact: &'static str,
+    /// Output CSV file names (relative to `--out-dir`), in the order
+    /// [`Scenario::run`] returns its tables.
+    pub outputs: &'static [&'static str],
+    /// What [`Preset::trials`] counts for this scenario.
+    pub trials_label: &'static str,
+    /// What [`Preset::size`] means for this scenario (`"-"` = unused).
+    pub size_label: &'static str,
+    /// The CI-sized full-scale preset (`--scale` multiplies trials).
+    pub full: Preset,
+    /// The tiny fixed-seed preset pinned by the golden CSVs.
+    pub smoke: Preset,
+}
+
+impl Spec {
+    /// Renders a preset using this scenario's knob labels, e.g.
+    /// `trials=1000, max-n=100000`. Knobs the scenario doesn't use
+    /// (zero, per the [`Preset`] contract) are omitted.
+    pub fn describe(&self, p: Preset) -> String {
+        let mut parts = Vec::new();
+        if p.trials != 0 {
+            parts.push(format!("{}={}", self.trials_label, p.trials));
+        }
+        if self.size_label != "-" {
+            parts.push(format!("{}={}", self.size_label, p.size));
+        }
+        if p.cap != 0 {
+            parts.push(format!("cap={}", p.cap));
+        }
+        parts.join(", ")
+    }
+}
+
+/// A registered experiment: a static descriptor plus a preset-driven
+/// runner returning one table per declared output file.
+pub trait Scenario: Sync {
+    /// The scenario's static descriptor.
+    fn spec(&self) -> Spec;
+    /// Runs the scenario at `preset` with the given base seed. Must
+    /// return exactly `spec().outputs.len()` tables, in output order,
+    /// and must be a pure function of `(preset, seed)` — bit-identical
+    /// at every worker count (pinned by the determinism tests).
+    fn run(&self, preset: Preset, seed: u64) -> Vec<Table>;
+}
+
+/// Every registered scenario, in experiment-id order. (E12 was folded
+/// into E8's failure variant in DESIGN.md, hence 13 entries for E1–E14.)
+pub const REGISTRY: &[&dyn Scenario] = &[
+    &fig1::Fig1,
+    &validity::ValidityCost,
+    &scaling::TerminationScaling,
+    &lower::LowerBound,
+    &hybrid::HybridQuantum,
+    &bounded::BoundedSpace,
+    &unfair::Unfairness,
+    &race::RenewalRace,
+    &ablation::SkipAblation,
+    &baseline::Baselines,
+    &crashes::AdaptiveCrashes,
+    &msgpass::MessagePassing,
+    &statistical::StatisticalAdversary,
+];
+
+/// Looks up a scenario by id (case-insensitive).
+pub fn by_id(id: &str) -> Option<&'static dyn Scenario> {
+    REGISTRY
+        .iter()
+        .copied()
+        .find(|s| s.spec().id.eq_ignore_ascii_case(id))
+}
+
+/// Renders the registry as the complete `docs/experiments.md` document
+/// (`repro --list --markdown` prints this; the committed file is its
+/// verbatim output).
+pub fn catalogue_markdown() -> String {
+    let mut out = String::new();
+    out.push_str("# Experiment catalogue\n\n");
+    out.push_str(
+        "<!-- Generated by `cargo run --release -p nc-bench --bin repro -- --list --markdown`.\n     Regenerate instead of editing by hand. -->\n\n",
+    );
+    out.push_str(
+        "Every experiment is a [`Scenario`] registered in\n\
+         `crates/bench/src/scenario.rs`; the single `repro` binary drives them\n\
+         all (`--list`, `--only E1,E7`, `--smoke`, `--scale`, `--out-dir`) and\n\
+         writes a machine-readable `manifest.json` next to the CSVs. Smoke\n\
+         presets are pinned by golden CSVs under `crates/bench/tests/golden/`.\n\n",
+    );
+    out.push_str(
+        "| ID | Title | Paper artifact | Outputs | Full preset | Smoke preset |\n\
+         |----|-------|----------------|---------|-------------|--------------|\n",
+    );
+    for sc in REGISTRY {
+        let s = sc.spec();
+        out.push_str(&format!(
+            "| {} | {} | {} | {} | {} | {} |\n",
+            s.id,
+            s.title,
+            s.artifact,
+            s.outputs.join(", "),
+            s.describe(s.full),
+            s.describe(s.smoke),
+        ));
+    }
+    out.push_str(
+        "\nFull presets are CI-sized; `--scale 10` on the full tier is\n\
+         paper-grade. Smoke runs use seed 1 and complete in seconds; their\n\
+         CSVs are the committed goldens, regenerated with\n\
+         `cargo run --release -p nc-bench --bin repro -- --smoke --out-dir crates/bench/tests/golden`.\n",
+    );
+    out
+}
+
+/// One completed scenario run, as recorded in `manifest.json`.
+#[derive(Clone, Debug)]
+pub struct RunRecord {
+    /// Scenario id (`"E1"`).
+    pub id: String,
+    /// Scenario title.
+    pub title: String,
+    /// Base seed the run used.
+    pub seed: u64,
+    /// Knob labels + values, as rendered by [`Spec::describe`].
+    pub params: String,
+    /// Raw preset the run used (post `--scale`).
+    pub preset: Preset,
+    /// Wall-clock milliseconds the run took.
+    pub wall_ms: u128,
+    /// `(file name, data-row count)` per output CSV, in output order.
+    pub outputs: Vec<(String, usize)>,
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders the run manifest: suite-level settings plus one entry per
+/// completed scenario (seed, params, wall time, output files with row
+/// counts). Stable key order, two-space indent, trailing newline.
+pub fn manifest_json(
+    smoke: bool,
+    scale: u64,
+    seed: u64,
+    threads: usize,
+    records: &[RunRecord],
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"generated_by\": \"repro\",\n");
+    out.push_str(&format!("  \"smoke\": {smoke},\n"));
+    out.push_str(&format!("  \"scale\": {scale},\n"));
+    out.push_str(&format!("  \"seed\": {seed},\n"));
+    out.push_str(&format!("  \"threads\": {threads},\n"));
+    out.push_str("  \"scenarios\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"id\": {},\n", json_str(&r.id)));
+        out.push_str(&format!("      \"title\": {},\n", json_str(&r.title)));
+        out.push_str(&format!("      \"seed\": {},\n", r.seed));
+        out.push_str(&format!("      \"params\": {},\n", json_str(&r.params)));
+        out.push_str(&format!(
+            "      \"preset\": {{\"trials\": {}, \"size\": {}, \"cap\": {}}},\n",
+            r.preset.trials, r.preset.size, r.preset.cap
+        ));
+        out.push_str(&format!("      \"wall_ms\": {},\n", r.wall_ms));
+        out.push_str("      \"outputs\": [\n");
+        for (j, (file, rows)) in r.outputs.iter().enumerate() {
+            out.push_str(&format!(
+                "        {{\"file\": {}, \"rows\": {}}}{}\n",
+                json_str(file),
+                rows,
+                if j + 1 < r.outputs.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("      ]\n");
+        out.push_str(&format!(
+            "    }}{}\n",
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n");
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn registry_ids_are_unique_and_ordered() {
+        let ids: Vec<&str> = REGISTRY.iter().map(|s| s.spec().id).collect();
+        let unique: BTreeSet<&str> = ids.iter().copied().collect();
+        assert_eq!(unique.len(), ids.len(), "duplicate scenario ids");
+        let nums: Vec<u32> = ids.iter().map(|i| i[1..].parse().unwrap()).collect();
+        let mut sorted = nums.clone();
+        sorted.sort_unstable();
+        assert_eq!(nums, sorted, "registry must stay in E-number order");
+        assert_eq!(ids.len(), 13);
+    }
+
+    #[test]
+    fn registry_outputs_are_unique() {
+        let mut seen = BTreeSet::new();
+        for sc in REGISTRY {
+            for out in sc.spec().outputs {
+                assert!(seen.insert(*out), "output {out} declared twice");
+            }
+        }
+        assert_eq!(seen.len(), 17, "17 CSV artifacts across the suite");
+    }
+
+    #[test]
+    fn by_id_is_case_insensitive() {
+        assert_eq!(by_id("e7").unwrap().spec().id, "E7");
+        assert_eq!(by_id("E14").unwrap().spec().id, "E14");
+        assert!(by_id("E12").is_none(), "E12 is folded into E8");
+    }
+
+    #[test]
+    fn describe_uses_knob_labels() {
+        let spec = by_id("E1").unwrap().spec();
+        let desc = spec.describe(spec.full);
+        assert!(desc.contains("trials="), "{desc}");
+        assert!(desc.contains("max-n="), "{desc}");
+    }
+
+    #[test]
+    fn scaled_multiplies_trials_only() {
+        let p = Preset {
+            trials: 10,
+            size: 7,
+            cap: 3,
+        };
+        assert_eq!(
+            p.scaled(5),
+            Preset {
+                trials: 50,
+                size: 7,
+                cap: 3
+            }
+        );
+        // scale 0 is treated as 1, not as "run nothing".
+        assert_eq!(p.scaled(0), p);
+    }
+
+    #[test]
+    fn manifest_is_valid_shape_and_escapes_strings() {
+        let rec = RunRecord {
+            id: "E1".into(),
+            title: "quote \" and \\ in title".into(),
+            seed: 1,
+            params: "trials=5".into(),
+            preset: Preset {
+                trials: 5,
+                size: 12,
+                cap: 0,
+            },
+            wall_ms: 3,
+            outputs: vec![("fig1.csv".into(), 5)],
+        };
+        let json = manifest_json(true, 1, 1, 0, &[rec]);
+        assert!(json.contains("\"generated_by\": \"repro\""));
+        assert!(json.contains("\\\" and \\\\"));
+        assert!(json.contains("{\"file\": \"fig1.csv\", \"rows\": 5}"));
+        assert!(json.ends_with("}\n"));
+        // Rough balance check in lieu of a JSON parser.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn markdown_catalogue_has_one_row_per_scenario() {
+        let md = catalogue_markdown();
+        for sc in REGISTRY {
+            assert!(md.contains(&format!("| {} |", sc.spec().id)));
+        }
+        assert!(md.starts_with("# Experiment catalogue"));
+    }
+}

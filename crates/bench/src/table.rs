@@ -6,7 +6,7 @@ use std::io;
 use std::path::Path;
 
 /// A rectangular result table with a title and column headers.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Table {
     /// Human-readable experiment title.
     pub title: String,
@@ -42,16 +42,10 @@ impl Table {
         self.rows.push(row);
     }
 
-    /// Writes the table as CSV to `path`, creating parent directories.
-    ///
-    /// # Errors
-    ///
-    /// Propagates filesystem errors.
-    pub fn write_csv(&self, path: impl AsRef<Path>) -> io::Result<()> {
-        let path = path.as_ref();
-        if let Some(parent) = path.parent() {
-            fs::create_dir_all(parent)?;
-        }
+    /// Renders the table as a CSV document (header + rows, `\n` line
+    /// endings on every host) — the exact bytes [`Table::write_csv`]
+    /// writes, and the unit the golden-output tests byte-compare.
+    pub fn to_csv_string(&self) -> String {
         fn quote(cell: &str) -> String {
             if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
                 format!("\"{}\"", cell.replace('"', "\"\""))
@@ -68,7 +62,21 @@ impl Table {
             out.push_str(&cells.join(","));
             out.push('\n');
         }
-        fs::write(path, out)
+        out
+    }
+
+    /// Writes the table as CSV to `path`, creating parent directories
+    /// (so a fresh checkout without `results/` works out of the box).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_csv(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        fs::write(path, self.to_csv_string())
     }
 }
 
@@ -102,14 +110,38 @@ impl fmt::Display for Table {
     }
 }
 
+/// Formats a float with `prec` fixed decimal places in a canonical,
+/// host-stable form — the one float→text path every table cell goes
+/// through, so golden CSV comparisons are byte-exact:
+///
+/// * fixed precision (never shortest-roundtrip `Display`, whose digit
+///   count depends on the value);
+/// * anything that rounds to zero prints as positive zero (`-0.0` and
+///   tiny negatives would otherwise leak `-0.00` into the bytes);
+/// * non-finite values render as `NaN` / `inf` / `-inf` regardless of
+///   how the platform spells them elsewhere.
+pub fn fstable(x: f64, prec: usize) -> String {
+    if x.is_nan() {
+        return "NaN".into();
+    }
+    if x.is_infinite() {
+        return if x > 0.0 { "inf" } else { "-inf" }.into();
+    }
+    let s = format!("{x:.prec$}");
+    match s.strip_prefix('-') {
+        Some(mag) if mag.chars().all(|c| c == '0' || c == '.') => mag.to_string(),
+        _ => s,
+    }
+}
+
 /// Formats a float with 3 decimal places (table cell helper).
 pub fn f3(x: f64) -> String {
-    format!("{x:.3}")
+    fstable(x, 3)
 }
 
 /// Formats a float with 2 decimal places (table cell helper).
 pub fn f2(x: f64) -> String {
-    format!("{x:.2}")
+    fstable(x, 2)
 }
 
 #[cfg(test)]
@@ -132,6 +164,20 @@ mod tests {
     fn ragged_row_panics() {
         let mut t = Table::new("demo", &["a", "b"]);
         t.push(vec!["1".into()]);
+    }
+
+    #[test]
+    fn fstable_is_canonical() {
+        assert_eq!(fstable(-0.0, 2), "0.00");
+        assert_eq!(fstable(0.0, 3), "0.000");
+        assert_eq!(fstable(1.0 / 3.0, 3), "0.333");
+        assert_eq!(fstable(f64::NAN, 2), "NaN");
+        assert_eq!(fstable(f64::INFINITY, 2), "inf");
+        assert_eq!(fstable(f64::NEG_INFINITY, 2), "-inf");
+        // Tiny negatives that round to zero must not print "-0.00".
+        assert_eq!(fstable(-1e-9, 2), "0.00");
+        assert_eq!(fstable(-0.004, 2), "0.00");
+        assert_eq!(fstable(-0.006, 2), "-0.01");
     }
 
     #[test]

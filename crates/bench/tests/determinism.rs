@@ -8,8 +8,24 @@
 //! seq)` tie-breaking — is total and stable under equal `f64` times
 //! lives next to the queue: `nc_sched::queue::tests`.)
 
+use std::sync::Mutex;
+
 use nc_bench::experiments::fig1;
+use nc_bench::scenario::{REGISTRY, SMOKE_SEED};
 use nc_bench::{configure_threads, par_trials_scratch};
+
+/// `configure_threads` mutates a process-global worker count and the
+/// harness runs tests on parallel threads, so serial-vs-parallel tests
+/// must hold this lock — otherwise a sibling's `configure_threads(0)`
+/// can land between a test's `configure_threads(1)` and its sweep,
+/// making the "serial" side run wide (and the comparison vacuous).
+static THREAD_KNOB: Mutex<()> = Mutex::new(());
+
+fn hold_thread_knob() -> std::sync::MutexGuard<'static, ()> {
+    // A panic while holding the lock already fails that test; don't
+    // let the poison mask the other tests' results.
+    THREAD_KNOB.lock().unwrap_or_else(|e| e.into_inner())
+}
 use nc_engine::baseline::run_noisy_baseline;
 use nc_engine::noisy::run_noisy_scratch;
 use nc_engine::{setup, Limits};
@@ -33,7 +49,34 @@ fn point_fingerprint(threads: usize) -> Vec<(u64, u64, u64)> {
 }
 
 #[test]
+fn every_scenario_smoke_is_bitwise_identical_serial_vs_parallel() {
+    // The registry-wide version of the fig1 fingerprint test below:
+    // every registered scenario's smoke preset must produce cell-for-
+    // cell identical tables at 1 and 4 workers. (Scenario output cells
+    // are strings formatted from the measured values, so equal tables
+    // here are exactly what the golden CSVs pin.)
+    let _serial = hold_thread_knob();
+    for sc in REGISTRY {
+        let spec = sc.spec();
+        let run_at = |threads: usize| {
+            configure_threads(threads);
+            let tables = sc.run(spec.smoke, SMOKE_SEED);
+            configure_threads(0);
+            tables
+        };
+        let serial = run_at(1);
+        assert_eq!(
+            serial,
+            run_at(4),
+            "{} diverged between 1 and 4 workers",
+            spec.id
+        );
+    }
+}
+
+#[test]
 fn fig1_point_is_bitwise_identical_serial_vs_parallel() {
+    let _serial = hold_thread_knob();
     let serial = point_fingerprint(1);
     for threads in [2, 3, 8] {
         assert_eq!(
@@ -49,6 +92,7 @@ fn parallel_sweep_reports_match_baseline_engine_exactly() {
     // Full RunReports from the optimized engine running inside the
     // parallel harness must equal the naive serial baseline's, trial by
     // trial.
+    let _serial = hold_thread_knob();
     let timing = TimingModel::figure1(Noise::Uniform { lo: 0.0, hi: 2.0 });
     let inputs = setup::half_and_half(10);
     configure_threads(4);
@@ -96,6 +140,7 @@ fn pipelined_sweep_is_bitwise_identical_across_lane_widths() {
     // every lane width, including the non-interleaved width 1 — and
     // that at several worker counts, so pipelining composes with the
     // thread-fan-out contract.
+    let _serial = hold_thread_knob();
     let timing = TimingModel::figure1(Noise::Uniform { lo: 0.0, hi: 2.0 });
     let inputs = setup::half_and_half(12);
     let sweep = |threads: usize, lanes: usize| -> Vec<nc_engine::RunReport> {

@@ -1,0 +1,81 @@
+//! Golden-run reproduction harness: every registered scenario's smoke
+//! preset re-runs here and must byte-match its committed CSV under
+//! `tests/golden/` — the same way `soa_equivalence.rs` pins the engine,
+//! this pins the whole experiment pipeline (engine, scheduler,
+//! statistics, float formatting, CSV layout).
+//!
+//! Float→text goes through `table::fstable` (fixed precision, canonical
+//! zero/non-finite forms), so the bytes are stable across hosts up to
+//! libm (`exp`/`ln`) differences — CI and the goldens both use
+//! x86-64 linux, where they agree.
+//!
+//! On an intentional behavior change, regenerate with:
+//!
+//! ```sh
+//! cargo run --release -p nc-bench --bin repro -- --smoke \
+//!     --out-dir crates/bench/tests/golden
+//! ```
+//!
+//! and commit the diff — the review then shows exactly which numbers
+//! moved.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::Path;
+
+use nc_bench::scenario::{REGISTRY, SMOKE_SEED};
+
+const REGEN: &str =
+    "regenerate with: cargo run --release -p nc-bench --bin repro -- --smoke --out-dir crates/bench/tests/golden";
+
+fn golden_dir() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden"))
+}
+
+#[test]
+fn every_scenario_smoke_run_matches_its_committed_golden() {
+    let mut produced = BTreeSet::new();
+    for sc in REGISTRY {
+        let spec = sc.spec();
+        let tables = sc.run(spec.smoke, SMOKE_SEED);
+        assert_eq!(
+            tables.len(),
+            spec.outputs.len(),
+            "{}: table count != declared outputs",
+            spec.id
+        );
+        for (table, name) in tables.iter().zip(spec.outputs) {
+            produced.insert(name.to_string());
+            let path = golden_dir().join(name);
+            let golden = fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("{}: missing golden {name} ({e}); {REGEN}", spec.id));
+            assert_eq!(
+                table.to_csv_string(),
+                golden,
+                "{}: {name} drifted from its golden; if intentional, {REGEN}",
+                spec.id
+            );
+        }
+    }
+}
+
+#[test]
+fn golden_dir_holds_no_stale_files() {
+    // A renamed or deleted output must not leave a dead golden behind —
+    // CI's drift check only looks at files the registry declares, so a
+    // stale golden would otherwise rot silently.
+    let declared: BTreeSet<&str> = REGISTRY
+        .iter()
+        .flat_map(|sc| sc.spec().outputs.iter().copied())
+        .collect();
+    for entry in fs::read_dir(golden_dir()).expect("tests/golden must exist") {
+        let name = entry.unwrap().file_name().into_string().unwrap();
+        if name == "manifest.json" {
+            continue; // dropped by golden regeneration; gitignored
+        }
+        assert!(
+            declared.contains(name.as_str()),
+            "stale golden {name}: no registered scenario declares it ({REGEN}, then delete it)"
+        );
+    }
+}

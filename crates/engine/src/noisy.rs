@@ -29,9 +29,9 @@
 //!    [`nc_sched::select::TREE_MIN_N`] processes and the branchless
 //!    pid-indexed tournament tree ([`nc_sched::EventTree`]) above it.
 //!    The event order is total, so the choice cannot change results.
-//! 2. **Struct-of-arrays process state ([`ProcSoA`])** — the per-event
+//! 2. **Struct-of-arrays process state (`ProcSoA`)** — the per-event
 //!    scalars (event-time accumulator, operation index, noise-buffer
-//!    cursor, halt/decide flags) are packed into one 32-byte [`Hot`]
+//!    cursor, halt/decide flags) are packed into one 32-byte `Hot`
 //!    lane per process, an 8× denser stride than the old 256-byte
 //!    `ProcState`; the cold state (cached pending op, RNG streams, the
 //!    pre-drawn noise buffer) lives in separate arrays touched only on
@@ -56,12 +56,12 @@
 //!    the other lanes' work fills the pipeline. Per-trial results are
 //!    bit-identical to sequential execution by construction.
 //!
-//! The common-case loop ([`loop_fast`], taken when there is no crash
+//! The common-case loop (`loop_fast`, taken when there is no crash
 //! adversary, no history recording, and no random failures) executes
 //! each event through the fused [`Protocol::step_status`] — one
 //! (monomorphizable) call per event instead of the naive driver's four
 //! virtual dispatches — and carries no per-event `Option` checks at
-//! all. Everything else takes [`loop_general`]. Equal inputs produce
+//! all. Everything else takes `loop_general`. Equal inputs produce
 //! bit-identical reports on either path, with either queue, at any
 //! pipeline width.
 

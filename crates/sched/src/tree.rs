@@ -6,7 +6,7 @@
 //! times is a coin-flip branch. This structure removes data-dependent
 //! branches entirely:
 //!
-//! * An [`Event`](crate::queue::Event) is already a 16-byte integer
+//! * An [`Event`] is already a 16-byte integer
 //!   sort key `(mapped time, seq, pid)` — and its **low 24 bits are the
 //!   pid**. So `min` over the `u128` keys is simultaneously the
 //!   earliest event *and* its owner: no index bookkeeping at all.

@@ -3,7 +3,7 @@
 //! Mean round at which the *first* process terminates, for the six
 //! interarrival distributions of §9, over a log-spaced sweep of n.
 //! (The full-scale reproduction with CSV output lives in
-//! `cargo run --release -p nc-bench --bin fig1`.)
+//! `cargo run --release -p nc-bench --bin repro -- --only E1`.)
 //!
 //! Run with: `cargo run --release --example figure1_mini [trials]`
 
