@@ -2,16 +2,18 @@
 //! iteration = one full first-decision simulation at the given n.
 //!
 //! The `speedup` group is the PR-gating comparison: the optimized engine
-//! (peek-and-replace queue + scratch reuse + batched noise) vs. the
-//! naive BinaryHeap baseline (`nc_engine::baseline`, compiled via the
-//! `baseline` feature), on the acceptance workload `n = 100`, `U(0, 2)`
-//! noise, first-decision cutoff.
+//! (peek-and-replace queue + scratch reuse + batched noise, driven
+//! through the `Sim` builder's reusable handle) vs. the naive BinaryHeap
+//! baseline (`nc_engine::baseline`, compiled via the `baseline`
+//! feature), on the acceptance workload `n = 100`, `U(0, 2)` noise,
+//! first-decision cutoff.
 //!
 //! Run with `cargo bench -p nc-bench --bench figure1_points`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use nc_engine::baseline::run_noisy_baseline;
-use nc_engine::{run_noisy_scratch, setup, Algorithm, EngineScratch, Limits};
+use nc_engine::sim::Sim;
+use nc_engine::{setup, Algorithm, Limits};
 use nc_sched::{Noise, TimingModel};
 use std::hint::black_box;
 
@@ -20,20 +22,16 @@ fn bench_points(c: &mut Criterion) {
     group.sample_size(20);
     let timing = TimingModel::figure1(Noise::Exponential { mean: 1.0 });
     for n in [10usize, 100, 1000, 10_000] {
-        let inputs = setup::half_and_half(n);
         let mut seed = 0u64;
-        let mut scratch = EngineScratch::new();
+        let mut sim = Sim::new(Algorithm::Lean)
+            .inputs(setup::half_and_half(n))
+            .timing(timing.clone())
+            .limits(Limits::first_decision())
+            .build();
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
                 seed += 1;
-                let mut inst = setup::build(Algorithm::Lean, &inputs, seed);
-                black_box(run_noisy_scratch(
-                    &mut scratch,
-                    &mut inst,
-                    &timing,
-                    seed,
-                    Limits::first_decision(),
-                ))
+                black_box(sim.run(seed))
             });
         });
     }
@@ -64,18 +62,15 @@ fn bench_speedup(c: &mut Criterion) {
     });
 
     let mut seed = 0u64;
-    let mut scratch = EngineScratch::new();
+    let mut sim = Sim::new(Algorithm::Lean)
+        .inputs(inputs.clone())
+        .timing(timing.clone())
+        .limits(Limits::first_decision())
+        .build();
     group.bench_function("optimized", |b| {
         b.iter(|| {
             seed += 1;
-            let mut inst = setup::build(Algorithm::Lean, &inputs, seed);
-            black_box(run_noisy_scratch(
-                &mut scratch,
-                &mut inst,
-                &timing,
-                seed,
-                Limits::first_decision(),
-            ))
+            black_box(sim.run(seed))
         });
     });
 

@@ -25,11 +25,10 @@
 use std::io::Write as _;
 use std::time::Instant;
 
-use nc_bench::{
-    arg, configure_threads, experiments::fig1, par_lean_trials_pipelined, PIPELINE_LANES,
-};
+use nc_bench::{arg, experiments::fig1, PIPELINE_LANES};
 use nc_engine::baseline::run_noisy_baseline;
-use nc_engine::{noisy::run_noisy_scratch, setup, EngineScratch, Limits, QueuePolicy};
+use nc_engine::sim::Sim;
+use nc_engine::{setup, Limits, QueuePolicy};
 use nc_sched::{Noise, TimingModel};
 
 const REPEATS: usize = 3;
@@ -64,24 +63,19 @@ fn bench_naive(n: usize, trials: u64) -> (f64, u64) {
     })
 }
 
-/// Sequential optimized engine with a chosen queue policy.
+/// Sequential optimized engine with a chosen queue policy: one reused
+/// `SimRun` handle (scratch + monomorphized lean instance) per cell.
 fn bench_sequential(n: usize, trials: u64, policy: QueuePolicy) -> (f64, u64) {
-    let timing = timing();
-    let inputs = setup::half_and_half(n);
-    let mut scratch = EngineScratch::with_queue(policy);
-    let mut inst = setup::build_lean(&inputs);
+    let mut sim = Sim::new(setup::Algorithm::Lean)
+        .inputs(setup::half_and_half(n))
+        .timing(timing())
+        .limits(Limits::first_decision())
+        .queue_policy(policy)
+        .build();
     best_of(|| {
         let mut events = 0;
         for seed in 0..trials {
-            inst.rebuild(&inputs);
-            events += run_noisy_scratch(
-                &mut scratch,
-                &mut inst,
-                &timing,
-                seed,
-                Limits::first_decision(),
-            )
-            .total_ops;
+            events += sim.run(seed).total_ops;
         }
         events
     })
@@ -90,20 +84,19 @@ fn bench_sequential(n: usize, trials: u64, policy: QueuePolicy) -> (f64, u64) {
 /// The full optimized stack: pipelined lanes, auto queue. Run on one
 /// worker so the number stays a single-thread measurement.
 fn bench_pipelined(n: usize, trials: u64, lanes: usize) -> (f64, u64) {
-    let timing = timing();
-    let inputs = setup::half_and_half(n);
     best_of(|| {
-        par_lean_trials_pipelined(
-            trials,
-            lanes,
-            &inputs,
-            &timing,
-            Limits::first_decision(),
-            |t| t,
-            |report| report.total_ops,
-        )
-        .iter()
-        .sum()
+        Sim::new(setup::Algorithm::Lean)
+            .inputs(setup::half_and_half(n))
+            .timing(timing())
+            .limits(Limits::first_decision())
+            .trials(trials)
+            .seed0(0)
+            .seed_stride(1)
+            .threads(1)
+            .lanes(lanes)
+            .map(|report| report.total_ops)
+            .iter()
+            .sum()
     })
 }
 
@@ -119,9 +112,8 @@ fn main() {
         .map(|c| c.get())
         .unwrap_or(1);
 
-    // Single-thread cells (the pipelined bench goes through the worker
-    // pool; pin it to one worker).
-    configure_threads(1);
+    // Single-thread cells (the pipelined bench pins its TrialSet to one
+    // worker explicitly).
     let mut single = String::new();
     let mut speedup_n100 = 0.0;
     for (i, &n) in [100usize, 1000, 10_000].iter().enumerate() {
@@ -173,9 +165,14 @@ fn main() {
         threads_list.push(cores);
     }
     for (i, &threads) in threads_list.iter().enumerate() {
-        configure_threads(threads);
         let (secs, _) = best_of(|| {
-            let p = fig1::point(Noise::Uniform { lo: 0.0, hi: 2.0 }, 100, sweep_trials, 1);
+            let p = fig1::point(
+                Noise::Uniform { lo: 0.0, hi: 2.0 },
+                100,
+                sweep_trials,
+                1,
+                threads,
+            );
             p.rounds.count()
         });
         if threads == 1 {
@@ -190,7 +187,6 @@ fn main() {
             "\n    {{\"threads\": {threads}, \"seconds\": {secs:.4}, \"speedup_vs_1\": {scale:.3}}}"
         ));
     }
-    configure_threads(0);
 
     let json = format!(
         "{{\n  \"workload\": \"fig1 point: n procs, U(0,2) noise, first-decision cutoff, full trial incl. instance setup\",\n  \"baseline\": \"naive BinaryHeap driver (nc_engine::baseline, seed implementation)\",\n  \"optimized\": \"SoA scratch engine, auto queue (heap < TREE_MIN_N <= tree); best of sequential (PIPELINE_LANES={PIPELINE_LANES}) and the {lanes}-lane pipelined ablation, one thread\",\n  \"host_cores\": {cores},\n  \"trials_n100\": {trials},\n  \"single_thread\": [{single}\n  ],\n  \"speedup_n100\": {speedup_n100:.3},\n  \"sweep_scaling_n100\": [{scaling}\n  ],\n  \"notes\": \"Numbers from `cargo run --release -p nc-bench --bin bench_engine`; best-of-{REPEATS} wall time per cell. speedup_sequential isolates the engine without trial pipelining; heap/tree columns are the queue ablation behind TREE_MIN_N; the pipelined column is the K-lane lockstep interleave. On the 1-core reference VM the interleave LOSES (K working sets overflow the VM's cache, and the serial queue-free execution-core ablation of ~46 ns/event leaves no memory-level parallelism to harvest), so PIPELINE_LANES defaults to 1 there; re-measure --lanes 2..8 on hardware with real per-core cache. Multi-worker sweep rows only appear on multi-core hosts.\"\n}}\n"

@@ -39,7 +39,9 @@ use nc_bench::scenario::{
 use nc_bench::{arg, flag};
 
 fn main() -> ExitCode {
-    nc_bench::configure_threads_from_args();
+    // Worker count for every scenario's sweeps (0 = all cores). This is
+    // per-sweep state plumbed through `Scenario::run`, not a
+    // process-global knob; it never affects any result.
     let threads: usize = arg("threads", 0);
 
     if flag("list") {
@@ -126,7 +128,7 @@ fn main() -> ExitCode {
         }
         println!(">>> {} {} [{}]", spec.id, spec.title, spec.describe(preset));
         let start = Instant::now();
-        let tables = sc.run(preset, seed);
+        let tables = sc.run(preset, seed, threads);
         let wall_ms = start.elapsed().as_millis();
         assert_eq!(
             tables.len(),

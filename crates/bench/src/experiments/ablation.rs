@@ -18,11 +18,11 @@
 //! the deciding processes' round count, which is what the verdict column
 //! reports.
 
-use nc_engine::{noisy::run_noisy_scratch, setup, Algorithm, Limits};
+use nc_engine::sim::Sim;
+use nc_engine::{setup, Algorithm};
 use nc_sched::{Noise, TimingModel};
 use nc_theory::OnlineStats;
 
-use crate::par_trials_scratch;
 use crate::scenario::{Preset, Scenario, Spec};
 use crate::table::{f2, Table};
 
@@ -52,13 +52,13 @@ impl Scenario for SkipAblation {
         }
     }
 
-    fn run(&self, p: Preset, seed: u64) -> Vec<Table> {
-        vec![run(p.trials, seed)]
+    fn run(&self, p: Preset, seed: u64, threads: usize) -> Vec<Table> {
+        vec![run(p.trials, seed, threads)]
     }
 }
 
 /// Runs the skip-ops ablation.
-pub fn run(trials: u64, seed0: u64) -> Table {
+pub fn run(trials: u64, seed0: u64, threads: usize) -> Table {
     let mut table = Table::new(
         "E9 / §4 ablation: paper ops vs skip-ops variant (same seeds)",
         &[
@@ -93,28 +93,27 @@ pub fn run(trials: u64, seed0: u64) -> Table {
             let mut skip_time = OnlineStats::new();
             let mut lean_ops = OnlineStats::new();
             let mut skip_ops = OnlineStats::new();
-            let pairs = par_trials_scratch(trials, |scratch, t| {
-                let seed = seed0 + t * 23;
-                let mut a = setup::build(Algorithm::Lean, &inputs, seed);
-                let ra =
-                    run_noisy_scratch(scratch, &mut a, &timing, seed, Limits::run_to_completion());
-                let mut b = setup::build(Algorithm::Skipping, &inputs, seed);
-                let rb =
-                    run_noisy_scratch(scratch, &mut b, &timing, seed, Limits::run_to_completion());
-                (
-                    (
-                        ra.first_decision_round.unwrap() as f64,
-                        ra.first_decision_time.unwrap(),
-                        ra.total_ops as f64,
-                    ),
-                    (
-                        rb.first_decision_round.unwrap() as f64,
-                        rb.first_decision_time.unwrap(),
-                        rb.total_ops as f64,
-                    ),
-                )
-            });
-            for (a, b) in pairs {
+            // Two sweeps over identical per-trial seeds (paired runs):
+            // trial t of each sweep uses seed0 + t * 23.
+            let measure = |alg: Algorithm| {
+                Sim::new(alg)
+                    .inputs(inputs.clone())
+                    .timing(timing.clone())
+                    .trials(trials)
+                    .seed0(seed0)
+                    .seed_stride(23)
+                    .threads(threads)
+                    .map(|r| {
+                        (
+                            r.first_decision_round.unwrap() as f64,
+                            r.first_decision_time.unwrap(),
+                            r.total_ops as f64,
+                        )
+                    })
+            };
+            let lean_runs = measure(Algorithm::Lean);
+            let skip_runs = measure(Algorithm::Skipping);
+            for (a, b) in lean_runs.into_iter().zip(skip_runs) {
                 lean_rounds.push(a.0);
                 lean_time.push(a.1);
                 lean_ops.push(a.2);

@@ -13,12 +13,12 @@
 //! environment can substitute for randomness in the algorithm", and
 //! vice versa.
 
-use nc_engine::{noisy::run_noisy_scratch, run_adversarial, setup, Algorithm, Limits};
+use nc_engine::sim::Sim;
+use nc_engine::{setup, Algorithm, Limits};
 use nc_sched::adversary::RoundRobin;
 use nc_sched::{Noise, TimingModel};
 use nc_theory::OnlineStats;
 
-use crate::par_trials_scratch;
 use crate::scenario::{Preset, Scenario, Spec};
 use crate::table::{f2, Table};
 
@@ -52,8 +52,8 @@ impl Scenario for Baselines {
         }
     }
 
-    fn run(&self, p: Preset, seed: u64) -> Vec<Table> {
-        let (noisy, lockstep) = run(p.trials, p.cap, seed);
+    fn run(&self, p: Preset, seed: u64, threads: usize) -> Vec<Table> {
+        let (noisy, lockstep) = run(p.trials, p.cap, seed, threads);
         vec![noisy, lockstep]
     }
 }
@@ -61,7 +61,7 @@ impl Scenario for Baselines {
 /// Runs the baseline comparison with the given lockstep operation cap
 /// (non-deciders stop there). Returns the noisy table and the lockstep
 /// table.
-pub fn run(trials: u64, lockstep_cap: u64, seed0: u64) -> (Table, Table) {
+pub fn run(trials: u64, lockstep_cap: u64, seed0: u64, threads: usize) -> (Table, Table) {
     let algs = [Algorithm::Lean, Algorithm::Randomized, Algorithm::Backup];
 
     let mut noisy = Table::new(
@@ -74,19 +74,17 @@ pub fn run(trials: u64, lockstep_cap: u64, seed0: u64) -> (Table, Table) {
             let inputs = setup::half_and_half(n);
             let mut rounds = OnlineStats::new();
             let mut ops = OnlineStats::new();
-            let results = par_trials_scratch(trials, |scratch, t| {
-                let seed = seed0 + t * 41;
-                let mut inst = setup::build(alg, &inputs, seed);
-                let report = run_noisy_scratch(
-                    scratch,
-                    &mut inst,
-                    &timing,
-                    seed,
-                    Limits::run_to_completion(),
-                );
-                report.check_safety(&inputs).expect("safety");
-                (report.first_decision_round, report.total_ops as f64)
-            });
+            let results = Sim::new(alg)
+                .inputs(inputs.clone())
+                .timing(timing)
+                .trials(trials)
+                .seed0(seed0)
+                .seed_stride(41)
+                .threads(threads)
+                .map(|report| {
+                    report.check_safety(&inputs).expect("safety");
+                    (report.first_decision_round, report.total_ops as f64)
+                });
             for (round, total) in results {
                 if let Some(r) = round {
                     rounds.push(r as f64);
@@ -117,14 +115,14 @@ pub fn run(trials: u64, lockstep_cap: u64, seed0: u64) -> (Table, Table) {
             let mut decided_runs = 0u64;
             let mut ops = OnlineStats::new();
             let runs = 5u64;
+            let mut lockstep_sim = Sim::new(alg)
+                .inputs(inputs.clone())
+                .adversary(|_| RoundRobin::new())
+                .limits(Limits::run_to_completion().with_max_ops(lockstep_cap))
+                .build();
             for t in 0..runs {
                 let seed = seed0 + 1000 + t;
-                let mut inst = setup::build(alg, &inputs, seed);
-                let report = run_adversarial(
-                    &mut inst,
-                    &mut RoundRobin::new(),
-                    Limits::run_to_completion().with_max_ops(lockstep_cap),
-                );
+                let report = lockstep_sim.run(seed);
                 report.check_safety(&inputs).expect("safety");
                 if report.outcome.decided() {
                     decided_runs += 1;

@@ -8,13 +8,13 @@
 //! plain lean-consensus while space stays `O(log² n)` bits.
 
 use nc_core::bounded::recommended_r_max;
-use nc_engine::{noisy::run_noisy_scratch, run_adversarial, setup, Algorithm, Limits};
+use nc_engine::sim::Sim;
+use nc_engine::{setup, Algorithm};
 use nc_memory::RaceLayout;
 use nc_sched::adversary::RoundRobin;
 use nc_sched::{Noise, TimingModel};
 use nc_theory::OnlineStats;
 
-use crate::par_trials_scratch;
 use crate::scenario::{Preset, Scenario, Spec};
 use crate::table::{f2, Table};
 
@@ -44,13 +44,13 @@ impl Scenario for BoundedSpace {
         }
     }
 
-    fn run(&self, p: Preset, seed: u64) -> Vec<Table> {
-        vec![run(p.size, p.trials, seed)]
+    fn run(&self, p: Preset, seed: u64, threads: usize) -> Vec<Table> {
+        vec![run(p.size, p.trials, seed, threads)]
     }
 }
 
 /// Runs the bounded-space experiment for `n` processes.
-pub fn run(n: usize, trials: u64, seed0: u64) -> Table {
+pub fn run(n: usize, trials: u64, seed0: u64, threads: usize) -> Table {
     let rec = recommended_r_max(n);
     let mut table = Table::new(
         format!("E6 / Theorem 15: bounded protocol, n = {n} (recommended r_max = {rec})"),
@@ -75,22 +75,20 @@ pub fn run(n: usize, trials: u64, seed0: u64) -> Table {
         let inputs = setup::half_and_half(n);
         let mut engaged = 0u64;
         let mut ops = OnlineStats::new();
-        let results = par_trials_scratch(trials, |scratch, t| {
-            let seed = seed0 + t * 17;
-            let mut inst = setup::build(Algorithm::Bounded { r_max }, &inputs, seed);
-            let report = run_noisy_scratch(
-                scratch,
-                &mut inst,
-                &timing,
-                seed,
-                Limits::run_to_completion(),
-            );
-            report.check_safety(&inputs).expect("safety");
-            (
-                report.total_ops as f64,
-                report.decision_rounds.iter().flatten().any(|&r| r > r_max),
-            )
-        });
+        let results = Sim::new(Algorithm::Bounded { r_max })
+            .inputs(inputs.clone())
+            .timing(timing.clone())
+            .trials(trials)
+            .seed0(seed0)
+            .seed_stride(17)
+            .threads(threads)
+            .map(|report| {
+                report.check_safety(&inputs).expect("safety");
+                (
+                    report.total_ops as f64,
+                    report.decision_rounds.iter().flatten().any(|&r| r > r_max),
+                )
+            });
         for (total, hit_backup) in results {
             ops.push(total);
             if hit_backup {
@@ -101,15 +99,14 @@ pub fn run(n: usize, trials: u64, seed0: u64) -> Table {
         // Lockstep: lean can never decide; the backup must.
         let mut lockstep_ops = OnlineStats::new();
         let mut lockstep_ok = true;
+        let inputs = setup::alternating(n.min(8)); // lockstep cost grows fast
+        let mut lockstep = Sim::new(Algorithm::Bounded { r_max })
+            .inputs(inputs.clone())
+            .adversary(|_| RoundRobin::new())
+            .build();
         for t in 0..trials.min(10) {
             let seed = seed0 + 90_000 + t;
-            let inputs = setup::alternating(n.min(8)); // lockstep cost grows fast
-            let mut inst = setup::build(Algorithm::Bounded { r_max }, &inputs, seed);
-            let report = run_adversarial(
-                &mut inst,
-                &mut RoundRobin::new(),
-                Limits::run_to_completion(),
-            );
+            let report = lockstep.run(seed);
             report.check_safety(&inputs).expect("safety");
             lockstep_ok &= report.outcome.decided();
             lockstep_ops.push(report.total_ops as f64);

@@ -14,13 +14,12 @@
 //! irreplaceable frontrunner, so killing frontrunners buys the adversary
 //! nothing.
 
-use nc_engine::noisy::run_noisy_with_scratch;
-use nc_engine::{setup, Algorithm, Limits};
+use nc_engine::sim::Sim;
+use nc_engine::{setup, Algorithm};
 use nc_sched::adversary::LeaderKiller;
 use nc_sched::{Noise, TimingModel};
 use nc_theory::OnlineStats;
 
-use crate::par_trials_scratch;
 use crate::scenario::{Preset, Scenario, Spec};
 use crate::table::{f2, Table};
 
@@ -50,13 +49,13 @@ impl Scenario for AdaptiveCrashes {
         }
     }
 
-    fn run(&self, p: Preset, seed: u64) -> Vec<Table> {
-        vec![run(p.size, p.trials, seed)]
+    fn run(&self, p: Preset, seed: u64, threads: usize) -> Vec<Table> {
+        vec![run(p.size, p.trials, seed, threads)]
     }
 }
 
 /// Runs the adaptive-crash experiment.
-pub fn run(n: usize, trials: u64, seed0: u64) -> Table {
+pub fn run(n: usize, trials: u64, seed0: u64, threads: usize) -> Table {
     let mut table = Table::new(
         format!("E11 / §10: adaptive leader-killer, n = {n} (flat rounds support the O(log n) conjecture)"),
         &[
@@ -71,23 +70,23 @@ pub fn run(n: usize, trials: u64, seed0: u64) -> Table {
     for f in [0usize, 1, 2, 4, 8, 12] {
         let mut rounds = OnlineStats::new();
         let mut used = OnlineStats::new();
-        let results = par_trials_scratch(trials, |scratch, t| {
-            let seed = seed0 + t * 53;
-            let inputs = setup::half_and_half(n);
-            let mut inst = setup::build(Algorithm::Lean, &inputs, seed);
-            let mut killer = LeaderKiller::new(f, 1);
-            let report = run_noisy_with_scratch(
-                scratch,
-                &mut inst,
-                &timing,
-                seed,
-                Limits::run_to_completion(),
-                Some(&mut killer),
-                None,
-            );
-            report.check_safety(&inputs).expect("safety");
-            (report.first_decision_round, killer.crashed().len() as f64)
-        });
+        let inputs = setup::half_and_half(n);
+        let results = Sim::new(Algorithm::Lean)
+            .inputs(inputs.clone())
+            .timing(timing.clone())
+            .crash_adversary(move |_| LeaderKiller::new(f, 1))
+            .trials(trials)
+            .seed0(seed0)
+            .seed_stride(53)
+            .threads(threads)
+            .map(|report| {
+                report.check_safety(&inputs).expect("safety");
+                // The killer only ever crashes live processes and there
+                // are no random failures here, so the halted flags count
+                // exactly the crashes the adversary spent.
+                let crashes = report.halted.iter().filter(|&&h| h).count();
+                (report.first_decision_round, crashes as f64)
+            });
         for (round, crashed) in results {
             if let Some(r) = round {
                 rounds.push(r as f64);

@@ -8,22 +8,23 @@
 //! 10 000 trials per point up to `n = 100 000`; trials here scale down
 //! with `n` to keep the event budget laptop-sized (tunable).
 //!
-//! Trials fan out across the worker pool
-//! ([`crate::par_lean_trials_pipelined`]), each worker advancing
-//! [`crate::PIPELINE_LANES`] monomorphized lean trials in lockstep
-//! (software pipelining; 1 lane — plain sequential trials — on the
-//! reference VM, where the interleave measures as a loss). Per-trial
-//! seeds derive from the trial index alone and lanes share no state, so
-//! the sweep is **bit-for-bit identical** at every `--threads` setting
-//! and every lane width (pinned by the determinism regression tests).
+//! Each point is one [`nc_engine::sim::TrialSet`] sweep: monomorphized
+//! lean trials fan out across the sweep's own worker count, each worker
+//! advancing [`crate::PIPELINE_LANES`] trials in lockstep (software
+//! pipelining; 1 lane — plain sequential trials — on the reference VM,
+//! where the interleave measures as a loss). Per-trial seeds derive
+//! from the trial index alone and lanes share no state, so the sweep is
+//! **bit-for-bit identical** at every `threads` setting and every lane
+//! width (pinned by the determinism regression tests).
 
-use nc_engine::{setup, Limits};
+use nc_engine::sim::Sim;
+use nc_engine::{setup, Algorithm, Limits};
 use nc_sched::{Noise, TimingModel};
 use nc_theory::OnlineStats;
 
 use crate::scenario::{Preset, Scenario, Spec};
 use crate::table::{f2, Table};
-use crate::{figure1_ns, par_lean_trials_pipelined, trials_for, PIPELINE_LANES};
+use crate::{figure1_ns, trials_for};
 
 /// One measured Figure 1 point: first-decision round statistics plus
 /// the number of trials that were skipped because they never produced a
@@ -38,19 +39,21 @@ pub struct PointStats {
 }
 
 /// Derives trial `t`'s seed from the sweep seed (the scheme the seed
-/// harness used; kept verbatim so recorded results stay comparable).
+/// harness used; kept verbatim so recorded results and the golden CSVs
+/// stay comparable — new scenarios use [`nc_sched::rng::trial_seed`]
+/// instead, see `docs/experiments.md`).
 #[inline]
 fn trial_seed(seed0: u64, t: u64) -> u64 {
     seed0 ^ t.wrapping_mul(0x9E37_79B9_7F4A_7C15)
 }
 
-/// Measures one Figure 1 point.
+/// Measures one Figure 1 point across `threads` workers.
 ///
 /// Degenerate noise (which the model forbids, e.g. constant delays) can
 /// make runs lockstep forever; instead of aborting the sweep, such
 /// trials run against a reduced operation cap, are skipped, and are
 /// counted in [`PointStats::skipped`].
-pub fn point(noise: Noise, n: usize, trials: u64, seed0: u64) -> PointStats {
+pub fn point(noise: Noise, n: usize, trials: u64, seed0: u64, threads: usize) -> PointStats {
     let timing = TimingModel::figure1(noise);
     let inputs = setup::half_and_half(n);
     let limits = if timing.noise.is_degenerate() {
@@ -63,15 +66,14 @@ pub fn point(noise: Noise, n: usize, trials: u64, seed0: u64) -> PointStats {
         Limits::first_decision()
     };
 
-    let rounds: Vec<Option<usize>> = par_lean_trials_pipelined(
-        trials,
-        PIPELINE_LANES,
-        &inputs,
-        &timing,
-        limits,
-        |t| trial_seed(seed0, t),
-        |report| report.first_decision_round,
-    );
+    let rounds: Vec<Option<usize>> = Sim::new(Algorithm::Lean)
+        .inputs(inputs)
+        .timing(timing)
+        .limits(limits)
+        .trials(trials)
+        .seed_fn(move |t| trial_seed(seed0, t))
+        .threads(threads)
+        .map(|report| report.first_decision_round);
 
     // Fold in trial order: Welford accumulation order affects the
     // floating-point result, so this order is part of the determinism
@@ -96,7 +98,7 @@ pub fn point(noise: Noise, n: usize, trials: u64, seed0: u64) -> PointStats {
 /// (plus a 95% CI half-width column each), and a trailing column
 /// counting skipped (never-decided) runs — always `0` for the paper's
 /// six distributions.
-pub fn run(max_n: usize, base_trials: u64, seed: u64) -> Table {
+pub fn run(max_n: usize, base_trials: u64, seed: u64, threads: usize) -> Table {
     let suite = Noise::figure1_suite();
     let mut columns: Vec<String> = vec!["n".into(), "trials".into()];
     for (name, _) in &suite {
@@ -115,7 +117,7 @@ pub fn run(max_n: usize, base_trials: u64, seed: u64) -> Table {
         let mut row = vec![n.to_string(), trials.to_string()];
         let mut skipped = 0;
         for &(_, noise) in &suite {
-            let p = point(noise, n, trials, seed);
+            let p = point(noise, n, trials, seed, threads);
             row.push(f2(p.rounds.mean()));
             row.push(f2(p.rounds.ci95()));
             skipped += p.skipped;
@@ -153,8 +155,8 @@ impl Scenario for Fig1 {
         }
     }
 
-    fn run(&self, p: Preset, seed: u64) -> Vec<Table> {
-        vec![run(p.size, p.trials, seed)]
+    fn run(&self, p: Preset, seed: u64, threads: usize) -> Vec<Table> {
+        vec![run(p.size, p.trials, seed, threads)]
     }
 }
 
@@ -164,7 +166,7 @@ mod tests {
 
     #[test]
     fn healthy_point_never_skips() {
-        let p = point(Noise::Uniform { lo: 0.0, hi: 2.0 }, 8, 40, 7);
+        let p = point(Noise::Uniform { lo: 0.0, hi: 2.0 }, 8, 40, 7, 1);
         assert_eq!(p.skipped, 0);
         assert_eq!(p.rounds.count(), 40);
         assert!(p.rounds.mean() >= 2.0);
@@ -174,7 +176,7 @@ mod tests {
     fn degenerate_point_skips_instead_of_panicking() {
         // Constant noise + common start = lockstep: no decision, ever.
         // The seed harness aborted the whole sweep here; now it counts.
-        let p = point(Noise::Constant { value: 1.0 }, 4, 3, 3);
+        let p = point(Noise::Constant { value: 1.0 }, 4, 3, 3, 1);
         assert_eq!(p.skipped, 3);
         assert_eq!(p.rounds.count(), 0);
     }

@@ -6,7 +6,8 @@
 //! count observed. Theorem 14's claim: **≤ 12 for quantum ≥ 8** — the
 //! table's last column flags it.
 
-use nc_engine::{run_hybrid, setup, Algorithm, Limits};
+use nc_engine::sim::Sim;
+use nc_engine::{setup, Algorithm, Limits};
 use nc_sched::hybrid::{BenignHybrid, HybridPolicy, HybridSpec, RandomHybrid, WritePreemptor};
 use nc_sched::stream_rng;
 
@@ -45,7 +46,9 @@ impl Scenario for HybridQuantum {
         }
     }
 
-    fn run(&self, p: Preset, seed: u64) -> Vec<Table> {
+    fn run(&self, p: Preset, seed: u64, _threads: usize) -> Vec<Table> {
+        // The policy sweep is exhaustive (no trial fan-out), so the
+        // worker count has nothing to parallelize here.
         vec![run(p.size as u32, p.cap, seed)]
     }
 }
@@ -73,21 +76,22 @@ pub fn run(max_quantum: u32, op_cap: u64, seed0: u64) -> Table {
         for n in [2usize, 3, 4, 6, 8] {
             for burn in [0u32, quantum / 2, quantum] {
                 let inputs = setup::alternating(n);
-                let policies: [&mut dyn FnMut() -> Box<dyn HybridPolicy>; 3] = [
-                    &mut || Box::new(BenignHybrid),
-                    &mut || Box::new(RandomHybrid::new(stream_rng(seed0, quantum as u64, 4))),
-                    &mut || Box::new(WritePreemptor),
+                type MakePolicy = Box<dyn Fn(u64) -> Box<dyn HybridPolicy> + Send + Sync>;
+                let policies: [MakePolicy; 3] = [
+                    Box::new(|_| Box::new(BenignHybrid)),
+                    Box::new(move |seed| {
+                        Box::new(RandomHybrid::new(stream_rng(seed, quantum as u64, 4)))
+                    }),
+                    Box::new(|_| Box::new(WritePreemptor)),
                 ];
                 for (k, make) in policies.into_iter().enumerate() {
-                    let mut inst = setup::build(Algorithm::Lean, &inputs, seed0);
                     let spec = HybridSpec::uniform(n, quantum).with_initial_used(vec![burn; n]);
-                    let mut policy = make();
-                    let report = run_hybrid(
-                        &mut inst,
-                        &spec,
-                        policy.as_mut(),
-                        Limits::run_to_completion().with_max_ops(op_cap),
-                    );
+                    let report = Sim::new(Algorithm::Lean)
+                        .inputs(inputs.clone())
+                        .hybrid(spec, make)
+                        .limits(Limits::run_to_completion().with_max_ops(op_cap))
+                        .build()
+                        .run(seed0);
                     report.check_safety(&inputs).expect("safety");
                     worst[k] = worst[k].max(report.max_ops_per_process());
                     all_decided &= report.outcome.decided();

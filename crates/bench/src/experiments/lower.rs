@@ -9,14 +9,13 @@
 //! `log₂ n` *operations-at-full-speed* rounds, alongside the asymptotic
 //! constant.
 
-use nc_engine::{noisy::run_noisy_scratch, setup, Limits};
+use nc_engine::sim::Sim;
+use nc_engine::{setup, Algorithm, Limits};
 use nc_sched::{Noise, TimingModel};
 use nc_theory::{fit_log2, OnlineStats};
 
-use crate::par_trial_chunks;
 use crate::scenario::{Preset, Scenario, Spec};
 use crate::table::{f2, f3, Table};
-use nc_engine::EngineScratch;
 
 /// Registry entry: E4.
 #[derive(Clone, Copy, Debug)]
@@ -44,13 +43,13 @@ impl Scenario for LowerBound {
         }
     }
 
-    fn run(&self, p: Preset, seed: u64) -> Vec<Table> {
-        vec![run(p.trials, seed)]
+    fn run(&self, p: Preset, seed: u64, threads: usize) -> Vec<Table> {
+        vec![run(p.trials, seed, threads)]
     }
 }
 
 /// Runs the lower-bound experiment.
-pub fn run(trials: u64, seed0: u64) -> Table {
+pub fn run(trials: u64, seed0: u64, threads: usize) -> Table {
     let mut table = Table::new(
         "E4 / Theorem 13: two-point {1,2} noise (lower-bound construction)",
         &[
@@ -66,18 +65,15 @@ pub fn run(trials: u64, seed0: u64) -> Table {
         let inputs = setup::half_and_half(n);
         let threshold = ((n as f64).log2() / 2.0).max(2.0);
         let measure = |noise: Noise| -> Vec<f64> {
-            let timing = TimingModel::figure1(noise);
-            par_trial_chunks(
-                trials,
-                || (EngineScratch::new(), setup::build_lean(&inputs)),
-                |(scratch, inst), t| {
-                    let seed = seed0 + t * 37;
-                    inst.rebuild(&inputs);
-                    run_noisy_scratch(scratch, inst, &timing, seed, Limits::first_decision())
-                        .first_decision_round
-                        .unwrap() as f64
-                },
-            )
+            Sim::new(Algorithm::Lean)
+                .inputs(inputs.clone())
+                .timing(TimingModel::figure1(noise))
+                .limits(Limits::first_decision())
+                .trials(trials)
+                .seed0(seed0)
+                .seed_stride(37)
+                .threads(threads)
+                .map(|report| report.first_decision_round.unwrap() as f64)
         };
         let mut tp = OnlineStats::new();
         let mut survive = 0u64;

@@ -47,15 +47,16 @@ impl Scenario for MessagePassing {
         }
     }
 
-    fn run(&self, p: Preset, seed: u64) -> Vec<Table> {
-        let (sweep, crashes) = run(p.trials, p.size, seed);
+    fn run(&self, p: Preset, seed: u64, threads: usize) -> Vec<Table> {
+        let (sweep, crashes) = run(p.trials, p.size, seed, threads);
         vec![sweep, crashes]
     }
 }
 
 /// Runs the message-passing experiment over cluster sizes up to
-/// `max_n`. Returns the sweep table and the crash-tolerance table.
-pub fn run(trials: u64, max_n: usize, seed0: u64) -> (Table, Table) {
+/// `max_n` across `threads` workers. Returns the sweep table and the
+/// crash-tolerance table.
+pub fn run(trials: u64, max_n: usize, seed0: u64, threads: usize) -> (Table, Table) {
     let mut sweep = Table::new(
         "E13 / §10: lean-consensus over ABD registers on a noisy network",
         &[
@@ -83,7 +84,7 @@ pub fn run(trials: u64, max_n: usize, seed0: u64) -> (Table, Table) {
             let mut deliveries = OnlineStats::new();
             let mut times = OnlineStats::new();
             let mut agree = true;
-            let reports = par_trials(trials, |t| {
+            let reports = par_trials(threads, trials, |t| {
                 let seed = seed0 + t * 29;
                 let cfg = MsgConfig::new(n, delay);
                 run_message_passing(&cfg, seed)

@@ -41,15 +41,15 @@ impl Scenario for RenewalRace {
         }
     }
 
-    fn run(&self, p: Preset, seed: u64) -> Vec<Table> {
-        let (sweep, failures) = run(p.trials, seed);
+    fn run(&self, p: Preset, seed: u64, threads: usize) -> Vec<Table> {
+        let (sweep, failures) = run(p.trials, seed, threads);
         vec![sweep, failures]
     }
 }
 
-/// Runs the renewal-race experiment. Returns the sweep table and the
-/// failures table.
-pub fn run(trials: u64, seed0: u64) -> (Table, Table) {
+/// Runs the renewal-race experiment across `threads` workers. Returns
+/// the sweep table and the failures table.
+pub fn run(trials: u64, seed0: u64, threads: usize) -> (Table, Table) {
     let mut sweep = Table::new(
         "E8 / Corollary 11: renewal race, lead c = 2, exp(1) round noise",
         &["n", "mean R", "ci95", "p50", "p95", "p99"],
@@ -57,7 +57,7 @@ pub fn run(trials: u64, seed0: u64) -> (Table, Table) {
     let mut points = Vec::new();
     for &n in &[2usize, 8, 32, 128, 512, 2048] {
         let cfg = RaceConfig::new(n, 2, Noise::Exponential { mean: 1.0 });
-        let outcomes = par_trials(trials, |t| run_race(&cfg, seed0 + t * 7));
+        let outcomes = par_trials(threads, trials, |t| run_race(&cfg, seed0 + t * 7));
         let mut stats = OnlineStats::new();
         let mut rounds = Vec::new();
         for outcome in outcomes {
@@ -95,7 +95,7 @@ pub fn run(trials: u64, seed0: u64) -> (Table, Table) {
     );
     for &h in &[0.0, 0.01, 0.05, 0.2, 0.5] {
         let cfg = RaceConfig::new(64, 2, Noise::Exponential { mean: 1.0 }).with_halt_prob(h);
-        let outcomes = par_trials(trials, |t| run_race(&cfg, seed0 + 50_000 + t * 13));
+        let outcomes = par_trials(threads, trials, |t| run_race(&cfg, seed0 + 50_000 + t * 13));
         let mut winners = 0u64;
         let mut extinct = 0u64;
         let mut stats = OnlineStats::new();

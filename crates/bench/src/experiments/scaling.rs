@@ -6,11 +6,11 @@
 //! `a + b·log₂ n`; the tail table reports `Pr[round > k]` at `n = 256`,
 //! which Corollary 11 predicts decays geometrically in `k / O(log n)`.
 
-use nc_engine::{noisy::run_noisy_scratch, setup, Algorithm, Limits};
+use nc_engine::sim::Sim;
+use nc_engine::{setup, Algorithm, Limits};
 use nc_sched::{FailureModel, Noise, TimingModel};
 use nc_theory::{fit_log2, OnlineStats};
 
-use crate::par_trials_scratch;
 use crate::scenario::{Preset, Scenario, Spec};
 use crate::table::{f2, f3, fstable, Table};
 
@@ -40,23 +40,25 @@ impl Scenario for TerminationScaling {
         }
     }
 
-    fn run(&self, p: Preset, seed: u64) -> Vec<Table> {
-        let (sweep, tail) = run(p.trials, seed);
+    fn run(&self, p: Preset, seed: u64, threads: usize) -> Vec<Table> {
+        let (sweep, tail) = run(p.trials, seed, threads);
         vec![sweep, tail]
     }
 }
 
 /// Mean first-decision round; failed (all-halted) runs are skipped.
-fn sweep_point(h: f64, n: usize, trials: u64, seed0: u64) -> (OnlineStats, u64) {
+fn sweep_point(h: f64, n: usize, trials: u64, seed0: u64, threads: usize) -> (OnlineStats, u64) {
     let timing = TimingModel::figure1(Noise::Exponential { mean: 1.0 })
         .with_failures(FailureModel::Random { per_op: h });
-    let inputs = setup::half_and_half(n);
-    let rounds = par_trials_scratch(trials, |scratch, t| {
-        let seed = seed0 + t * 131;
-        let mut inst = setup::build(Algorithm::Lean, &inputs, seed);
-        run_noisy_scratch(scratch, &mut inst, &timing, seed, Limits::first_decision())
-            .first_decision_round
-    });
+    let rounds = Sim::new(Algorithm::Lean)
+        .inputs(setup::half_and_half(n))
+        .timing(timing)
+        .limits(Limits::first_decision())
+        .trials(trials)
+        .seed0(seed0)
+        .seed_stride(131)
+        .threads(threads)
+        .map(|report| report.first_decision_round);
     let mut stats = OnlineStats::new();
     let mut extinct = 0;
     for r in rounds {
@@ -70,7 +72,7 @@ fn sweep_point(h: f64, n: usize, trials: u64, seed0: u64) -> (OnlineStats, u64) 
 
 /// Runs the termination-scaling experiment. Returns the sweep table and
 /// the tail table.
-pub fn run(trials: u64, seed0: u64) -> (Table, Table) {
+pub fn run(trials: u64, seed0: u64, threads: usize) -> (Table, Table) {
     let ns = [2usize, 8, 32, 128, 512];
     let hs = [0.0, 0.001, 0.01];
 
@@ -89,7 +91,7 @@ pub fn run(trials: u64, seed0: u64) -> (Table, Table) {
     for &h in &hs {
         let mut points = Vec::new();
         for &n in &ns {
-            let (stats, extinct) = sweep_point(h, n, trials, seed0);
+            let (stats, extinct) = sweep_point(h, n, trials, seed0, threads);
             sweep.push(vec![
                 fstable(h, 3),
                 n.to_string(),
@@ -118,14 +120,14 @@ pub fn run(trials: u64, seed0: u64) -> (Table, Table) {
     // Tail at n = 256, h = 0.
     let n = 256;
     let timing = TimingModel::figure1(Noise::Exponential { mean: 1.0 });
-    let inputs = setup::half_and_half(n);
-    let rounds: Vec<f64> = par_trials_scratch(trials * 4, |scratch, t| {
-        let seed = seed0 + 777 + t;
-        let mut inst = setup::build(Algorithm::Lean, &inputs, seed);
-        run_noisy_scratch(scratch, &mut inst, &timing, seed, Limits::first_decision())
-            .first_decision_round
-            .unwrap() as f64
-    });
+    let rounds: Vec<f64> = Sim::new(Algorithm::Lean)
+        .inputs(setup::half_and_half(n))
+        .timing(timing)
+        .limits(Limits::first_decision())
+        .trials(trials * 4)
+        .seed0(seed0 + 777)
+        .threads(threads)
+        .map(|report| report.first_decision_round.unwrap() as f64);
     let mut tail = Table::new(
         format!(
             "E3 tail: Pr[first-decision round > k] at n = {n} ({} trials)",

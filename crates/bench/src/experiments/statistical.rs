@@ -8,11 +8,11 @@
 //! per-operation bound — delays of `0, …, 0, period·M` — and this
 //! experiment measures lean-consensus against it across burst periods.
 
-use nc_engine::{noisy::run_noisy_scratch, setup, Algorithm, Limits};
+use nc_engine::sim::Sim;
+use nc_engine::{setup, Algorithm, Limits};
 use nc_sched::{DelayPolicy, Noise, TimingModel};
 use nc_theory::{fit_log2, OnlineStats};
 
-use crate::par_trials_scratch;
 use crate::scenario::{Preset, Scenario, Spec};
 use crate::table::{f2, f3, Table};
 
@@ -42,13 +42,13 @@ impl Scenario for StatisticalAdversary {
         }
     }
 
-    fn run(&self, p: Preset, seed: u64) -> Vec<Table> {
-        vec![run(p.trials, seed)]
+    fn run(&self, p: Preset, seed: u64, threads: usize) -> Vec<Table> {
+        vec![run(p.trials, seed, threads)]
     }
 }
 
 /// Runs the statistical-adversary experiment.
-pub fn run(trials: u64, seed0: u64) -> Table {
+pub fn run(trials: u64, seed0: u64, threads: usize) -> Table {
     let mut table = Table::new(
         "E14 / §10: save-and-spend statistical adversary (budget m = 1 per op)",
         &["burst period", "n", "mean first round", "ci95"],
@@ -59,16 +59,22 @@ pub fn run(trials: u64, seed0: u64) -> Table {
         for &n in &[4usize, 16, 64, 256] {
             let timing =
                 TimingModel::figure1(Noise::Exponential { mean: 1.0 }).with_delay(delay.clone());
-            let inputs = setup::half_and_half(n);
             let mut rounds = OnlineStats::new();
-            for r in par_trials_scratch(trials, |scratch, t| {
-                let seed = seed0 + t * 61;
-                let mut inst = setup::build(Algorithm::Lean, &inputs, seed);
-                run_noisy_scratch(scratch, &mut inst, &timing, seed, Limits::first_decision())
-                    .first_decision_round
-                    .expect("statistical adversary must not prevent termination")
-                    as f64
-            }) {
+            for r in Sim::new(Algorithm::Lean)
+                .inputs(setup::half_and_half(n))
+                .timing(timing)
+                .limits(Limits::first_decision())
+                .trials(trials)
+                .seed0(seed0)
+                .seed_stride(61)
+                .threads(threads)
+                .map(|report| {
+                    report
+                        .first_decision_round
+                        .expect("statistical adversary must not prevent termination")
+                        as f64
+                })
+            {
                 rounds.push(r);
             }
             points.push((n as f64, rounds.mean()));

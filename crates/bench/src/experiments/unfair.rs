@@ -40,7 +40,9 @@ impl Scenario for Unfairness {
         }
     }
 
-    fn run(&self, p: Preset, seed: u64) -> Vec<Table> {
+    fn run(&self, p: Preset, seed: u64, _threads: usize) -> Vec<Table> {
+        // Overtake counting is a single serial walk per distribution;
+        // nothing to fan out.
         vec![run(p.trials as usize, seed)]
     }
 }

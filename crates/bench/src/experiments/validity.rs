@@ -5,12 +5,12 @@
 //! operation count over noisy runs and a round-robin adversarial run —
 //! for the paper's algorithm both must be exactly 8.
 
-use nc_engine::{noisy::run_noisy_scratch, run_adversarial, setup, Algorithm, Limits};
+use nc_engine::sim::Sim;
+use nc_engine::{setup, Algorithm};
 use nc_memory::Bit;
 use nc_sched::adversary::RoundRobin;
 use nc_sched::{Noise, TimingModel};
 
-use crate::par_trials_scratch;
 use crate::scenario::{Preset, Scenario, Spec};
 use crate::table::Table;
 
@@ -40,13 +40,13 @@ impl Scenario for ValidityCost {
         }
     }
 
-    fn run(&self, p: Preset, seed: u64) -> Vec<Table> {
-        vec![run(p.trials, seed)]
+    fn run(&self, p: Preset, seed: u64, threads: usize) -> Vec<Table> {
+        vec![run(p.trials, seed, threads)]
     }
 }
 
 /// Runs the validity-cost experiment.
-pub fn run(trials: u64, seed0: u64) -> Table {
+pub fn run(trials: u64, seed0: u64, threads: usize) -> Table {
     let mut table = Table::new(
         "E2 / Lemma 3: per-process ops with unanimous inputs (expect exactly 8 for lean)",
         &[
@@ -68,23 +68,20 @@ pub fn run(trials: u64, seed0: u64) -> Table {
                 let mut max_ops = 0u64;
                 let mut valid = true;
                 let timing = TimingModel::figure1(Noise::Exponential { mean: 1.0 });
-                let results = par_trials_scratch(trials, |scratch, t| {
-                    let seed = seed0 + t;
-                    let mut inst = setup::build(alg, &inputs, seed);
-                    let report = run_noisy_scratch(
-                        scratch,
-                        &mut inst,
-                        &timing,
-                        seed,
-                        Limits::run_to_completion(),
-                    );
-                    report.check_safety(&inputs).expect("safety");
-                    (
-                        *report.ops.iter().min().unwrap(),
-                        *report.ops.iter().max().unwrap(),
-                        report.decisions.iter().all(|&d| d == Some(input)),
-                    )
-                });
+                let results = Sim::new(alg)
+                    .inputs(inputs.clone())
+                    .timing(timing)
+                    .trials(trials)
+                    .seed0(seed0)
+                    .threads(threads)
+                    .map(|report| {
+                        report.check_safety(&inputs).expect("safety");
+                        (
+                            *report.ops.iter().min().unwrap(),
+                            *report.ops.iter().max().unwrap(),
+                            report.decisions.iter().all(|&d| d == Some(input)),
+                        )
+                    });
                 for (lo, hi, ok) in results {
                     min_ops = min_ops.min(lo);
                     max_ops = max_ops.max(hi);
@@ -101,12 +98,11 @@ pub fn run(trials: u64, seed0: u64) -> Table {
             }
             // Adversarial round-robin (one run; deterministic).
             let inputs = setup::unanimous(n, Bit::One);
-            let mut inst = setup::build(alg, &inputs, seed0);
-            let report = run_adversarial(
-                &mut inst,
-                &mut RoundRobin::new(),
-                Limits::run_to_completion(),
-            );
+            let report = Sim::new(alg)
+                .inputs(inputs.clone())
+                .adversary(|_| RoundRobin::new())
+                .build()
+                .run(seed0);
             report.check_safety(&inputs).expect("safety");
             table.push(vec![
                 alg.label().into(),

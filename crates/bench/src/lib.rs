@@ -17,6 +17,14 @@
 //! under `--out-dir` (default `results/`). Smoke runs are pinned by
 //! committed golden CSVs (`tests/golden_repro.rs`).
 //!
+//! Engine-driven trial sweeps go through [`nc_engine::sim::TrialSet`]
+//! (which owns scratch pooling, lane pipelining, and worker fan-out);
+//! the [`par_trials`] / [`par_trial_chunks`] helpers here cover the
+//! non-engine sweeps (renewal races, message-passing runs). In both,
+//! **parallelism is per-call state**: every sweep takes its own worker
+//! count, there is no process-global thread knob, and results are
+//! bit-for-bit identical at every worker count.
+//!
 //! Criterion benchmarks (native-thread latency, component throughput,
 //! Figure 1 point cost) live under `benches/`; the engine perf gate is
 //! the separate `bench_engine` binary.
@@ -31,179 +39,41 @@ pub mod table;
 
 pub use table::Table;
 
-use nc_engine::noisy::run_noisy_batch;
-use nc_engine::{setup, EngineScratch, Instance, Limits, RunReport};
-use nc_memory::Bit;
-use nc_sched::TimingModel;
-use rayon::prelude::*;
+pub use nc_engine::sim::{par_spans, resolve_threads, PIPELINE_LANES};
 
-use nc_core::LeanConsensus;
-
-/// Configures the worker count for all parallel trial sweeps
-/// (0 = one worker per available core). Binaries expose this as
-/// `--threads` via [`configure_threads_from_args`].
-pub fn configure_threads(threads: usize) {
-    let _ = rayon::ThreadPoolBuilder::new()
-        .num_threads(threads)
-        .build_global();
-}
-
-/// Reads the `--threads` CLI flag (default: all cores) and applies it —
-/// the one-liner every experiment binary starts with.
-pub fn configure_threads_from_args() {
-    configure_threads(arg("threads", 0usize));
-}
-
-/// Runs `trials` independent trial computations across the worker pool,
-/// returning the results **in trial order**.
+/// Runs `trials` independent trial computations across `threads`
+/// workers (0 = all cores), returning the results **in trial order**.
 ///
 /// Determinism contract: `f` must be a pure function of its trial index
 /// (all experiment trials are — each derives its own seed from the
 /// index), so the output is bit-for-bit identical to the serial loop
 /// `(0..trials).map(f)` for every worker count.
-pub fn par_trials<T, F>(trials: u64, f: F) -> Vec<T>
+pub fn par_trials<T, F>(threads: usize, trials: u64, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(u64) -> T + Sync,
 {
-    par_trial_chunks(trials, || (), |(), t| f(t))
+    par_trial_chunks(threads, trials, || (), |(), t| f(t))
 }
 
 /// [`par_trials`] with per-worker reusable state: trials are split into
-/// contiguous chunks, each chunk gets a fresh `init()` value (an
-/// [`EngineScratch`], a reusable instance, …) that its trials mutate
-/// serially. Results come back in trial order.
+/// contiguous spans (by [`par_spans`], the same chunked fan-out that
+/// powers `TrialSet` sweeps), each span gets a fresh `init()` value
+/// that its trials mutate serially. Results come back in trial order.
 ///
 /// The same determinism contract applies: the state is scratch memory,
-/// so chunk boundaries (and therefore the worker count) must not affect
-/// any result — which holds exactly because the engine re-seeds all
-/// scratch state from the trial's own seed.
-pub fn par_trial_chunks<S, T, Init, F>(trials: u64, init: Init, f: F) -> Vec<T>
+/// so span boundaries (and therefore the worker count) must not affect
+/// any result.
+pub fn par_trial_chunks<S, T, Init, F>(threads: usize, trials: u64, init: Init, f: F) -> Vec<T>
 where
     T: Send,
     Init: Fn() -> S + Sync,
     F: Fn(&mut S, u64) -> T + Sync,
 {
-    if trials == 0 {
-        return Vec::new();
-    }
-    let workers = rayon::current_num_threads().max(1) as u64;
-    // A few chunks per worker smooths imbalance from uneven trial cost
-    // without shrinking chunks so far that scratch reuse stops paying.
-    let chunk = trials.div_ceil(workers * 4).max(1);
-    let ranges: Vec<(u64, u64)> = (0..trials)
-        .step_by(chunk as usize)
-        .map(|lo| (lo, (lo + chunk).min(trials)))
-        .collect();
-    let nested: Vec<Vec<T>> = ranges
-        .into_par_iter()
-        .map(|(lo, hi)| {
-            let mut state = init();
-            (lo..hi).map(|t| f(&mut state, t)).collect()
-        })
-        .collect();
-    nested.into_iter().flatten().collect()
-}
-
-/// [`par_trial_chunks`] specialized to the common case where the only
-/// per-worker state is an [`EngineScratch`].
-pub fn par_trials_scratch<T, F>(trials: u64, f: F) -> Vec<T>
-where
-    T: Send,
-    F: Fn(&mut EngineScratch, u64) -> T + Sync,
-{
-    par_trial_chunks(trials, EngineScratch::new, f)
-}
-
-/// Lanes each worker interleaves in the software-pipelined sweep
-/// ([`par_lean_trials_pipelined`]) by default.
-///
-/// Interleaving K > 1 independent trials multiplies the per-worker
-/// working set by K in exchange for overlapping the lanes' cache-miss
-/// chains. On the 1-core reference VM that trade **loses** at every
-/// measured scale (2 lanes: −8% at n = 1000, −25% at n = 10000; 4
-/// lanes: worse — see `BENCH_engine.json`'s pipelined column), because
-/// the VM's cache is too small to hold even two lanes' state, so the
-/// default is 1 (sequential trials, zero overhead — `bench_engine`
-/// asserts the K > 1 path stays bit-identical). Raise it via the
-/// `lanes` argument on hardware with enough private cache per core for
-/// K working sets; re-measure with
-/// `cargo run --release -p nc-bench --bin bench_engine -- --lanes K`.
-pub const PIPELINE_LANES: usize = 1;
-
-/// The software-pipelined variant of [`par_trial_chunks`] for
-/// monomorphized lean-consensus sweeps — the Figure 1 hot path.
-///
-/// Trials split into contiguous chunks across the worker pool exactly
-/// like [`par_trial_chunks`]; within a chunk, each worker advances up
-/// to `lanes` trials in lockstep through
-/// [`nc_engine::noisy::run_noisy_batch`], one event per lane per turn,
-/// so the lanes' independent dependency chains overlap in the core's
-/// pipeline (hiding queue-pop latency). Trial `t` runs with seed
-/// `seed_of(t)` on a fresh rebuild of `inputs`; `finish` maps its
-/// [`RunReport`] to the result. Results come back **in trial order**.
-///
-/// Determinism contract: lanes share no state and every trial is a pure
-/// function of its index, so the output is bit-for-bit identical for
-/// every worker count *and* every lane width, including `lanes == 1`
-/// (pinned by the determinism regression tests).
-pub fn par_lean_trials_pipelined<T, SeedF, FinF>(
-    trials: u64,
-    lanes: usize,
-    inputs: &[Bit],
-    timing: &TimingModel,
-    limits: Limits,
-    seed_of: SeedF,
-    finish: FinF,
-) -> Vec<T>
-where
-    T: Send,
-    SeedF: Fn(u64) -> u64 + Sync,
-    FinF: Fn(RunReport) -> T + Sync,
-{
-    if trials == 0 {
-        return Vec::new();
-    }
-    let lanes = lanes.max(1);
-    let workers = rayon::current_num_threads().max(1) as u64;
-    let chunk = trials.div_ceil(workers * 4).max(1);
-    let ranges: Vec<(u64, u64)> = (0..trials)
-        .step_by(chunk as usize)
-        .map(|lo| (lo, (lo + chunk).min(trials)))
-        .collect();
-    let nested: Vec<Vec<T>> = ranges
-        .into_par_iter()
-        .map(|(lo, hi)| {
-            let width = lanes.min((hi - lo) as usize);
-            let mut scratches: Vec<EngineScratch> =
-                (0..width).map(|_| EngineScratch::new()).collect();
-            let mut insts: Vec<Instance<LeanConsensus>> =
-                (0..width).map(|_| setup::build_lean(inputs)).collect();
-            let mut seeds = vec![0u64; width];
-            let mut out = Vec::with_capacity((hi - lo) as usize);
-            let mut t = lo;
-            while t < hi {
-                let g = ((hi - t) as usize).min(width);
-                for (j, seed) in seeds[..g].iter_mut().enumerate() {
-                    *seed = seed_of(t + j as u64);
-                }
-                for inst in insts[..g].iter_mut() {
-                    inst.rebuild(inputs);
-                }
-                let reports = run_noisy_batch(
-                    &mut scratches[..g],
-                    &mut insts[..g],
-                    timing,
-                    &seeds[..g],
-                    limits,
-                );
-                out.extend(reports.into_iter().map(&finish));
-                t += g as u64;
-            }
-            out
-        })
-        .collect();
-    nested.into_iter().flatten().collect()
+    par_spans(threads, trials, |lo, hi| {
+        let mut state = init();
+        (lo..hi).map(|t| f(&mut state, t)).collect()
+    })
 }
 
 /// The paper's Figure 1 x-axis: 1, 2, 5 per decade, from 1 to `max_n`.
@@ -289,10 +159,12 @@ mod tests {
     }
 
     #[test]
-    fn par_trials_preserves_trial_order() {
-        let out = par_trials(1000, |t| t * t);
-        assert_eq!(out, (0..1000u64).map(|t| t * t).collect::<Vec<_>>());
-        assert!(par_trials(0, |t| t).is_empty());
+    fn par_trials_preserves_trial_order_at_every_worker_count() {
+        let serial: Vec<u64> = (0..1000u64).map(|t| t * t).collect();
+        for threads in [0usize, 1, 2, 3, 8] {
+            assert_eq!(par_trials(threads, 1000, |t| t * t), serial, "{threads}");
+        }
+        assert!(par_trials(4, 0, |t| t).is_empty());
     }
 
     #[test]
@@ -300,14 +172,23 @@ mod tests {
         // The per-chunk state must not leak into results: a counter that
         // workers mutate still yields a pure function of the trial index
         // as long as f ignores it for its output.
-        let out = par_trial_chunks(
-            257,
-            || 0u64,
-            |acc, t| {
-                *acc += 1;
-                t + 1
-            },
-        );
-        assert_eq!(out, (1..=257u64).collect::<Vec<_>>());
+        for threads in [1usize, 4] {
+            let out = par_trial_chunks(
+                threads,
+                257,
+                || 0u64,
+                |acc, t| {
+                    *acc += 1;
+                    t + 1
+                },
+            );
+            assert_eq!(out, (1..=257u64).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn resolve_threads_zero_means_all_cores() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(3), 3);
     }
 }

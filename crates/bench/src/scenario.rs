@@ -107,11 +107,14 @@ impl Spec {
 pub trait Scenario: Sync {
     /// The scenario's static descriptor.
     fn spec(&self) -> Spec;
-    /// Runs the scenario at `preset` with the given base seed. Must
-    /// return exactly `spec().outputs.len()` tables, in output order,
-    /// and must be a pure function of `(preset, seed)` — bit-identical
-    /// at every worker count (pinned by the determinism tests).
-    fn run(&self, preset: Preset, seed: u64) -> Vec<Table>;
+    /// Runs the scenario at `preset` with the given base seed, fanning
+    /// its sweeps across `threads` workers (0 = all cores; parallelism
+    /// is per-sweep state, so concurrent scenario runs with different
+    /// worker counts cannot interfere). Must return exactly
+    /// `spec().outputs.len()` tables, in output order, and must be a
+    /// pure function of `(preset, seed)` — bit-identical at every
+    /// worker count (pinned by the determinism tests).
+    fn run(&self, preset: Preset, seed: u64, threads: usize) -> Vec<Table>;
 }
 
 /// Every registered scenario, in experiment-id order. (E12 was folded
@@ -177,6 +180,20 @@ pub fn catalogue_markdown() -> String {
          paper-grade. Smoke runs use seed 1 and complete in seconds; their\n\
          CSVs are the committed goldens, regenerated with\n\
          `cargo run --release -p nc-bench --bin repro -- --smoke --out-dir crates/bench/tests/golden`.\n",
+    );
+    out.push_str(
+        "\n## Per-trial seed derivation\n\n\
+         **New scenarios must derive per-trial seeds with\n\
+         `nc_sched::rng::trial_seed(seed0, t, salt)`** (one distinct salt per\n\
+         sweep within the scenario). It mixes `(seed0, t, salt)` through a\n\
+         SplitMix64 finalizer, so nearby trial indices and base seeds produce\n\
+         unrelated runs and two sweeps can never collide on a trial stream —\n\
+         affine schemes like `seed0 + t` do collide across sweeps.\n\n\
+         The 13 pre-existing experiments keep their historical derivations\n\
+         (`seed0 + t * <stride>`, or E1's xor-multiply) **verbatim and\n\
+         frozen**: the committed golden CSVs and every recorded result pin\n\
+         those exact per-trial seeds, and re-deriving them would invalidate\n\
+         all goldens for zero scientific gain.\n",
     );
     out
 }

@@ -4,48 +4,35 @@
 //! number of workers, and identical between the optimized engine and
 //! the naive baseline.
 //!
+//! Parallelism is per-sweep state ([`nc_engine::sim::TrialSet::threads`]
+//! and `Scenario::run`'s `threads` argument), so these tests run freely
+//! in parallel with each other — the process-global worker knob (and
+//! the mutex that once serialized every test here against it) is gone.
+//!
 //! (The companion property test that the event order itself — `(time,
 //! seq)` tie-breaking — is total and stable under equal `f64` times
 //! lives next to the queue: `nc_sched::queue::tests`.)
 
-use std::sync::Mutex;
-
 use nc_bench::experiments::fig1;
 use nc_bench::scenario::{REGISTRY, SMOKE_SEED};
-use nc_bench::{configure_threads, par_trials_scratch};
-
-/// `configure_threads` mutates a process-global worker count and the
-/// harness runs tests on parallel threads, so serial-vs-parallel tests
-/// must hold this lock — otherwise a sibling's `configure_threads(0)`
-/// can land between a test's `configure_threads(1)` and its sweep,
-/// making the "serial" side run wide (and the comparison vacuous).
-static THREAD_KNOB: Mutex<()> = Mutex::new(());
-
-fn hold_thread_knob() -> std::sync::MutexGuard<'static, ()> {
-    // A panic while holding the lock already fails that test; don't
-    // let the poison mask the other tests' results.
-    THREAD_KNOB.lock().unwrap_or_else(|e| e.into_inner())
-}
 use nc_engine::baseline::run_noisy_baseline;
-use nc_engine::noisy::run_noisy_scratch;
+use nc_engine::sim::Sim;
 use nc_engine::{setup, Limits};
 use nc_sched::{Noise, TimingModel};
 
 /// Summary of a point that must match bitwise across worker counts.
 fn point_fingerprint(threads: usize) -> Vec<(u64, u64, u64)> {
-    configure_threads(threads);
-    let mut out = Vec::new();
-    for (_, noise) in Noise::figure1_suite() {
-        let p = fig1::point(noise, 12, 64, 99);
-        out.push((
-            p.rounds.mean().to_bits(),
-            p.rounds.ci95().to_bits(),
-            p.skipped,
-        ));
-    }
-    // Restore the default for other tests in this binary.
-    configure_threads(0);
-    out
+    Noise::figure1_suite()
+        .into_iter()
+        .map(|(_, noise)| {
+            let p = fig1::point(noise, 12, 64, 99, threads);
+            (
+                p.rounds.mean().to_bits(),
+                p.rounds.ci95().to_bits(),
+                p.skipped,
+            )
+        })
+        .collect()
 }
 
 #[test]
@@ -55,19 +42,12 @@ fn every_scenario_smoke_is_bitwise_identical_serial_vs_parallel() {
     // cell identical tables at 1 and 4 workers. (Scenario output cells
     // are strings formatted from the measured values, so equal tables
     // here are exactly what the golden CSVs pin.)
-    let _serial = hold_thread_knob();
     for sc in REGISTRY {
         let spec = sc.spec();
-        let run_at = |threads: usize| {
-            configure_threads(threads);
-            let tables = sc.run(spec.smoke, SMOKE_SEED);
-            configure_threads(0);
-            tables
-        };
-        let serial = run_at(1);
+        let serial = sc.run(spec.smoke, SMOKE_SEED, 1);
         assert_eq!(
             serial,
-            run_at(4),
+            sc.run(spec.smoke, SMOKE_SEED, 4),
             "{} diverged between 1 and 4 workers",
             spec.id
         );
@@ -76,7 +56,6 @@ fn every_scenario_smoke_is_bitwise_identical_serial_vs_parallel() {
 
 #[test]
 fn fig1_point_is_bitwise_identical_serial_vs_parallel() {
-    let _serial = hold_thread_knob();
     let serial = point_fingerprint(1);
     for threads in [2, 3, 8] {
         assert_eq!(
@@ -90,18 +69,19 @@ fn fig1_point_is_bitwise_identical_serial_vs_parallel() {
 #[test]
 fn parallel_sweep_reports_match_baseline_engine_exactly() {
     // Full RunReports from the optimized engine running inside the
-    // parallel harness must equal the naive serial baseline's, trial by
+    // parallel sweep must equal the naive serial baseline's, trial by
     // trial.
-    let _serial = hold_thread_knob();
     let timing = TimingModel::figure1(Noise::Uniform { lo: 0.0, hi: 2.0 });
     let inputs = setup::half_and_half(10);
-    configure_threads(4);
-    let parallel = par_trials_scratch(32, |scratch, t| {
-        let seed = 1000 + t * 7;
-        let mut inst = setup::build(setup::Algorithm::Lean, &inputs, seed);
-        run_noisy_scratch(scratch, &mut inst, &timing, seed, Limits::first_decision())
-    });
-    configure_threads(0);
+    let parallel = Sim::new(setup::Algorithm::Lean)
+        .inputs(inputs.clone())
+        .timing(timing.clone())
+        .limits(Limits::first_decision())
+        .trials(32)
+        .seed0(1000)
+        .seed_stride(7)
+        .threads(4)
+        .reports();
     for (t, report) in parallel.into_iter().enumerate() {
         let seed = 1000 + t as u64 * 7;
         let mut inst = setup::build(setup::Algorithm::Lean, &inputs, seed);
@@ -111,24 +91,21 @@ fn parallel_sweep_reports_match_baseline_engine_exactly() {
 }
 
 #[test]
-fn lean_typed_instances_match_boxed_instances() {
-    // The monomorphized fast path (build_lean + rebuild) and the boxed
-    // generic path must produce identical reports.
+fn builder_lean_fast_path_matches_baseline_boxed_instances() {
+    // The builder's monomorphized lean fast path (rebuild-in-place,
+    // fused step) must produce identical reports to the naive baseline
+    // driving boxed trait-object instances.
     let timing = TimingModel::figure1(Noise::Exponential { mean: 1.0 });
     let inputs = setup::half_and_half(16);
-    let mut lean_inst = setup::build_lean(&inputs);
-    let mut scratch = nc_engine::EngineScratch::new();
+    let mut sim = Sim::new(setup::Algorithm::Lean)
+        .inputs(inputs.clone())
+        .timing(timing.clone())
+        .limits(Limits::first_decision())
+        .build();
     for seed in 0..16u64 {
-        lean_inst.rebuild(&inputs);
-        let typed = run_noisy_scratch(
-            &mut scratch,
-            &mut lean_inst,
-            &timing,
-            seed,
-            Limits::first_decision(),
-        );
+        let typed = sim.run(seed);
         let mut boxed_inst = setup::build(setup::Algorithm::Lean, &inputs, seed);
-        let boxed = nc_engine::run_noisy(&mut boxed_inst, &timing, seed, Limits::first_decision());
+        let boxed = run_noisy_baseline(&mut boxed_inst, &timing, seed, Limits::first_decision());
         assert_eq!(typed, boxed, "seed {seed}");
     }
 }
@@ -140,22 +117,19 @@ fn pipelined_sweep_is_bitwise_identical_across_lane_widths() {
     // every lane width, including the non-interleaved width 1 — and
     // that at several worker counts, so pipelining composes with the
     // thread-fan-out contract.
-    let _serial = hold_thread_knob();
     let timing = TimingModel::figure1(Noise::Uniform { lo: 0.0, hi: 2.0 });
     let inputs = setup::half_and_half(12);
     let sweep = |threads: usize, lanes: usize| -> Vec<nc_engine::RunReport> {
-        configure_threads(threads);
-        let out = nc_bench::par_lean_trials_pipelined(
-            48,
-            lanes,
-            &inputs,
-            &timing,
-            Limits::first_decision(),
-            |t| 7000 + t * 11,
-            |report| report,
-        );
-        configure_threads(0);
-        out
+        Sim::new(setup::Algorithm::Lean)
+            .inputs(inputs.clone())
+            .timing(timing.clone())
+            .limits(Limits::first_decision())
+            .trials(48)
+            .seed0(7000)
+            .seed_stride(11)
+            .threads(threads)
+            .lanes(lanes)
+            .reports()
     };
     let reference = sweep(1, 1);
     for threads in [1usize, 4] {
@@ -173,5 +147,34 @@ fn pipelined_sweep_is_bitwise_identical_across_lane_widths() {
         let mut inst = setup::build(setup::Algorithm::Lean, &inputs, seed);
         let naive = run_noisy_baseline(&mut inst, &timing, seed, Limits::first_decision());
         assert_eq!(*report, naive, "trial {t}");
+    }
+}
+
+#[test]
+fn concurrent_sweeps_with_different_worker_counts_do_not_interfere() {
+    // The scenario that forced the old process-global thread knob to be
+    // mutex-serialized: two sweeps running at the same time with
+    // different worker counts. With per-TrialSet threads both must
+    // still match the serial reference exactly.
+    let run_sweep =
+        |threads: usize| fig1::point(Noise::Uniform { lo: 0.0, hi: 2.0 }, 10, 48, 5, threads);
+    let reference = run_sweep(1);
+    let (a, b) = std::thread::scope(|s| {
+        let a = s.spawn(|| run_sweep(3));
+        let b = s.spawn(|| run_sweep(8));
+        (a.join().unwrap(), b.join().unwrap())
+    });
+    for (label, p) in [("3 workers", a), ("8 workers", b)] {
+        assert_eq!(
+            p.rounds.mean().to_bits(),
+            reference.rounds.mean().to_bits(),
+            "{label}"
+        );
+        assert_eq!(
+            p.rounds.ci95().to_bits(),
+            reference.rounds.ci95().to_bits(),
+            "{label}"
+        );
+        assert_eq!(p.skipped, reference.skipped, "{label}");
     }
 }

@@ -23,17 +23,30 @@ use crate::setup::Instance;
 ///
 /// Panics if the adversary names a disabled process (an adversary
 /// implementation bug).
+#[deprecated(note = "drive runs through `nc_engine::sim::Sim::adversary` instead")]
 pub fn run_adversarial(
     inst: &mut Instance,
     adversary: &mut dyn Adversary,
     limits: Limits,
 ) -> RunReport {
-    run_adversarial_with(inst, adversary, &mut NoCrashes, limits)
+    drive_adversarial(inst, adversary, &mut NoCrashes, limits)
 }
 
 /// [`run_adversarial`] plus an adaptive crash adversary, consulted after
 /// every executed operation.
+#[deprecated(note = "use `nc_engine::sim::Sim::adversary` with `Sim::crash_adversary` instead")]
 pub fn run_adversarial_with(
+    inst: &mut Instance,
+    adversary: &mut dyn Adversary,
+    crash: &mut dyn CrashAdversary,
+    limits: Limits,
+) -> RunReport {
+    drive_adversarial(inst, adversary, crash, limits)
+}
+
+/// The adversarial driver behind both the [`crate::sim`] API and the
+/// deprecated `run_adversarial*` wrappers.
+pub(crate) fn drive_adversarial(
     inst: &mut Instance,
     adversary: &mut dyn Adversary,
     crash: &mut dyn CrashAdversary,
@@ -131,6 +144,9 @@ pub fn run_adversarial_with(
 }
 
 #[cfg(test)]
+// These unit tests deliberately pin the deprecated wrappers (the
+// builder side is pinned by tests/sim_equivalence.rs).
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::setup::{self, Algorithm};

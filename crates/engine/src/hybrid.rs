@@ -22,7 +22,19 @@ use crate::setup::Instance;
 ///
 /// Panics if `spec` is sized for a different process count than the
 /// instance, or if the policy picks an illegal process.
+#[deprecated(note = "drive runs through `nc_engine::sim::Sim::hybrid` instead")]
 pub fn run_hybrid(
+    inst: &mut Instance,
+    spec: &HybridSpec,
+    policy: &mut dyn HybridPolicy,
+    limits: Limits,
+) -> RunReport {
+    drive_hybrid(inst, spec, policy, limits)
+}
+
+/// The hybrid-uniprocessor driver behind both the [`crate::sim`] API
+/// and the deprecated [`run_hybrid`] wrapper.
+pub(crate) fn drive_hybrid(
     inst: &mut Instance,
     spec: &HybridSpec,
     policy: &mut dyn HybridPolicy,
@@ -129,6 +141,9 @@ pub fn run_hybrid(
 }
 
 #[cfg(test)]
+// These unit tests deliberately pin the deprecated wrapper (the builder
+// side is pinned by tests/sim_equivalence.rs).
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::setup::{self, Algorithm};

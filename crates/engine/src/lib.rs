@@ -1,20 +1,24 @@
 //! Discrete-event simulation engine for the `noisy-consensus` workspace.
 //!
-//! Three drivers execute [`nc_core::Protocol`] step machines against a
-//! shared [`nc_memory::SimMemory`], each under a different scheduling
-//! model from the paper:
+//! The front door is [`sim::Sim`] — one typed builder covering every
+//! execution model from the paper. Pick an [`Algorithm`] and inputs,
+//! pick a schedule, layer options, then either run seeds one at a time
+//! through a reusable [`sim::SimRun`] handle or sweep thousands of
+//! trials through a [`sim::TrialSet`] (which owns scratch pooling,
+//! lockstep trial pipelining, and per-call worker fan-out):
 //!
-//! * [`noisy::run_noisy`] — the noisy-scheduling model (§3.1): operation
-//!   times follow `S'_ij = Δ_i0 + Σ (Δ_ij + X_ij + H_ij)` from an
-//!   [`nc_sched::TimingModel`]; an event queue executes operations in
-//!   time order (the interleaving model). Supports random halting
-//!   failures, adaptive crash adversaries (§10), first-decision early
-//!   exit (what Figure 1 measures), and optional history recording for
-//!   the register-semantics checker.
-//! * [`adversarial::run_adversarial`] — a fully adversarial untimed
-//!   scheduler ([`nc_sched::Adversary`] picks every step), used to
-//!   exercise the safety properties that must hold under *any* schedule.
-//! * [`hybrid::run_hybrid`] — the hybrid quantum + priority uniprocessor
+//! * [`sim::Sim::timing`] — the noisy-scheduling model (§3.1):
+//!   operation times follow `S'_ij = Δ_i0 + Σ (Δ_ij + X_ij + H_ij)`
+//!   from an [`nc_sched::TimingModel`]; an event queue executes
+//!   operations in time order (the interleaving model). Supports random
+//!   halting failures ([`sim::Sim::faults`]), adaptive crash
+//!   adversaries (§10, [`sim::Sim::crash_adversary`]), first-decision
+//!   early exit (what Figure 1 measures), and history recording for the
+//!   register-semantics checker ([`sim::Sim::record_history`]).
+//! * [`sim::Sim::adversary`] — a fully adversarial untimed scheduler
+//!   ([`nc_sched::Adversary`] picks every step), used to exercise the
+//!   safety properties that must hold under *any* schedule.
+//! * [`sim::Sim::hybrid`] — the hybrid quantum + priority uniprocessor
 //!   (§3.2/§7), enforcing [`nc_sched::HybridSpec`] legality while an
 //!   [`nc_sched::HybridPolicy`] (the adversary) picks among legal moves.
 //!
@@ -24,23 +28,46 @@
 //! and [`report::RunReport`] is the common result type, with the paper's
 //! safety lemmas checkable via [`report::RunReport::check_safety`].
 //!
+//! The pre-builder entry points (`run_noisy*`, `run_adversarial*`,
+//! `run_hybrid`) remain as deprecated wrappers over the same drivers,
+//! pinned bit-for-bit to the builder by `tests/sim_equivalence.rs`.
+//!
 //! # Example: one Figure 1 data point
 //!
 //! ```
-//! use nc_engine::{noisy, setup, Limits};
+//! use nc_engine::sim::Sim;
+//! use nc_engine::{setup, Algorithm, Limits};
 //! use nc_sched::{Noise, TimingModel};
 //!
-//! let mut inst = setup::build(setup::Algorithm::Lean, &setup::half_and_half(10), 42);
-//! let timing = TimingModel::figure1(Noise::Exponential { mean: 1.0 });
-//! let report = noisy::run_noisy(
-//!     &mut inst,
-//!     &timing,
-//!     42,
-//!     Limits::first_decision(),
-//! );
+//! let inputs = setup::half_and_half(10);
+//! let mut sim = Sim::new(Algorithm::Lean)
+//!     .inputs(inputs.clone())
+//!     .timing(TimingModel::figure1(Noise::Exponential { mean: 1.0 }))
+//!     .limits(Limits::first_decision())
+//!     .build();
+//! let report = sim.run(42);
 //! let first = report.first_decision_round.expect("terminates");
 //! assert!(first >= 2);
-//! report.check_safety(&inst.inputs).unwrap();
+//! report.check_safety(&inputs).unwrap();
+//! ```
+//!
+//! # Example: a sweep with per-call parallelism
+//!
+//! ```
+//! use nc_engine::sim::Sim;
+//! use nc_engine::{setup, Algorithm, Limits};
+//! use nc_sched::{Noise, TimingModel};
+//!
+//! let rounds: Vec<usize> = Sim::new(Algorithm::Lean)
+//!     .inputs(setup::half_and_half(12))
+//!     .timing(TimingModel::figure1(Noise::Uniform { lo: 0.0, hi: 2.0 }))
+//!     .limits(Limits::first_decision())
+//!     .trials(64)
+//!     .seed0(7)
+//!     .seed_stride(13)
+//!     .threads(2) // this sweep's workers — no process-global knob
+//!     .map(|report| report.first_decision_round.unwrap());
+//! assert_eq!(rounds.len(), 64);
 //! ```
 
 #![warn(missing_docs)]
@@ -55,12 +82,18 @@ pub mod hybrid;
 pub mod noisy;
 pub mod report;
 pub mod setup;
+pub mod sim;
 
+#[allow(deprecated)]
 pub use adversarial::run_adversarial;
+#[allow(deprecated)]
 pub use hybrid::run_hybrid;
-pub use noisy::{run_noisy, run_noisy_batch, run_noisy_scratch, run_noisy_with, EngineScratch};
+pub use noisy::EngineScratch;
+#[allow(deprecated)]
+pub use noisy::{run_noisy, run_noisy_batch, run_noisy_scratch, run_noisy_with};
 pub use report::{Limits, RunOutcome, RunReport};
 pub use setup::{build, half_and_half, Algorithm, Instance};
+pub use sim::{Sim, SimRun, TrialSet};
 
 // Re-exported so engine callers can pick a queue without importing
 // nc-sched directly.

@@ -276,33 +276,17 @@ impl ProcSoA {
 /// per-run bookkeeping vectors.
 ///
 /// Constructing these per trial is pure allocator churn at sweep scale;
-/// a sweep keeps one `EngineScratch` (per worker thread, or one per
-/// pipeline lane) and passes it to [`run_noisy_scratch`] for every
-/// trial. Reuse never leaks state between trials: every field is
-/// re-seeded from the trial's own seed.
+/// a [`crate::sim::SimRun`] keeps one `EngineScratch` (and a
+/// [`crate::sim::TrialSet`] keeps one per worker, or one per pipeline
+/// lane) and reuses it for every trial. Reuse never leaks state between
+/// trials: every field is re-seeded from the trial's own seed.
 ///
 /// The queue implementation is chosen per run by the scratch's
 /// [`QueuePolicy`] (default [`QueuePolicy::Auto`]: heap at small `n`,
 /// branchless tree at large `n`); force one with
-/// [`EngineScratch::with_queue`] for differential tests and ablations.
+/// [`EngineScratch::with_queue`] for differential tests and ablations
+/// (the builder exposes this as [`crate::sim::Sim::queue_policy`]).
 /// The choice never affects results.
-///
-/// # Example
-///
-/// ```
-/// use nc_engine::{noisy, setup, EngineScratch, Limits};
-/// use nc_sched::{Noise, TimingModel};
-///
-/// let timing = TimingModel::figure1(Noise::Uniform { lo: 0.0, hi: 2.0 });
-/// let inputs = setup::half_and_half(16);
-/// let mut scratch = EngineScratch::new();
-/// for seed in 0..10 {
-///     let mut inst = setup::build(setup::Algorithm::Lean, &inputs, seed);
-///     let report =
-///         noisy::run_noisy_scratch(&mut scratch, &mut inst, &timing, seed, Limits::first_decision());
-///     assert!(report.first_decision_round.is_some());
-/// }
-/// ```
 #[derive(Default)]
 pub struct EngineScratch {
     soa: ProcSoA,
@@ -363,6 +347,7 @@ impl EngineScratch {
 /// time). Returns when all processes have decided or halted, when the
 /// first decision happens (if `limits.stop_at_first_decision`), or when
 /// the operation budget runs out.
+#[deprecated(note = "drive runs through the `nc_engine::sim::Sim` builder instead")]
 pub fn run_noisy<P: Protocol>(
     inst: &mut Instance<P>,
     timing: &TimingModel,
@@ -370,11 +355,14 @@ pub fn run_noisy<P: Protocol>(
     limits: Limits,
 ) -> RunReport {
     let mut scratch = EngineScratch::new();
-    run_noisy_with_scratch(&mut scratch, inst, timing, seed, limits, None, None)
+    drive_noisy(&mut scratch, inst, timing, seed, limits, None, None)
 }
 
 /// [`run_noisy`] with a caller-provided [`EngineScratch`], for sweeps
 /// that run many trials and want the steady state allocation-free.
+#[deprecated(
+    note = "drive runs through `nc_engine::sim::Sim` (a `SimRun` owns its scratch) instead"
+)]
 pub fn run_noisy_scratch<P: Protocol>(
     scratch: &mut EngineScratch,
     inst: &mut Instance<P>,
@@ -382,7 +370,7 @@ pub fn run_noisy_scratch<P: Protocol>(
     seed: u64,
     limits: Limits,
 ) -> RunReport {
-    run_noisy_with_scratch(scratch, inst, timing, seed, limits, None, None)
+    drive_noisy(scratch, inst, timing, seed, limits, None, None)
 }
 
 /// [`run_noisy`] with an adaptive crash adversary and optional history
@@ -393,6 +381,7 @@ pub fn run_noisy_scratch<P: Protocol>(
 /// `history` is `Some`, every executed operation is appended as an
 /// [`Event`] (time, pid, op, observed value) suitable for
 /// [`nc_memory::check_register_semantics_from`].
+#[deprecated(note = "use `nc_engine::sim::Sim::crash_adversary` / `Sim::record_history` instead")]
 pub fn run_noisy_with<P: Protocol>(
     inst: &mut Instance<P>,
     timing: &TimingModel,
@@ -402,13 +391,29 @@ pub fn run_noisy_with<P: Protocol>(
     history: Option<&mut Vec<Event>>,
 ) -> RunReport {
     let mut scratch = EngineScratch::new();
-    run_noisy_with_scratch(&mut scratch, inst, timing, seed, limits, crash, history)
+    drive_noisy(&mut scratch, inst, timing, seed, limits, crash, history)
 }
 
 /// The fully general single-trial entry point: scratch reuse, crash
 /// adversary, and history recording. All other single-trial `run_noisy*`
 /// functions delegate here.
+#[deprecated(note = "use `nc_engine::sim::Sim::crash_adversary` / `Sim::record_history` instead")]
 pub fn run_noisy_with_scratch<P: Protocol>(
+    scratch: &mut EngineScratch,
+    inst: &mut Instance<P>,
+    timing: &TimingModel,
+    seed: u64,
+    limits: Limits,
+    crash: Option<&mut dyn CrashAdversary>,
+    history: Option<&mut Vec<Event>>,
+) -> RunReport {
+    drive_noisy(scratch, inst, timing, seed, limits, crash, history)
+}
+
+/// The fully general single-trial driver behind both the [`crate::sim`]
+/// API and the deprecated `run_noisy*` wrappers: scratch reuse, crash
+/// adversary, and history recording.
+pub(crate) fn drive_noisy<P: Protocol>(
     scratch: &mut EngineScratch,
     inst: &mut Instance<P>,
     timing: &TimingModel,
@@ -496,7 +501,22 @@ pub fn run_noisy_with_scratch<P: Protocol>(
 /// # Panics
 ///
 /// Panics if the three slices differ in length.
+#[deprecated(
+    note = "drive sweeps through `nc_engine::sim::TrialSet` (its `lanes` knob owns the pipelining) instead"
+)]
 pub fn run_noisy_batch<P: Protocol>(
+    scratches: &mut [EngineScratch],
+    insts: &mut [Instance<P>],
+    timing: &TimingModel,
+    seeds: &[u64],
+    limits: Limits,
+) -> Vec<RunReport> {
+    drive_noisy_batch(scratches, insts, timing, seeds, limits)
+}
+
+/// The K-lane lockstep batch driver behind [`crate::sim::TrialSet`]'s
+/// `lanes` knob and the deprecated [`run_noisy_batch`] wrapper.
+pub(crate) fn drive_noisy_batch<P: Protocol>(
     scratches: &mut [EngineScratch],
     insts: &mut [Instance<P>],
     timing: &TimingModel,
@@ -517,7 +537,7 @@ pub fn run_noisy_batch<P: Protocol>(
             .iter_mut()
             .zip(insts.iter_mut())
             .zip(seeds)
-            .map(|((s, i), &seed)| run_noisy_with_scratch(s, i, timing, seed, limits, None, None))
+            .map(|((s, i), &seed)| drive_noisy(s, i, timing, seed, limits, None, None))
             .collect();
     };
 
@@ -983,6 +1003,10 @@ fn apply_crashes<P: Protocol>(
 }
 
 #[cfg(test)]
+// These unit tests deliberately pin the deprecated wrappers (they stay
+// bit-identical to the builder, which tests/sim_equivalence.rs checks
+// from the other side).
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::setup::{self, Algorithm};

@@ -1,0 +1,1125 @@
+//! The composable simulation API: one typed builder for every
+//! execution model, plus the [`TrialSet`] sweep layer.
+//!
+//! Historically each scheduling model had its own fan of entry points
+//! (`run_noisy`, `run_noisy_scratch`, `run_noisy_with`, …), and every
+//! new capability — scratch reuse, crash adversaries, history
+//! recording — added another positional `Option<&mut dyn …>` to every
+//! signature. [`Sim`] replaces that fan with one builder:
+//!
+//! * pick an [`Algorithm`] and inputs,
+//! * pick exactly one **schedule** — [`Sim::timing`] (the noisy model,
+//!   §3.1), [`Sim::adversary`] (a fully adversarial untimed scheduler),
+//!   or [`Sim::hybrid`] (the quantum + priority uniprocessor, §3.2/§7),
+//! * layer options on top: [`Sim::faults`], [`Sim::crash_adversary`],
+//!   [`Sim::record_history`], [`Sim::limits`], [`Sim::queue_policy`],
+//! * [`Sim::build`] a reusable [`SimRun`] handle and call
+//!   [`SimRun::run`] per seed, or go straight to a sweep with
+//!   [`Sim::trials`].
+//!
+//! New workloads become *configuration*, not new function signatures.
+//!
+//! The handle owns every piece of reusable state: an [`EngineScratch`],
+//! the monomorphized `Instance<LeanConsensus>` fast path (rebuilt in
+//! place for [`Algorithm::Lean`] under a noisy schedule — no allocation
+//! per run), and the history buffer. [`TrialSet`] additionally owns the
+//! sweep machinery: per-worker scratch pooling, K-lane lockstep
+//! pipelining, and the thread fan-out — **parallelism is per-call
+//! state**, not a process-global knob, so two sweeps with different
+//! worker counts can run concurrently without interfering.
+//!
+//! Determinism: a trial's report is a pure function of
+//! `(configuration, seed)` — bit-for-bit identical at every thread
+//! count and lane width, and identical to the deprecated `run_*` entry
+//! points (pinned by `tests/sim_equivalence.rs`).
+//!
+//! # Example: one Figure 1 data point
+//!
+//! ```
+//! use nc_engine::sim::Sim;
+//! use nc_engine::{setup, Algorithm, Limits};
+//! use nc_sched::{Noise, TimingModel};
+//!
+//! let mean: f64 = {
+//!     let rounds = Sim::new(Algorithm::Lean)
+//!         .inputs(setup::half_and_half(16))
+//!         .timing(TimingModel::figure1(Noise::Exponential { mean: 1.0 }))
+//!         .limits(Limits::first_decision())
+//!         .trials(32)
+//!         .seed0(7)
+//!         .threads(1)
+//!         .map(|report| report.first_decision_round.expect("terminates") as f64);
+//!     rounds.iter().sum::<f64>() / rounds.len() as f64
+//! };
+//! assert!(mean >= 2.0);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use nc_core::LeanConsensus;
+use nc_memory::{Bit, Event, SimMemory};
+use nc_sched::adversary::{Adversary, CrashAdversary, NoCrashes};
+use nc_sched::hybrid::{HybridPolicy, HybridSpec};
+use nc_sched::select::QueuePolicy;
+use nc_sched::{FailureModel, TimingModel};
+
+use crate::noisy::{self, EngineScratch};
+use crate::report::{Limits, RunReport};
+use crate::setup::{self, Algorithm, Instance};
+use crate::{adversarial, hybrid};
+
+/// Pipeline lanes a [`TrialSet`] interleaves per worker by default.
+///
+/// Interleaving K > 1 independent trials multiplies the per-worker
+/// working set by K in exchange for overlapping the lanes' cache-miss
+/// chains. On the 1-core reference VM that trade **loses** at every
+/// measured scale (2 lanes: −8% at n = 1000, −25% at n = 10000; see
+/// `BENCH_engine.json`'s pipelined column), because the VM's cache is
+/// too small to hold even two lanes' state, so the default is 1
+/// (sequential trials, zero overhead — `bench_engine` asserts the
+/// K > 1 path stays bit-identical). Raise it via [`TrialSet::lanes`] on
+/// hardware with enough private cache per core for K working sets;
+/// re-measure with
+/// `cargo run --release -p nc-bench --bin bench_engine -- --lanes K`.
+pub const PIPELINE_LANES: usize = 1;
+
+/// A factory producing a fresh crash adversary for a run with the given
+/// seed (adversaries are stateful, so a reusable handle needs one per
+/// run).
+type CrashFactory = Box<dyn Fn(u64) -> Box<dyn CrashAdversary> + Send + Sync>;
+/// A factory producing a fresh schedule adversary per run.
+type AdversaryFactory = Box<dyn Fn(u64) -> Box<dyn Adversary> + Send + Sync>;
+/// A factory producing a fresh hybrid policy per run.
+type PolicyFactory = Box<dyn Fn(u64) -> Box<dyn HybridPolicy> + Send + Sync>;
+/// A seed-derivation override for [`TrialSet`].
+type SeedFn = Box<dyn Fn(u64) -> u64 + Send + Sync>;
+
+/// Which scheduling model drives the run.
+enum Schedule {
+    /// The noisy-scheduling model (§3.1): an event queue executes
+    /// operations at times drawn from the timing model.
+    Noisy(TimingModel),
+    /// A fully adversarial untimed scheduler picks every step.
+    Adversarial(AdversaryFactory),
+    /// The hybrid quantum + priority uniprocessor (§3.2/§7).
+    Hybrid(HybridSpec, PolicyFactory),
+}
+
+impl Schedule {
+    fn name(&self) -> &'static str {
+        match self {
+            Schedule::Noisy(_) => "noisy",
+            Schedule::Adversarial(_) => "adversarial",
+            Schedule::Hybrid(..) => "hybrid",
+        }
+    }
+}
+
+/// The validated, immutable configuration shared by [`SimRun`] and
+/// [`TrialSet`] (and by every worker thread of a sweep).
+struct SimConfig {
+    algorithm: Algorithm,
+    inputs: Vec<Bit>,
+    schedule: Schedule,
+    limits: Limits,
+    queue: QueuePolicy,
+    crash: Option<CrashFactory>,
+    record_history: bool,
+}
+
+impl SimConfig {
+    /// Whether the K-lane lockstep batch driver may serve this
+    /// configuration (monomorphized lean under a noisy schedule, no
+    /// per-run adversary or history hooks).
+    fn lean_batch_eligible(&self) -> bool {
+        self.algorithm == Algorithm::Lean
+            && matches!(self.schedule, Schedule::Noisy(_))
+            && self.crash.is_none()
+            && !self.record_history
+    }
+}
+
+/// Typed builder for a simulation: algorithm + inputs + schedule +
+/// options. See the [module docs](self) for the full tour.
+///
+/// All methods consume and return the builder. Finish with
+/// [`Sim::build`] (a reusable [`SimRun`]) or [`Sim::trials`] (a
+/// [`TrialSet`] sweep).
+#[must_use = "a Sim does nothing until built into a SimRun or TrialSet"]
+pub struct Sim {
+    algorithm: Algorithm,
+    inputs: Vec<Bit>,
+    schedule: Option<Schedule>,
+    faults: Option<FailureModel>,
+    limits: Limits,
+    queue: QueuePolicy,
+    crash: Option<CrashFactory>,
+    record_history: bool,
+}
+
+impl std::fmt::Debug for Sim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sim")
+            .field("algorithm", &self.algorithm)
+            .field("n", &self.inputs.len())
+            .field("schedule", &self.schedule.as_ref().map(Schedule::name))
+            .field("limits", &self.limits)
+            .field("queue", &self.queue)
+            .finish()
+    }
+}
+
+impl Sim {
+    /// Starts a builder for the given algorithm. Inputs and a schedule
+    /// must be supplied before [`Sim::build`].
+    pub fn new(algorithm: Algorithm) -> Self {
+        Sim {
+            algorithm,
+            inputs: Vec::new(),
+            schedule: None,
+            faults: None,
+            limits: Limits::default(),
+            queue: QueuePolicy::default(),
+            crash: None,
+            record_history: false,
+        }
+    }
+
+    /// Sets the per-process input bits (e.g. [`setup::half_and_half`]).
+    pub fn inputs(mut self, inputs: impl Into<Vec<Bit>>) -> Self {
+        self.inputs = inputs.into();
+        self
+    }
+
+    /// Selects the noisy-scheduling model (§3.1) with the given timing
+    /// model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a schedule was already selected.
+    pub fn timing(mut self, timing: TimingModel) -> Self {
+        self.set_schedule(Schedule::Noisy(timing));
+        self
+    }
+
+    /// Selects the fully adversarial untimed scheduler. `make` builds a
+    /// fresh adversary for each run from the run's seed (adversaries
+    /// are stateful).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a schedule was already selected.
+    pub fn adversary<A, F>(mut self, make: F) -> Self
+    where
+        A: Adversary + 'static,
+        F: Fn(u64) -> A + Send + Sync + 'static,
+    {
+        self.set_schedule(Schedule::Adversarial(Box::new(move |seed| {
+            Box::new(make(seed))
+        })));
+        self
+    }
+
+    /// Selects the hybrid quantum + priority uniprocessor (§3.2/§7).
+    /// `make` builds a fresh policy (the adversary picking among legal
+    /// moves) for each run from the run's seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a schedule was already selected.
+    pub fn hybrid<P, F>(mut self, spec: HybridSpec, make: F) -> Self
+    where
+        P: HybridPolicy + 'static,
+        F: Fn(u64) -> P + Send + Sync + 'static,
+    {
+        self.set_schedule(Schedule::Hybrid(
+            spec,
+            Box::new(move |seed| Box::new(make(seed))),
+        ));
+        self
+    }
+
+    /// Adds random halting failures (§3.1.2) to the noisy schedule —
+    /// sugar for building the [`TimingModel`] with
+    /// [`TimingModel::with_failures`]. Requires [`Sim::timing`].
+    pub fn faults(mut self, failures: FailureModel) -> Self {
+        self.faults = Some(failures);
+        self
+    }
+
+    /// Attaches an adaptive crash adversary (§10). `make` builds a
+    /// fresh adversary for each run from the run's seed; returned pids
+    /// halt immediately. Supported under noisy and adversarial
+    /// schedules (the hybrid model has no crashes).
+    pub fn crash_adversary<C, F>(mut self, make: F) -> Self
+    where
+        C: CrashAdversary + 'static,
+        F: Fn(u64) -> C + Send + Sync + 'static,
+    {
+        self.crash = Some(Box::new(move |seed| Box::new(make(seed))));
+        self
+    }
+
+    /// Records every executed operation as an [`Event`] (time, pid, op,
+    /// observed value), retrievable after each run via
+    /// [`SimRun::history`] — the input to
+    /// [`nc_memory::check_register_semantics_from`]. Noisy schedule
+    /// only, and [`SimRun`] only ([`Sim::trials`] rejects it: sweep
+    /// reports have nowhere to carry histories).
+    pub fn record_history(mut self) -> Self {
+        self.record_history = true;
+        self
+    }
+
+    /// Sets the run limits (op budget, first-decision cutoff). Defaults
+    /// to [`Limits::run_to_completion`].
+    pub fn limits(mut self, limits: Limits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// Forces an event-queue policy (defaults to [`QueuePolicy::Auto`]:
+    /// heap at small `n`, branchless tree at large `n`). The choice
+    /// never affects results.
+    pub fn queue_policy(mut self, queue: QueuePolicy) -> Self {
+        self.queue = queue;
+        self
+    }
+
+    /// Validates the configuration and returns a reusable [`SimRun`]
+    /// handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inputs are empty, no schedule was selected, or an
+    /// option conflicts with the schedule ([`Sim::faults`] or
+    /// [`Sim::record_history`] without [`Sim::timing`],
+    /// [`Sim::crash_adversary`] with [`Sim::hybrid`], or a hybrid spec
+    /// sized for a different process count).
+    pub fn build(self) -> SimRun {
+        let cfg = self.into_config();
+        SimRun {
+            lane: Lane::new(&cfg),
+            history: Vec::new(),
+            cfg,
+        }
+    }
+
+    /// Shortcut: validates the configuration and starts a `trials`-run
+    /// sweep (see [`TrialSet`]).
+    pub fn trials(self, trials: u64) -> TrialSet {
+        TrialSet::new(self.into_config(), trials)
+    }
+
+    fn set_schedule(&mut self, schedule: Schedule) {
+        if let Some(existing) = &self.schedule {
+            panic!(
+                "schedule already selected ({}): timing()/adversary()/hybrid() are mutually exclusive",
+                existing.name()
+            );
+        }
+        self.schedule = Some(schedule);
+    }
+
+    fn into_config(self) -> SimConfig {
+        assert!(
+            !self.inputs.is_empty(),
+            "Sim needs at least one process: call inputs()"
+        );
+        let schedule = self
+            .schedule
+            .expect("Sim needs a schedule: call timing(), adversary(), or hybrid()");
+        let schedule = match (schedule, self.faults) {
+            (Schedule::Noisy(t), Some(f)) => Schedule::Noisy(t.with_failures(f)),
+            (s, Some(_)) => panic!(
+                "faults() requires the noisy schedule (timing()), not {}",
+                s.name()
+            ),
+            (s, None) => s,
+        };
+        if self.record_history {
+            assert!(
+                matches!(schedule, Schedule::Noisy(_)),
+                "record_history() requires the noisy schedule (timing())"
+            );
+        }
+        if self.crash.is_some() {
+            assert!(
+                !matches!(schedule, Schedule::Hybrid(..)),
+                "crash_adversary() is not supported under the hybrid schedule"
+            );
+        }
+        if let Schedule::Hybrid(spec, _) = &schedule {
+            assert_eq!(
+                spec.len(),
+                self.inputs.len(),
+                "hybrid spec is for {} processes, inputs have {}",
+                spec.len(),
+                self.inputs.len()
+            );
+        }
+        SimConfig {
+            algorithm: self.algorithm,
+            inputs: self.inputs,
+            schedule,
+            limits: self.limits,
+            queue: self.queue,
+            crash: self.crash,
+            record_history: self.record_history,
+        }
+    }
+}
+
+/// Which instance the last run used (for [`SimRun::memory`]).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum LastInstance {
+    None,
+    Lean,
+    Boxed,
+}
+
+/// One worker's reusable state: the engine scratch plus the instance
+/// caches (the monomorphized lean instance is rebuilt in place across
+/// runs; other algorithms rebuild a boxed instance per run, keeping the
+/// last one for inspection).
+struct Lane {
+    scratch: EngineScratch,
+    lean: Option<Instance<LeanConsensus>>,
+    boxed: Option<Instance>,
+    last: LastInstance,
+}
+
+impl Lane {
+    fn new(cfg: &SimConfig) -> Self {
+        Lane {
+            scratch: EngineScratch::with_queue(cfg.queue),
+            lean: None,
+            boxed: None,
+            last: LastInstance::None,
+        }
+    }
+}
+
+/// Reborrows an owned optional crash adversary as the
+/// `Option<&mut dyn …>` the drivers take (the explicit `&mut **b` is a
+/// coercion site, which `Option::as_deref_mut` is not — the dyn
+/// lifetime cannot shrink through the `Option` otherwise).
+fn crash_opt(
+    crash: &mut Option<Box<dyn CrashAdversary>>,
+) -> Option<&mut (dyn CrashAdversary + '_)> {
+    match crash {
+        Some(boxed) => Some(&mut **boxed),
+        None => None,
+    }
+}
+
+/// Executes one run of `cfg` with the given seed through `lane`'s
+/// reusable state. The single dispatch point all public entry paths
+/// share.
+fn run_one(
+    cfg: &SimConfig,
+    lane: &mut Lane,
+    seed: u64,
+    history: Option<&mut Vec<Event>>,
+) -> RunReport {
+    match &cfg.schedule {
+        Schedule::Noisy(timing) => {
+            let mut crash = cfg.crash.as_ref().map(|make| make(seed));
+            if cfg.algorithm == Algorithm::Lean {
+                // The monomorphized fast path: the protocol inlines
+                // into the event loop, and the instance is rebuilt in
+                // place (lean is deterministic, so the build ignores
+                // the seed). Bit-identical to the boxed build — pinned
+                // by tests/sim_equivalence.rs.
+                lane.last = LastInstance::Lean;
+                let inst = match &mut lane.lean {
+                    Some(inst) => {
+                        inst.rebuild(&cfg.inputs);
+                        inst
+                    }
+                    slot => slot.insert(setup::build_lean(&cfg.inputs)),
+                };
+                noisy::drive_noisy(
+                    &mut lane.scratch,
+                    inst,
+                    timing,
+                    seed,
+                    cfg.limits,
+                    crash_opt(&mut crash),
+                    history,
+                )
+            } else {
+                lane.last = LastInstance::Boxed;
+                let inst = lane
+                    .boxed
+                    .insert(setup::build(cfg.algorithm, &cfg.inputs, seed));
+                noisy::drive_noisy(
+                    &mut lane.scratch,
+                    inst,
+                    timing,
+                    seed,
+                    cfg.limits,
+                    crash_opt(&mut crash),
+                    history,
+                )
+            }
+        }
+        Schedule::Adversarial(make_adv) => {
+            let mut adv = make_adv(seed);
+            lane.last = LastInstance::Boxed;
+            let inst = lane
+                .boxed
+                .insert(setup::build(cfg.algorithm, &cfg.inputs, seed));
+            match &cfg.crash {
+                Some(make_crash) => {
+                    let mut crash = make_crash(seed);
+                    adversarial::drive_adversarial(inst, &mut *adv, &mut *crash, cfg.limits)
+                }
+                None => adversarial::drive_adversarial(inst, &mut *adv, &mut NoCrashes, cfg.limits),
+            }
+        }
+        Schedule::Hybrid(spec, make_policy) => {
+            let mut policy = make_policy(seed);
+            lane.last = LastInstance::Boxed;
+            let inst = lane
+                .boxed
+                .insert(setup::build(cfg.algorithm, &cfg.inputs, seed));
+            hybrid::drive_hybrid(inst, spec, &mut *policy, cfg.limits)
+        }
+    }
+}
+
+/// A built, reusable simulation handle: call [`SimRun::run`] once per
+/// seed. Scratch memory, the lean fast-path instance, and the history
+/// buffer are allocated once and reused, so a seed loop's steady state
+/// allocates only its `RunReport`s.
+///
+/// # Example
+///
+/// ```
+/// use nc_engine::sim::Sim;
+/// use nc_engine::{setup, Algorithm};
+/// use nc_sched::{Noise, TimingModel};
+///
+/// let inputs = setup::half_and_half(8);
+/// let mut sim = Sim::new(Algorithm::Lean)
+///     .inputs(inputs.clone())
+///     .timing(TimingModel::figure1(Noise::Uniform { lo: 0.0, hi: 2.0 }))
+///     .build();
+/// for seed in 0..5 {
+///     let report = sim.run(seed);
+///     report.check_safety(&inputs).unwrap();
+/// }
+/// ```
+#[must_use = "a SimRun does nothing until run"]
+pub struct SimRun {
+    cfg: SimConfig,
+    lane: Lane,
+    history: Vec<Event>,
+}
+
+impl std::fmt::Debug for SimRun {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimRun")
+            .field("algorithm", &self.cfg.algorithm)
+            .field("n", &self.cfg.inputs.len())
+            .field("schedule", &self.cfg.schedule.name())
+            .field("record_history", &self.cfg.record_history)
+            .finish()
+    }
+}
+
+impl SimRun {
+    /// Executes one run with the given seed.
+    ///
+    /// The seed drives every stochastic stream of the run (noise,
+    /// failures, start times, protocol coins, and the per-run adversary
+    /// factories); identical seeds produce bit-identical reports.
+    pub fn run(&mut self, seed: u64) -> RunReport {
+        self.history.clear();
+        let history = if self.cfg.record_history {
+            Some(&mut self.history)
+        } else {
+            None
+        };
+        run_one(&self.cfg, &mut self.lane, seed, history)
+    }
+
+    /// The operation history of the last [`SimRun::run`] (empty unless
+    /// built with [`Sim::record_history`]).
+    pub fn history(&self) -> &[Event] {
+        &self.history
+    }
+
+    /// The shared memory as the last run left it (sentinels, racing
+    /// arrays, backup regions) — for visualization and debugging.
+    /// `None` before the first run.
+    pub fn memory(&self) -> Option<&SimMemory> {
+        match self.lane.last {
+            LastInstance::None => None,
+            LastInstance::Lean => self.lane.lean.as_ref().map(|inst| &inst.mem),
+            LastInstance::Boxed => self.lane.boxed.as_ref().map(|inst| &inst.mem),
+        }
+    }
+
+    /// Per-process protocol rounds as the last run left them (including
+    /// undecided processes, which [`RunReport::decision_rounds`] omits).
+    /// `None` before the first run.
+    pub fn rounds(&self) -> Option<Vec<usize>> {
+        use nc_core::Protocol as _;
+        match self.lane.last {
+            LastInstance::None => None,
+            LastInstance::Lean => self
+                .lane
+                .lean
+                .as_ref()
+                .map(|inst| inst.procs.iter().map(|p| p.round()).collect()),
+            LastInstance::Boxed => self
+                .lane
+                .boxed
+                .as_ref()
+                .map(|inst| inst.procs.iter().map(|p| p.round()).collect()),
+        }
+    }
+
+    /// Converts this handle into a `trials`-run sweep over the same
+    /// configuration.
+    pub fn into_trials(self, trials: u64) -> TrialSet {
+        TrialSet::new(self.cfg, trials)
+    }
+}
+
+/// How a [`TrialSet`] derives trial `t`'s seed.
+enum SeedPlan {
+    /// `seed0 + t * stride` (wrapping) — covers the experiment suite's
+    /// legacy derivations.
+    Affine { seed0: u64, stride: u64 },
+    /// An arbitrary map from trial index to seed.
+    Custom(SeedFn),
+}
+
+impl SeedPlan {
+    fn seed_of(&self, t: u64) -> u64 {
+        match self {
+            SeedPlan::Affine { seed0, stride } => seed0.wrapping_add(t.wrapping_mul(*stride)),
+            SeedPlan::Custom(f) => f(t),
+        }
+    }
+}
+
+/// A sweep of independent trials over one simulation configuration,
+/// owning scratch pooling, lockstep trial pipelining, and the worker
+/// fan-out.
+///
+/// Trial `t` runs with seed [`TrialSet::seed0`]` + t * `[`stride`] (or
+/// a custom [`TrialSet::seed_fn`]); results come back **in trial
+/// order**. Parallelism is per-call state: [`TrialSet::threads`] picks
+/// this sweep's worker count (0 = all cores) without touching any
+/// process-global knob, and [`TrialSet::lanes`] picks the per-worker
+/// software-pipelining width for the monomorphized lean fast path.
+/// Neither affects any result — the sweep is bit-for-bit identical at
+/// every `(threads, lanes)` setting, because each trial is a pure
+/// function of its seed (pinned by the determinism regression tests).
+///
+/// [`stride`]: TrialSet::seed_stride
+#[must_use = "a TrialSet does nothing until mapped"]
+pub struct TrialSet {
+    cfg: SimConfig,
+    trials: u64,
+    seeds: SeedPlan,
+    threads: usize,
+    lanes: usize,
+}
+
+impl std::fmt::Debug for TrialSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TrialSet")
+            .field("algorithm", &self.cfg.algorithm)
+            .field("n", &self.cfg.inputs.len())
+            .field("trials", &self.trials)
+            .field("threads", &self.threads)
+            .field("lanes", &self.lanes)
+            .finish()
+    }
+}
+
+impl TrialSet {
+    fn new(cfg: SimConfig, trials: u64) -> Self {
+        // A sweep has nowhere to hand histories back (reports don't
+        // carry them), so a recording request would be a silent no-op —
+        // reject it like the builder's other conflicting options.
+        assert!(
+            !cfg.record_history,
+            "record_history() is not supported by TrialSet sweeps \
+             (reports don't carry histories); use a SimRun per seed instead"
+        );
+        TrialSet {
+            cfg,
+            trials,
+            seeds: SeedPlan::Affine {
+                seed0: 0,
+                stride: 1,
+            },
+            threads: 0,
+            lanes: PIPELINE_LANES,
+        }
+    }
+
+    /// Sets the base seed (trial `t` runs with `seed0 + t * stride`).
+    /// Default 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`TrialSet::seed_fn`] was already set — the custom
+    /// derivation would silently discard this value otherwise.
+    pub fn seed0(mut self, seed0: u64) -> Self {
+        self.seeds = match self.seeds {
+            SeedPlan::Affine { stride, .. } => SeedPlan::Affine { seed0, stride },
+            SeedPlan::Custom(_) => {
+                panic!("seed0() conflicts with an earlier seed_fn(): pick one derivation")
+            }
+        };
+        self
+    }
+
+    /// Sets the per-trial seed stride (trial `t` runs with
+    /// `seed0 + t * stride`). Default 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`TrialSet::seed_fn`] was already set — the custom
+    /// derivation would silently discard this value otherwise.
+    pub fn seed_stride(mut self, stride: u64) -> Self {
+        self.seeds = match self.seeds {
+            SeedPlan::Affine { seed0, .. } => SeedPlan::Affine { seed0, stride },
+            SeedPlan::Custom(_) => {
+                panic!("seed_stride() conflicts with an earlier seed_fn(): pick one derivation")
+            }
+        };
+        self
+    }
+
+    /// Replaces the affine seed derivation with an arbitrary map from
+    /// trial index to seed (overrides [`TrialSet::seed0`] /
+    /// [`TrialSet::seed_stride`]).
+    ///
+    /// New code should derive per-trial seeds with
+    /// [`nc_sched::rng::trial_seed`]; this hook also carries the
+    /// experiment suite's frozen legacy derivations.
+    pub fn seed_fn(mut self, f: impl Fn(u64) -> u64 + Send + Sync + 'static) -> Self {
+        self.seeds = SeedPlan::Custom(Box::new(f));
+        self
+    }
+
+    /// Sets this sweep's worker-thread count (0 = one per available
+    /// core, the default). Purely a performance knob: results are
+    /// bit-identical at every setting.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the software-pipelining width: each worker advances up to
+    /// `lanes` trials in lockstep through the batch driver (lean +
+    /// noisy configurations only; others run lanes sequentially).
+    /// Purely a performance knob — see [`PIPELINE_LANES`] for the
+    /// measured trade. Default [`PIPELINE_LANES`].
+    pub fn lanes(mut self, lanes: usize) -> Self {
+        self.lanes = lanes.max(1);
+        self
+    }
+
+    /// Runs every trial and maps its report through `f`, returning the
+    /// results in trial order.
+    pub fn map<T, F>(self, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(RunReport) -> T + Sync,
+    {
+        let TrialSet {
+            cfg,
+            trials,
+            seeds,
+            threads,
+            lanes,
+        } = self;
+        par_spans(threads, trials, |lo, hi| {
+            run_span(&cfg, lo, hi, lanes, &seeds, &f)
+        })
+    }
+
+    /// Runs every trial and returns the raw reports in trial order.
+    pub fn reports(self) -> Vec<RunReport> {
+        self.map(|report| report)
+    }
+}
+
+/// Resolves a worker-count knob (0 = one worker per available core).
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads != 0 {
+        return threads;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Splits `0..trials` into contiguous spans (a few per worker, to
+/// smooth imbalance from uneven trial cost without shrinking spans so
+/// far that per-span state reuse stops paying) and maps each span
+/// through `work` across `threads` workers (0 = all cores), returning
+/// the concatenated results **in span order** — i.e. in trial order
+/// whenever `work(lo, hi)` returns its trials in order.
+///
+/// This is the one chunked fan-out under every sweep in the workspace:
+/// [`TrialSet::map`] drives it with the engine's span runner, and the
+/// experiment harness's generic trial helpers wrap it for non-engine
+/// work. With one worker (or one trial) it degenerates to a plain
+/// inline call — no threads spawned. Workers pull spans from a shared
+/// queue, so the span *assignment* is nondeterministic, but the
+/// stitched output order never is.
+pub fn par_spans<T, F>(threads: usize, trials: u64, work: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u64, u64) -> Vec<T> + Sync,
+{
+    if trials == 0 {
+        return Vec::new();
+    }
+    let workers = resolve_threads(threads).min(trials as usize).max(1);
+    if workers == 1 {
+        return work(0, trials);
+    }
+    let chunk = trials.div_ceil(workers as u64 * 4).max(1);
+    let spans: Vec<(u64, u64)> = (0..trials)
+        .step_by(chunk as usize)
+        .map(|lo| (lo, (lo + chunk).min(trials)))
+        .collect();
+    let next = AtomicUsize::new(0);
+    let done: Mutex<Vec<(usize, Vec<T>)>> = Mutex::new(Vec::with_capacity(spans.len()));
+    std::thread::scope(|s| {
+        for _ in 0..workers.min(spans.len()) {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&(lo, hi)) = spans.get(i) else { break };
+                let out = work(lo, hi);
+                done.lock().expect("sweep worker panicked").push((i, out));
+            });
+        }
+    });
+    let mut parts = done.into_inner().expect("sweep worker panicked");
+    parts.sort_unstable_by_key(|&(i, _)| i);
+    parts.into_iter().flat_map(|(_, out)| out).collect()
+}
+
+/// Runs trials `lo..hi` on the current thread, through the lockstep
+/// batch driver when the configuration allows it and `lanes > 1`.
+fn run_span<T, F>(
+    cfg: &SimConfig,
+    lo: u64,
+    hi: u64,
+    lanes: usize,
+    seeds: &SeedPlan,
+    f: &F,
+) -> Vec<T>
+where
+    F: Fn(RunReport) -> T,
+{
+    if lanes > 1 && cfg.lean_batch_eligible() {
+        return run_span_batch(cfg, lo, hi, lanes, seeds, f);
+    }
+    let mut lane = Lane::new(cfg);
+    (lo..hi)
+        .map(|t| f(run_one(cfg, &mut lane, seeds.seed_of(t), None)))
+        .collect()
+}
+
+/// The software-pipelined span: advance up to `lanes` monomorphized
+/// lean trials in lockstep (see [`noisy::run_noisy_batch`]'s docs for
+/// the mechanism; per-trial results are bit-identical to sequential
+/// execution by construction).
+fn run_span_batch<T, F>(
+    cfg: &SimConfig,
+    lo: u64,
+    hi: u64,
+    lanes: usize,
+    seeds: &SeedPlan,
+    f: &F,
+) -> Vec<T>
+where
+    F: Fn(RunReport) -> T,
+{
+    let Schedule::Noisy(timing) = &cfg.schedule else {
+        unreachable!("batch span requires the noisy schedule");
+    };
+    let width = lanes.min((hi - lo) as usize);
+    let mut scratches: Vec<EngineScratch> = (0..width)
+        .map(|_| EngineScratch::with_queue(cfg.queue))
+        .collect();
+    let mut insts: Vec<Instance<LeanConsensus>> =
+        (0..width).map(|_| setup::build_lean(&cfg.inputs)).collect();
+    let mut lane_seeds = vec![0u64; width];
+    let mut out = Vec::with_capacity((hi - lo) as usize);
+    let mut t = lo;
+    while t < hi {
+        let g = ((hi - t) as usize).min(width);
+        for (j, seed) in lane_seeds[..g].iter_mut().enumerate() {
+            *seed = seeds.seed_of(t + j as u64);
+        }
+        for inst in insts[..g].iter_mut() {
+            inst.rebuild(&cfg.inputs);
+        }
+        let reports = noisy::drive_noisy_batch(
+            &mut scratches[..g],
+            &mut insts[..g],
+            timing,
+            &lane_seeds[..g],
+            cfg.limits,
+        );
+        out.extend(reports.into_iter().map(f));
+        t += g as u64;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::RunOutcome;
+    use nc_sched::adversary::{LeaderKiller, RoundRobin};
+    use nc_sched::hybrid::WritePreemptor;
+    use nc_sched::Noise;
+
+    fn exp_timing() -> TimingModel {
+        TimingModel::figure1(Noise::Exponential { mean: 1.0 })
+    }
+
+    #[test]
+    fn noisy_run_decides_and_reuses_state() {
+        let inputs = setup::half_and_half(8);
+        let mut sim = Sim::new(Algorithm::Lean)
+            .inputs(inputs.clone())
+            .timing(exp_timing())
+            .build();
+        let first = sim.run(3);
+        assert_eq!(first.outcome, RunOutcome::AllDecided);
+        first.check_safety(&inputs).unwrap();
+        // Re-running the same seed through the reused handle must be
+        // bit-identical (state fully re-seeded per run).
+        assert_eq!(sim.run(3), first);
+        assert!(sim.memory().is_some());
+    }
+
+    #[test]
+    fn boxed_algorithms_run_and_memory_is_visible() {
+        for alg in [
+            Algorithm::Skipping,
+            Algorithm::Randomized,
+            Algorithm::Bounded { r_max: 8 },
+            Algorithm::Backup,
+        ] {
+            let inputs = setup::half_and_half(4);
+            let mut sim = Sim::new(alg)
+                .inputs(inputs.clone())
+                .timing(exp_timing())
+                .build();
+            let report = sim.run(7);
+            assert_eq!(report.outcome, RunOutcome::AllDecided, "{alg:?}");
+            report.check_safety(&inputs).unwrap();
+            assert!(sim.memory().is_some());
+        }
+    }
+
+    #[test]
+    fn history_recording_round_trips() {
+        let mut sim = Sim::new(Algorithm::Lean)
+            .inputs(setup::half_and_half(6))
+            .timing(exp_timing())
+            .record_history()
+            .build();
+        let report = sim.run(8);
+        assert_eq!(sim.history().len(), report.total_ops as usize);
+        // The next run replaces the history rather than appending.
+        let report2 = sim.run(9);
+        assert_eq!(sim.history().len(), report2.total_ops as usize);
+    }
+
+    #[test]
+    fn crash_adversary_factory_is_fresh_per_run() {
+        let mut sim = Sim::new(Algorithm::Lean)
+            .inputs(setup::half_and_half(6))
+            .timing(exp_timing())
+            .crash_adversary(|_| LeaderKiller::new(2, 1))
+            .build();
+        let a = sim.run(5);
+        let b = sim.run(5);
+        assert_eq!(a, b, "stateful adversary must be rebuilt per run");
+    }
+
+    #[test]
+    fn adversarial_schedule_runs() {
+        let inputs = setup::unanimous(5, Bit::One);
+        let report = Sim::new(Algorithm::Lean)
+            .inputs(inputs.clone())
+            .adversary(|_| RoundRobin::new())
+            .build()
+            .run(0);
+        assert_eq!(report.outcome, RunOutcome::AllDecided);
+        assert!(report.ops.iter().all(|&o| o == 8));
+        report.check_safety(&inputs).unwrap();
+    }
+
+    #[test]
+    fn hybrid_schedule_honours_theorem_14() {
+        let inputs = setup::alternating(4);
+        let report = Sim::new(Algorithm::Lean)
+            .inputs(inputs.clone())
+            .hybrid(HybridSpec::uniform(4, 8), |_| WritePreemptor)
+            .build()
+            .run(0);
+        assert_eq!(report.outcome, RunOutcome::AllDecided);
+        assert!(report.ops.iter().all(|&o| o <= 12));
+    }
+
+    #[test]
+    fn trials_are_pure_functions_of_their_seed() {
+        let inputs = setup::half_and_half(10);
+        let sweep = |threads: usize, lanes: usize| {
+            Sim::new(Algorithm::Lean)
+                .inputs(inputs.clone())
+                .timing(exp_timing())
+                .limits(Limits::first_decision())
+                .trials(24)
+                .seed0(100)
+                .seed_stride(13)
+                .threads(threads)
+                .lanes(lanes)
+                .reports()
+        };
+        let reference = sweep(1, 1);
+        assert_eq!(reference.len(), 24);
+        for (threads, lanes) in [(1, 2), (1, 4), (2, 1), (4, 3), (0, 2)] {
+            assert_eq!(sweep(threads, lanes), reference, "{threads} × {lanes}");
+        }
+        // And the affine seeds match per-seed SimRun calls.
+        let mut sim = Sim::new(Algorithm::Lean)
+            .inputs(inputs.clone())
+            .timing(exp_timing())
+            .limits(Limits::first_decision())
+            .build();
+        for (t, report) in reference.iter().enumerate() {
+            assert_eq!(*report, sim.run(100 + 13 * t as u64), "trial {t}");
+        }
+    }
+
+    #[test]
+    fn seed_fn_overrides_affine_derivation() {
+        let inputs = setup::half_and_half(6);
+        let custom = Sim::new(Algorithm::Lean)
+            .inputs(inputs.clone())
+            .timing(exp_timing())
+            .trials(5)
+            .seed_fn(|t| 1000 + t * t)
+            .threads(1)
+            .reports();
+        let mut sim = Sim::new(Algorithm::Lean)
+            .inputs(inputs)
+            .timing(exp_timing())
+            .build();
+        for (t, report) in custom.iter().enumerate() {
+            let t = t as u64;
+            assert_eq!(*report, sim.run(1000 + t * t));
+        }
+    }
+
+    #[test]
+    fn zero_trials_is_empty() {
+        let out = Sim::new(Algorithm::Lean)
+            .inputs(setup::half_and_half(2))
+            .timing(exp_timing())
+            .trials(0)
+            .reports();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a schedule")]
+    fn build_without_schedule_panics() {
+        let _ = Sim::new(Algorithm::Lean)
+            .inputs(setup::half_and_half(2))
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one process")]
+    fn build_without_inputs_panics() {
+        let _ = Sim::new(Algorithm::Lean).timing(exp_timing()).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "mutually exclusive")]
+    fn double_schedule_panics() {
+        let _ = Sim::new(Algorithm::Lean)
+            .timing(exp_timing())
+            .adversary(|_| RoundRobin::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "conflicts with an earlier seed_fn")]
+    fn seed0_after_seed_fn_panics() {
+        let _ = Sim::new(Algorithm::Lean)
+            .inputs(setup::half_and_half(2))
+            .timing(exp_timing())
+            .trials(3)
+            .seed_fn(|t| t)
+            .seed0(7);
+    }
+
+    #[test]
+    #[should_panic(expected = "not supported by TrialSet")]
+    fn record_history_in_a_sweep_panics() {
+        let _ = Sim::new(Algorithm::Lean)
+            .inputs(setup::half_and_half(2))
+            .timing(exp_timing())
+            .record_history()
+            .trials(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires the noisy schedule")]
+    fn faults_without_timing_panics() {
+        let _ = Sim::new(Algorithm::Lean)
+            .inputs(setup::half_and_half(2))
+            .adversary(|_| RoundRobin::new())
+            .faults(FailureModel::Random { per_op: 0.1 })
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "not supported under the hybrid")]
+    fn crash_with_hybrid_panics() {
+        let _ = Sim::new(Algorithm::Lean)
+            .inputs(setup::alternating(4))
+            .hybrid(HybridSpec::uniform(4, 8), |_| WritePreemptor)
+            .crash_adversary(|_| LeaderKiller::new(1, 1))
+            .build();
+    }
+
+    #[test]
+    fn faults_fold_into_the_timing_model() {
+        let inputs = setup::alternating(4);
+        let a = Sim::new(Algorithm::Lean)
+            .inputs(inputs.clone())
+            .timing(exp_timing())
+            .faults(FailureModel::Random { per_op: 0.9 })
+            .build()
+            .run(9);
+        let b = Sim::new(Algorithm::Lean)
+            .inputs(inputs)
+            .timing(exp_timing().with_failures(FailureModel::Random { per_op: 0.9 }))
+            .build()
+            .run(9);
+        assert_eq!(a, b);
+    }
+}

@@ -12,6 +12,11 @@
 //! `--features baseline` leg so the suite can never silently vanish.
 
 #![cfg(feature = "baseline")]
+// This suite pins the *legacy* entry points against the oracle; their
+// equivalence to the `sim::Sim` builder is pinned separately by
+// `tests/sim_equivalence.rs`, so the chain baseline == legacy == builder
+// stays closed.
+#![allow(deprecated)]
 
 use nc_engine::baseline::{run_noisy_baseline, run_noisy_with_baseline};
 use nc_engine::noisy::run_noisy_batch;

@@ -59,6 +59,15 @@ pub trait Adversary {
     fn next(&mut self, view: ProcView<'_>) -> Option<usize>;
 }
 
+// Boxed adversaries forward, so factories can hand out `Box<dyn …>`
+// (e.g. `nc_engine::sim::Sim::adversary` closures picking a variant at
+// runtime) wherever a concrete adversary works.
+impl<A: Adversary + ?Sized> Adversary for Box<A> {
+    fn next(&mut self, view: ProcView<'_>) -> Option<usize> {
+        (**self).next(view)
+    }
+}
+
 /// Steps enabled processes cyclically in id order — the canonical "fair"
 /// lockstep schedule. Against equal-split inputs this is close to the
 /// worst case for lean-consensus termination, since nobody pulls ahead.
@@ -208,6 +217,12 @@ pub trait CrashAdversary {
     /// Returns the ids of processes to crash now. Called by the engine
     /// after every operation with the post-operation view.
     fn crash_now(&mut self, view: ProcView<'_>) -> Vec<usize>;
+}
+
+impl<C: CrashAdversary + ?Sized> CrashAdversary for Box<C> {
+    fn crash_now(&mut self, view: ProcView<'_>) -> Vec<usize> {
+        (**self).crash_now(view)
+    }
 }
 
 /// Never crashes anyone.

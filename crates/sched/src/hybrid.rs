@@ -168,6 +168,15 @@ pub trait HybridPolicy {
     fn pick(&mut self, view: HybridView<'_>) -> Option<usize>;
 }
 
+// Boxed policies forward, so factories can hand out `Box<dyn …>`
+// (e.g. `nc_engine::sim::Sim::hybrid` closures picking a policy at
+// runtime) wherever a concrete policy works.
+impl<P: HybridPolicy + ?Sized> HybridPolicy for Box<P> {
+    fn pick(&mut self, view: HybridView<'_>) -> Option<usize> {
+        (**self).pick(view)
+    }
+}
+
 /// A benign scheduler: keeps the current process running; when it stops,
 /// schedules the lowest-id legal process.
 #[derive(Clone, Copy, Debug, Default)]

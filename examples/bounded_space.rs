@@ -60,5 +60,5 @@ fn main() {
         inst.mem.footprint_words()
     );
     println!("\nunder real (noisy) scheduling the backup almost never engages — see");
-    println!("`cargo run --release -p nc-bench --bin bounded_space` for the measured rates.");
+    println!("`cargo run --release -p nc-bench --bin repro -- --only E6` for the measured rates.");
 }

@@ -12,8 +12,8 @@
 //!
 //! Run with: `cargo run --release --example failure_injection [seed]`
 
-use noisy_consensus::engine::noisy::run_noisy_with;
-use noisy_consensus::engine::{run_noisy, setup, Limits};
+use noisy_consensus::engine::setup::{self, Algorithm};
+use noisy_consensus::engine::sim::Sim;
 use noisy_consensus::sched::adversary::LeaderKiller;
 use noisy_consensus::sched::{FailureModel, Noise, TimingModel};
 use noisy_consensus::theory::OnlineStats;
@@ -30,16 +30,17 @@ fn main() {
     println!("  h(n) per op | survivors decide | all died | mean first-decision round");
     println!("  ------------+------------------+----------+---------------------------");
     for h in [0.0, 0.001, 0.01, 0.05, 0.2] {
-        let timing = TimingModel::figure1(Noise::Exponential { mean: 1.0 })
-            .with_failures(FailureModel::Random { per_op: h });
+        let inputs = setup::half_and_half(n);
+        let mut sim = Sim::new(Algorithm::Lean)
+            .inputs(inputs.clone())
+            .timing(TimingModel::figure1(Noise::Exponential { mean: 1.0 }))
+            .faults(FailureModel::Random { per_op: h })
+            .build();
         let mut decided = 0;
         let mut died = 0;
         let mut rounds = OnlineStats::new();
         for t in 0..trials {
-            let seed = seed0 + t;
-            let inputs = setup::half_and_half(n);
-            let mut inst = setup::build(setup::Algorithm::Lean, &inputs, seed);
-            let report = run_noisy(&mut inst, &timing, seed, Limits::run_to_completion());
+            let report = sim.run(seed0 + t);
             report.check_safety(&inputs).expect("safety under failures");
             if report.decided_count() > 0 {
                 decided += 1;
@@ -59,22 +60,16 @@ fn main() {
     println!("\n== Part 2: adaptive leader-killer (n = {n}, {trials} trials each) ==\n");
     println!("  crash budget f | mean first-decision round | mean rounds / (f+1)");
     println!("  ---------------+---------------------------+---------------------");
-    let timing = TimingModel::figure1(Noise::Exponential { mean: 1.0 });
     for f in [0usize, 1, 2, 4, 8] {
+        let inputs = setup::half_and_half(n);
+        let mut sim = Sim::new(Algorithm::Lean)
+            .inputs(inputs.clone())
+            .timing(TimingModel::figure1(Noise::Exponential { mean: 1.0 }))
+            .crash_adversary(move |_| LeaderKiller::new(f, 1))
+            .build();
         let mut rounds = OnlineStats::new();
         for t in 0..trials {
-            let seed = seed0 + 10_000 + t;
-            let inputs = setup::half_and_half(n);
-            let mut inst = setup::build(setup::Algorithm::Lean, &inputs, seed);
-            let mut killer = LeaderKiller::new(f, 1);
-            let report = run_noisy_with(
-                &mut inst,
-                &timing,
-                seed,
-                Limits::run_to_completion(),
-                Some(&mut killer),
-                None,
-            );
+            let report = sim.run(seed0 + 10_000 + t);
             report.check_safety(&inputs).expect("safety under crashes");
             if let Some(r) = report.first_decision_round {
                 rounds.push(r as f64);

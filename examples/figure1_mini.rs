@@ -7,7 +7,9 @@
 //!
 //! Run with: `cargo run --release --example figure1_mini [trials]`
 
-use noisy_consensus::engine::{run_noisy, setup, Limits};
+use noisy_consensus::engine::setup::{self, Algorithm};
+use noisy_consensus::engine::sim::Sim;
+use noisy_consensus::engine::Limits;
 use noisy_consensus::sched::{Noise, TimingModel};
 use noisy_consensus::theory::OnlineStats;
 
@@ -27,18 +29,21 @@ fn main() {
     println!("{}", "-".repeat(24 + ns.len() * 11));
 
     for (name, noise) in Noise::figure1_suite() {
-        let timing = TimingModel::figure1(noise);
         print!("{name:<24}");
         for n in ns {
+            // One sweep per point: trial t runs with the historical
+            // seed 0xF16_0000 + n + t * 7919.
+            let rounds = Sim::new(Algorithm::Lean)
+                .inputs(setup::half_and_half(n))
+                .timing(TimingModel::figure1(noise))
+                .limits(Limits::first_decision())
+                .trials(trials)
+                .seed0(0xF16_0000 + n as u64)
+                .seed_stride(7919)
+                .map(|report| report.first_decision_round);
             let mut stats = OnlineStats::new();
-            for t in 0..trials {
-                let seed = 0xF16_0000 + t * 7919 + n as u64;
-                let inputs = setup::half_and_half(n);
-                let mut inst = setup::build(setup::Algorithm::Lean, &inputs, seed);
-                let report = run_noisy(&mut inst, &timing, seed, Limits::first_decision());
-                if let Some(r) = report.first_decision_round {
-                    stats.push(r as f64);
-                }
+            for r in rounds.into_iter().flatten() {
+                stats.push(r as f64);
             }
             print!(" | {:<8.2}", stats.mean());
         }

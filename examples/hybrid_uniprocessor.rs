@@ -9,7 +9,9 @@
 //!
 //! Run with: `cargo run --release --example hybrid_uniprocessor [n]`
 
-use noisy_consensus::engine::{run_hybrid, setup, Limits};
+use noisy_consensus::engine::setup::{self, Algorithm};
+use noisy_consensus::engine::sim::Sim;
+use noisy_consensus::engine::Limits;
 use noisy_consensus::sched::hybrid::{HybridSpec, WritePreemptor};
 
 fn main() {
@@ -25,14 +27,12 @@ fn main() {
     println!("  --------+----------+-----------------+-----------------------------");
 
     for quantum in 1..=12u32 {
-        let mut inst = setup::build(setup::Algorithm::Lean, &inputs, 0);
-        let spec = HybridSpec::uniform(n, quantum);
-        let report = run_hybrid(
-            &mut inst,
-            &spec,
-            &mut WritePreemptor,
-            Limits::run_to_completion().with_max_ops(1_000_000),
-        );
+        let report = Sim::new(Algorithm::Lean)
+            .inputs(inputs.clone())
+            .hybrid(HybridSpec::uniform(n, quantum), |_| WritePreemptor)
+            .limits(Limits::run_to_completion().with_max_ops(1_000_000))
+            .build()
+            .run(0);
         report.check_safety(&inputs).expect("safety");
         let max_ops = report.max_ops_per_process();
         let decided = report.outcome.decided();

@@ -8,7 +8,8 @@
 //!
 //! Run with: `cargo run --release --example noisy_race [n] [seed]`
 
-use noisy_consensus::engine::{run_noisy, setup, Limits};
+use noisy_consensus::engine::setup::{self, Algorithm};
+use noisy_consensus::engine::sim::Sim;
 use noisy_consensus::memory::{Bit, RaceLayout};
 use noisy_consensus::sched::{Noise, TimingModel};
 
@@ -21,20 +22,23 @@ fn main() {
     println!("lean-consensus, n = {n}, inputs = {inputs:?}, seed = {seed}");
     println!("noise: exponential(1) per operation, starts dithered by U(0, 1e-8)\n");
 
-    let mut inst = setup::build(setup::Algorithm::Lean, &inputs, seed);
-    let timing = TimingModel::figure1(Noise::Exponential { mean: 1.0 });
-    let report = run_noisy(&mut inst, &timing, seed, Limits::run_to_completion());
+    let mut sim = Sim::new(Algorithm::Lean)
+        .inputs(inputs.clone())
+        .timing(TimingModel::figure1(Noise::Exponential { mean: 1.0 }))
+        .build();
+    let report = sim.run(seed);
     report.check_safety(&inputs).expect("safety");
 
-    // Draw the arrays.
+    // Draw the arrays from the memory the run left behind.
+    let mem = sim.memory().expect("ran at least once");
     let layout = RaceLayout::at_base(0);
     let max_round = report.last_decision_round().unwrap_or(2);
     println!("final racing arrays (row = round, X = bit set):\n");
     println!("  round | a0 | a1");
     println!("  ------+----+----");
     for r in 1..=max_round {
-        let a0 = inst.mem.peek(layout.slot(Bit::Zero, r)) != 0;
-        let a1 = inst.mem.peek(layout.slot(Bit::One, r)) != 0;
+        let a0 = mem.peek(layout.slot(Bit::Zero, r)) != 0;
+        let a1 = mem.peek(layout.slot(Bit::One, r)) != 0;
         println!(
             "  {r:>5} |  {} |  {}",
             if a0 { "X" } else { "." },

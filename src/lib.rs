@@ -43,16 +43,36 @@
 //!
 //! ## Simulate the paper's model
 //!
+//! One typed builder ([`Sim`]) covers every execution model — noisy
+//! scheduling, adversarial schedules, the hybrid uniprocessor — plus
+//! failures, crash adversaries, history recording, and sweeps with
+//! per-call parallelism:
+//!
 //! ```
-//! use noisy_consensus::engine::{self, setup, Limits};
+//! use noisy_consensus::engine::setup::{self, Algorithm};
 //! use noisy_consensus::sched::{Noise, TimingModel};
+//! use noisy_consensus::Sim;
 //!
 //! let inputs = setup::half_and_half(100);
-//! let mut inst = setup::build(setup::Algorithm::Lean, &inputs, 7);
-//! let timing = TimingModel::figure1(Noise::Uniform { lo: 0.0, hi: 2.0 });
-//! let report = engine::run_noisy(&mut inst, &timing, 7, Limits::run_to_completion());
+//! let mut sim = Sim::new(Algorithm::Lean)
+//!     .inputs(inputs.clone())
+//!     .timing(TimingModel::figure1(Noise::Uniform { lo: 0.0, hi: 2.0 }))
+//!     .build();
+//! let report = sim.run(7);
 //! report.check_safety(&inputs).unwrap();
 //! println!("first decision at round {:?}", report.first_decision_round);
+//!
+//! // A 200-trial sweep across 2 worker threads — bit-identical at any
+//! // worker count or lane width.
+//! let rounds = Sim::new(Algorithm::Lean)
+//!     .inputs(inputs)
+//!     .timing(TimingModel::figure1(Noise::Uniform { lo: 0.0, hi: 2.0 }))
+//!     .limits(noisy_consensus::Limits::first_decision())
+//!     .trials(200)
+//!     .seed0(7)
+//!     .threads(2)
+//!     .map(|r| r.first_decision_round);
+//! assert_eq!(rounds.len(), 200);
 //! ```
 
 #![warn(missing_docs)]
@@ -70,6 +90,6 @@ pub use nc_core::{
     Bit, BoundedLean, Decision, LeanConsensus, NativeConsensus, Protocol, RandomizedLean,
     RoundLimitError, SkippingLean, Status,
 };
-pub use nc_engine::{Limits, RunOutcome, RunReport};
+pub use nc_engine::{Limits, RunOutcome, RunReport, Sim, SimRun, TrialSet};
 pub use nc_memory::{Op, Pid, RaceLayout, SegArray, SimMemory, Word};
 pub use nc_sched::{Noise, TimingModel};

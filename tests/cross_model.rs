@@ -2,21 +2,20 @@
 //! shared-memory semantics.
 //!
 //! These tests tie the whole workspace together: protocols built by
-//! `nc-engine::setup`, driven by the noisy / adversarial / hybrid
-//! drivers, recorded as histories, validated against the sequential
-//! register specification from `nc-memory`, and checked against the
-//! §5 lemmas from `nc-core`.
+//! `nc-engine::setup`, driven through the [`Sim`] builder's three
+//! schedules (noisy / adversarial / hybrid), recorded as histories,
+//! validated against the sequential register specification from
+//! `nc-memory`, and checked against the §5 lemmas from `nc-core`.
 
 use std::collections::HashMap;
 
-use noisy_consensus::engine::noisy::run_noisy_with;
-use noisy_consensus::engine::{
-    run_adversarial, run_hybrid, run_noisy, setup, Algorithm, Limits, RunOutcome,
-};
+use noisy_consensus::engine::setup::{self, Algorithm};
+use noisy_consensus::engine::RunOutcome;
 use noisy_consensus::memory::{check_register_semantics_from, Bit, RaceLayout};
 use noisy_consensus::sched::adversary::RandomInterleave;
 use noisy_consensus::sched::hybrid::{HybridSpec, RandomHybrid};
 use noisy_consensus::sched::{stream_rng, Noise, TimingModel};
+use noisy_consensus::Sim;
 
 fn all_algorithms() -> Vec<Algorithm> {
     vec![
@@ -32,17 +31,21 @@ fn all_algorithms() -> Vec<Algorithm> {
 fn every_algorithm_under_every_driver_is_safe() {
     let inputs = setup::half_and_half(5);
     for alg in all_algorithms() {
-        // Noisy driver.
-        let mut inst = setup::build(alg, &inputs, 1);
-        let timing = TimingModel::figure1(Noise::Exponential { mean: 1.0 });
-        let report = run_noisy(&mut inst, &timing, 1, Limits::run_to_completion());
+        // Noisy schedule.
+        let report = Sim::new(alg)
+            .inputs(inputs.clone())
+            .timing(TimingModel::figure1(Noise::Exponential { mean: 1.0 }))
+            .build()
+            .run(1);
         assert_eq!(report.outcome, RunOutcome::AllDecided, "{alg:?} noisy");
         report.check_safety(&inputs).unwrap();
 
-        // Adversarial driver (random interleave).
-        let mut inst = setup::build(alg, &inputs, 2);
-        let mut adv = RandomInterleave::new(stream_rng(2, 0, 4));
-        let report = run_adversarial(&mut inst, &mut adv, Limits::run_to_completion());
+        // Adversarial schedule (random interleave).
+        let report = Sim::new(alg)
+            .inputs(inputs.clone())
+            .adversary(|seed| RandomInterleave::new(stream_rng(seed, 0, 4)))
+            .build()
+            .run(2);
         assert_eq!(
             report.outcome,
             RunOutcome::AllDecided,
@@ -50,11 +53,14 @@ fn every_algorithm_under_every_driver_is_safe() {
         );
         report.check_safety(&inputs).unwrap();
 
-        // Hybrid driver (random legal policy).
-        let mut inst = setup::build(alg, &inputs, 3);
-        let spec = HybridSpec::uniform(inputs.len(), 8);
-        let mut policy = RandomHybrid::new(stream_rng(3, 0, 4));
-        let report = run_hybrid(&mut inst, &spec, &mut policy, Limits::run_to_completion());
+        // Hybrid schedule (random legal policy).
+        let report = Sim::new(alg)
+            .inputs(inputs.clone())
+            .hybrid(HybridSpec::uniform(inputs.len(), 8), |seed| {
+                RandomHybrid::new(stream_rng(seed, 0, 4))
+            })
+            .build()
+            .run(3);
         assert_eq!(report.outcome, RunOutcome::AllDecided, "{alg:?} hybrid");
         report.check_safety(&inputs).unwrap();
     }
@@ -67,19 +73,14 @@ fn recorded_histories_satisfy_register_semantics_for_all_algorithms() {
     // pattern (including the backup's counters).
     let inputs = setup::half_and_half(4);
     for alg in all_algorithms() {
-        let mut inst = setup::build(alg, &inputs, 5);
-        let timing = TimingModel::figure1(Noise::Uniform { lo: 0.0, hi: 2.0 });
-        let mut history = Vec::new();
-        let report = run_noisy_with(
-            &mut inst,
-            &timing,
-            5,
-            Limits::run_to_completion(),
-            None,
-            Some(&mut history),
-        );
+        let mut sim = Sim::new(alg)
+            .inputs(inputs.clone())
+            .timing(TimingModel::figure1(Noise::Uniform { lo: 0.0, hi: 2.0 }))
+            .record_history()
+            .build();
+        let report = sim.run(5);
         assert_eq!(report.outcome, RunOutcome::AllDecided, "{alg:?}");
-        assert_eq!(history.len() as u64, report.total_ops);
+        assert_eq!(sim.history().len() as u64, report.total_ops);
 
         // Sentinels are pre-seeded initial state for the lean family.
         let layout = RaceLayout::at_base(0);
@@ -88,7 +89,7 @@ fn recorded_histories_satisfy_register_semantics_for_all_algorithms() {
             initial.insert(layout.slot(Bit::Zero, 0), 1);
             initial.insert(layout.slot(Bit::One, 0), 1);
         }
-        check_register_semantics_from(&history, &initial)
+        check_register_semantics_from(sim.history(), &initial)
             .unwrap_or_else(|e| panic!("{alg:?}: {e}"));
     }
 }
@@ -100,9 +101,11 @@ fn noisy_and_adversarial_agree_with_native_on_unanimity_cost() {
     for input in Bit::BOTH {
         let inputs = setup::unanimous(4, input);
 
-        let mut inst = setup::build(Algorithm::Lean, &inputs, 1);
-        let timing = TimingModel::figure1(Noise::Geometric { p: 0.5 });
-        let report = run_noisy(&mut inst, &timing, 1, Limits::run_to_completion());
+        let report = Sim::new(Algorithm::Lean)
+            .inputs(inputs.clone())
+            .timing(TimingModel::figure1(Noise::Geometric { p: 0.5 }))
+            .build()
+            .run(1);
         assert!(
             report.ops.iter().all(|&o| o == 8),
             "noisy: {:?}",
@@ -119,10 +122,12 @@ fn noisy_and_adversarial_agree_with_native_on_unanimity_cost() {
 #[test]
 fn figure1_distributions_all_terminate_at_moderate_scale() {
     for (name, noise) in Noise::figure1_suite() {
-        let timing = TimingModel::figure1(noise);
         let inputs = setup::half_and_half(64);
-        let mut inst = setup::build(Algorithm::Lean, &inputs, 11);
-        let report = run_noisy(&mut inst, &timing, 11, Limits::run_to_completion());
+        let report = Sim::new(Algorithm::Lean)
+            .inputs(inputs.clone())
+            .timing(TimingModel::figure1(noise))
+            .build()
+            .run(11);
         assert_eq!(report.outcome, RunOutcome::AllDecided, "{name}");
         report.check_safety(&inputs).unwrap();
         // Termination should be fast: generous cap at 100 rounds for
@@ -142,19 +147,19 @@ fn bounded_protocol_backup_rate_is_low_under_noise() {
     let n = 16;
     let r_max = noisy_consensus::core::bounded::recommended_r_max(n);
     let trials = 50;
-    let mut engaged = 0;
-    for seed in 0..trials {
-        let inputs = setup::half_and_half(n);
-        let mut inst = setup::build(Algorithm::Bounded { r_max }, &inputs, seed);
-        let timing = TimingModel::figure1(Noise::Exponential { mean: 1.0 });
-        let report = run_noisy(&mut inst, &timing, seed, Limits::run_to_completion());
-        report.check_safety(&inputs).unwrap();
-        assert_eq!(report.outcome, RunOutcome::AllDecided);
-        // Backup engagement is visible as rounds beyond r_max.
-        if report.decision_rounds.iter().flatten().any(|&r| r > r_max) {
-            engaged += 1;
-        }
-    }
+    let inputs = setup::half_and_half(n);
+    let engaged: usize = Sim::new(Algorithm::Bounded { r_max })
+        .inputs(inputs.clone())
+        .timing(TimingModel::figure1(Noise::Exponential { mean: 1.0 }))
+        .trials(trials)
+        .map(|report| {
+            report.check_safety(&inputs).unwrap();
+            assert_eq!(report.outcome, RunOutcome::AllDecided);
+            // Backup engagement is visible as rounds beyond r_max.
+            usize::from(report.decision_rounds.iter().flatten().any(|&r| r > r_max))
+        })
+        .into_iter()
+        .sum();
     assert_eq!(
         engaged, 0,
         "backup engaged in {engaged}/{trials} noisy runs at r_max={r_max}"
@@ -164,13 +169,15 @@ fn bounded_protocol_backup_rate_is_low_under_noise() {
 #[test]
 fn deterministic_reports_across_identical_runs() {
     let inputs = setup::half_and_half(12);
-    let timing = TimingModel::figure1(Noise::TwoPoint {
-        lo: 2.0 / 3.0,
-        hi: 4.0 / 3.0,
-    });
     let run = |seed| {
-        let mut inst = setup::build(Algorithm::Lean, &inputs, seed);
-        let r = run_noisy(&mut inst, &timing, seed, Limits::run_to_completion());
+        let r = Sim::new(Algorithm::Lean)
+            .inputs(inputs.clone())
+            .timing(TimingModel::figure1(Noise::TwoPoint {
+                lo: 2.0 / 3.0,
+                hi: 4.0 / 3.0,
+            }))
+            .build()
+            .run(seed);
         (r.decisions.clone(), r.total_ops, r.first_decision_round)
     };
     assert_eq!(run(99), run(99));

@@ -5,20 +5,24 @@
 //! *shapes* (logarithmic growth, constant bounds, tail decay), not exact
 //! constants.
 
-use noisy_consensus::engine::{run_hybrid, run_noisy, setup, Algorithm, Limits, RunOutcome};
+use noisy_consensus::engine::setup::{self, Algorithm};
+use noisy_consensus::engine::{Limits, RunOutcome};
 use noisy_consensus::sched::hybrid::{HybridSpec, WritePreemptor};
 use noisy_consensus::sched::{FailureModel, Noise, TimingModel};
 use noisy_consensus::theory::{fit_log2, run_race, OnlineStats, RaceConfig, RaceOutcome};
+use noisy_consensus::Sim;
 
 fn mean_first_round(noise: Noise, n: usize, trials: u64, seed0: u64) -> f64 {
-    let timing = TimingModel::figure1(noise);
+    let rounds = Sim::new(Algorithm::Lean)
+        .inputs(setup::half_and_half(n))
+        .timing(TimingModel::figure1(noise))
+        .limits(Limits::first_decision())
+        .trials(trials)
+        .seed0(seed0)
+        .map(|report| report.first_decision_round.expect("must terminate") as f64);
     let mut stats = OnlineStats::new();
-    for t in 0..trials {
-        let seed = seed0 + t;
-        let inputs = setup::half_and_half(n);
-        let mut inst = setup::build(Algorithm::Lean, &inputs, seed);
-        let report = run_noisy(&mut inst, &timing, seed, Limits::first_decision());
-        stats.push(report.first_decision_round.expect("must terminate") as f64);
+    for r in rounds {
+        stats.push(r);
     }
     stats.mean()
 }
@@ -44,23 +48,23 @@ fn theorem12_logarithmic_growth() {
 /// Theorem 12 with failures: h(n) > 0 still terminates (survivors race).
 #[test]
 fn theorem12_with_random_failures() {
-    let timing = TimingModel::figure1(Noise::Exponential { mean: 1.0 })
-        .with_failures(FailureModel::Random { per_op: 0.01 });
-    let mut decided = 0;
     let trials = 40;
-    for seed in 0..trials {
-        let inputs = setup::half_and_half(32);
-        let mut inst = setup::build(Algorithm::Lean, &inputs, seed);
-        let report = run_noisy(&mut inst, &timing, seed, Limits::run_to_completion());
-        report.check_safety(&inputs).unwrap();
-        if report.decided_count() > 0 {
-            decided += 1;
-        }
-    }
+    let inputs = setup::half_and_half(32);
+    let decided: usize = Sim::new(Algorithm::Lean)
+        .inputs(inputs.clone())
+        .timing(TimingModel::figure1(Noise::Exponential { mean: 1.0 }))
+        .faults(FailureModel::Random { per_op: 0.01 })
+        .trials(trials)
+        .map(|report| {
+            report.check_safety(&inputs).unwrap();
+            usize::from(report.decided_count() > 0)
+        })
+        .into_iter()
+        .sum();
     // With h = 1%, a 32-process race virtually always produces a winner
     // before extinction.
     assert!(
-        decided >= trials * 9 / 10,
+        decided as u64 >= trials * 9 / 10,
         "only {decided}/{trials} decided"
     );
 }
@@ -94,14 +98,12 @@ fn theorem14_bound_is_hard() {
     for n in [2usize, 3, 5, 8] {
         for burn in [0u32, 4, 8] {
             let inputs = setup::alternating(n);
-            let mut inst = setup::build(Algorithm::Lean, &inputs, 0);
             let spec = HybridSpec::uniform(n, 8).with_initial_used(vec![burn; n]);
-            let report = run_hybrid(
-                &mut inst,
-                &spec,
-                &mut WritePreemptor,
-                Limits::run_to_completion(),
-            );
+            let report = Sim::new(Algorithm::Lean)
+                .inputs(inputs)
+                .hybrid(spec, |_| WritePreemptor)
+                .build()
+                .run(0);
             assert_eq!(report.outcome, RunOutcome::AllDecided, "n={n} burn={burn}");
             assert!(
                 report.ops.iter().all(|&o| o <= 12),
@@ -120,17 +122,24 @@ fn theorem15_bounded_costs_constant_factor() {
     let r_max = noisy_consensus::core::bounded::recommended_r_max(n);
     let timing = TimingModel::figure1(Noise::Exponential { mean: 1.0 });
     let trials = 30;
+    let inputs = setup::half_and_half(n);
+    let total_ops = |alg: Algorithm| {
+        Sim::new(alg)
+            .inputs(inputs.clone())
+            .timing(timing.clone())
+            .trials(trials)
+            .map(|report| {
+                report.check_safety(&inputs).unwrap();
+                report.total_ops as f64
+            })
+    };
     let mut lean_ops = OnlineStats::new();
     let mut bounded_ops = OnlineStats::new();
-    for seed in 0..trials {
-        let inputs = setup::half_and_half(n);
-        let mut a = setup::build(Algorithm::Lean, &inputs, seed);
-        let ra = run_noisy(&mut a, &timing, seed, Limits::run_to_completion());
-        lean_ops.push(ra.total_ops as f64);
-        let mut b = setup::build(Algorithm::Bounded { r_max }, &inputs, seed);
-        let rb = run_noisy(&mut b, &timing, seed, Limits::run_to_completion());
-        bounded_ops.push(rb.total_ops as f64);
-        rb.check_safety(&inputs).unwrap();
+    for x in total_ops(Algorithm::Lean) {
+        lean_ops.push(x);
+    }
+    for x in total_ops(Algorithm::Bounded { r_max }) {
+        bounded_ops.push(x);
     }
     // Identical seeds, identical timing: the bounded run should cost
     // exactly the same while the cutoff never fires.
@@ -168,16 +177,21 @@ fn ablation_skipping_is_slower_in_rounds() {
     let n = 64;
     let trials = 60;
     let timing = TimingModel::figure1(Noise::Exponential { mean: 1.0 });
+    let first_rounds = |alg: Algorithm| {
+        Sim::new(alg)
+            .inputs(setup::half_and_half(n))
+            .timing(timing.clone())
+            .limits(Limits::first_decision())
+            .trials(trials)
+            .map(|report| report.first_decision_round.unwrap() as f64)
+    };
     let mut lean = OnlineStats::new();
     let mut skipping = OnlineStats::new();
-    for seed in 0..trials {
-        let inputs = setup::half_and_half(n);
-        let mut a = setup::build(Algorithm::Lean, &inputs, seed);
-        let ra = run_noisy(&mut a, &timing, seed, Limits::first_decision());
-        lean.push(ra.first_decision_round.unwrap() as f64);
-        let mut b = setup::build(Algorithm::Skipping, &inputs, seed);
-        let rb = run_noisy(&mut b, &timing, seed, Limits::first_decision());
-        skipping.push(rb.first_decision_round.unwrap() as f64);
+    for x in first_rounds(Algorithm::Lean) {
+        lean.push(x);
+    }
+    for x in first_rounds(Algorithm::Skipping) {
+        skipping.push(x);
     }
     assert!(
         skipping.mean() > lean.mean(),
