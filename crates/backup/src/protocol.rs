@@ -29,8 +29,8 @@ use std::fmt;
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
 
-use nc_core::{Protocol, Status};
-use nc_memory::{Bit, Word};
+use nc_core::{Protocol, ProtocolCore, Status};
+use nc_memory::{Bit, MemStore, Word};
 
 use crate::adopt::{AcOutcome, AdoptCommit, SubStatus};
 use crate::conciliator::Conciliator;
@@ -103,7 +103,9 @@ impl BackupConsensus {
     }
 }
 
-impl Protocol for BackupConsensus {
+impl<M: MemStore> Protocol<M> for BackupConsensus {}
+
+impl ProtocolCore for BackupConsensus {
     fn status(&self) -> Status {
         match &self.phase {
             Phase::Adopt(ac) => match ac.status() {

@@ -17,6 +17,7 @@
 //! | [`crashes`] | E11 | §10 adaptive crashes |
 //! | [`msgpass`] | E13 | §10 message-passing extension (ABD) |
 //! | [`statistical`] | E14 | §10 statistical adversary |
+//! | [`value_faults`] | E15 | related-work value faults (ε-noise, stuck registers) |
 
 pub mod ablation;
 pub mod baseline;
@@ -31,3 +32,4 @@ pub mod scaling;
 pub mod statistical;
 pub mod unfair;
 pub mod validity;
+pub mod value_faults;

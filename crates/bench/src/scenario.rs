@@ -22,7 +22,7 @@
 
 use crate::experiments::{
     ablation, baseline, bounded, crashes, fig1, hybrid, lower, msgpass, race, scaling, statistical,
-    unfair, validity,
+    unfair, validity, value_faults,
 };
 use crate::table::Table;
 
@@ -118,7 +118,7 @@ pub trait Scenario: Sync {
 }
 
 /// Every registered scenario, in experiment-id order. (E12 was folded
-/// into E8's failure variant in DESIGN.md, hence 13 entries for E1–E14.)
+/// into E8's failure variant in DESIGN.md, hence 14 entries for E1–E15.)
 pub const REGISTRY: &[&dyn Scenario] = &[
     &fig1::Fig1,
     &validity::ValidityCost,
@@ -133,6 +133,7 @@ pub const REGISTRY: &[&dyn Scenario] = &[
     &crashes::AdaptiveCrashes,
     &msgpass::MessagePassing,
     &statistical::StatisticalAdversary,
+    &value_faults::ValueFaults,
 ];
 
 /// Looks up a scenario by id (case-insensitive).
@@ -299,7 +300,7 @@ mod tests {
         let mut sorted = nums.clone();
         sorted.sort_unstable();
         assert_eq!(nums, sorted, "registry must stay in E-number order");
-        assert_eq!(ids.len(), 13);
+        assert_eq!(ids.len(), 14);
     }
 
     #[test]
@@ -310,7 +311,7 @@ mod tests {
                 assert!(seen.insert(*out), "output {out} declared twice");
             }
         }
-        assert_eq!(seen.len(), 17, "17 CSV artifacts across the suite");
+        assert_eq!(seen.len(), 19, "19 CSV artifacts across the suite");
     }
 
     #[test]

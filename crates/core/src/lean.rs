@@ -13,9 +13,9 @@
 
 use std::fmt;
 
-use nc_memory::{Bit, Op, RaceLayout, Word};
+use nc_memory::{Bit, MemStore, Op, RaceLayout, Word};
 
-use crate::protocol::{Protocol, Status};
+use crate::protocol::{Protocol, ProtocolCore, Status};
 
 /// Where a process is inside its four-operation round.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -45,7 +45,7 @@ enum Phase {
 /// # Example
 ///
 /// ```
-/// use nc_core::{step, LeanConsensus, Protocol};
+/// use nc_core::{step, LeanConsensus, ProtocolCore};
 /// use nc_memory::{Bit, RaceLayout, SimMemory};
 ///
 /// let mut mem = SimMemory::new();
@@ -93,7 +93,7 @@ impl LeanConsensus {
     /// The round in which this process decided, if it has.
     ///
     /// A process decides during its current round, so this equals
-    /// [`Protocol::round`] after decision.
+    /// [`ProtocolCore::round`] after decision.
     pub fn decision_round(&self) -> Option<usize> {
         matches!(self.phase, Phase::Done(_)).then_some(self.round)
     }
@@ -104,7 +104,7 @@ impl LeanConsensus {
     }
 }
 
-impl Protocol for LeanConsensus {
+impl ProtocolCore for LeanConsensus {
     fn status(&self) -> Status {
         let one: Word = Bit::One.word();
         match self.phase {
@@ -164,15 +164,31 @@ impl Protocol for LeanConsensus {
         }
     }
 
+    fn round(&self) -> usize {
+        self.round
+    }
+
+    fn preference(&self) -> Bit {
+        self.preference
+    }
+
+    fn ops_completed(&self) -> u64 {
+        self.ops
+    }
+}
+
+impl<M: MemStore> Protocol<M> for LeanConsensus {
     /// The fused fast path: one phase match performs the pending
     /// operation and surfaces the next status, instead of the
     /// `status()` → `exec` → `advance` → `status()` round-trip (three
-    /// phase matches and an `Op` encode/decode). Bit-identical behavior
+    /// phase matches and an `Op` encode/decode). Generic over the
+    /// word-store plane, so the memory's concrete `read`/`write`
+    /// inline straight into the match arms. Bit-identical behavior
     /// by construction: each arm performs exactly the operation
     /// `status()` would have surfaced and returns exactly the status
     /// `advance` would have produced (pinned by the protocol tests and
     /// the engine's baseline-equivalence suite).
-    fn step_status(&mut self, mem: &mut nc_memory::SimMemory) -> Status {
+    fn step_status(&mut self, mem: &mut M) -> Status {
         let one: Word = Bit::One.word();
         match self.phase {
             Phase::ReadA0 => {
@@ -229,18 +245,6 @@ impl Protocol for LeanConsensus {
             }
             Phase::Done(b) => Status::Decided(b),
         }
-    }
-
-    fn round(&self) -> usize {
-        self.round
-    }
-
-    fn preference(&self) -> Bit {
-        self.preference
-    }
-
-    fn ops_completed(&self) -> u64 {
-        self.ops
     }
 }
 

@@ -20,11 +20,13 @@
 //!
 //! # What this crate provides
 //!
-//! * [`Protocol`] — the step-machine interface every protocol in the
-//!   workspace implements: expose the pending shared-memory [`Op`],
-//!   consume its result. One implementation runs unchanged under the
-//!   discrete-event engine, the hybrid uniprocessor driver, and native
-//!   threads.
+//! * [`ProtocolCore`] / [`Protocol`] — the step-machine interface every
+//!   protocol in the workspace implements: expose the pending
+//!   shared-memory [`Op`], consume its result ([`ProtocolCore`]), and
+//!   step fused against any [`nc_memory::MemStore`] word-store plane
+//!   ([`Protocol<M>`], defaulting to `SimMemory`). One implementation
+//!   runs unchanged under the discrete-event engine (on any memory
+//!   backend), the hybrid uniprocessor driver, and native threads.
 //! * [`LeanConsensus`] — the paper's algorithm, operation-exact.
 //! * [`SkippingLean`] — the "optimized" variant §4 warns against
 //!   (skips provably redundant operations), kept for the ablation
@@ -85,7 +87,7 @@ pub mod threaded;
 pub use bounded::BoundedLean;
 pub use id::IdConsensus;
 pub use lean::LeanConsensus;
-pub use protocol::{run_random_interleave, run_round_robin, step, Protocol, Status};
+pub use protocol::{run_random_interleave, run_round_robin, step, Protocol, ProtocolCore, Status};
 pub use randomized::RandomizedLean;
 pub use skipping::SkippingLean;
 pub use threaded::{Decision, NativeConsensus, RoundLimitError};

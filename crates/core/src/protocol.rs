@@ -3,7 +3,7 @@
 //! Every consensus protocol in this workspace is an explicit state
 //! machine over shared-memory operations: it *surfaces* the operation it
 //! wants to perform next ([`Status::Pending`]) and is *resumed* with the
-//! operation's result ([`Protocol::advance`]). The machine never touches
+//! operation's result ([`ProtocolCore::advance`]). The machine never touches
 //! memory itself.
 //!
 //! This inversion is what lets a single protocol implementation run,
@@ -19,7 +19,7 @@
 
 use std::fmt;
 
-use nc_memory::{Bit, Op, SimMemory, Word};
+use nc_memory::{Bit, MemStore, Op, SimMemory, Word};
 
 /// What a protocol instance wants to do next.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -49,12 +49,14 @@ impl fmt::Display for Status {
     }
 }
 
-/// A consensus protocol as a resumable step machine.
+/// The memory-independent surface of a consensus protocol state
+/// machine: surfacing pending operations, consuming their results, and
+/// reporting progress.
 ///
 /// # Contract
 ///
-/// * [`Protocol::status`] is pure: calling it repeatedly without an
-///   intervening [`Protocol::advance`] returns the same value.
+/// * [`ProtocolCore::status`] is pure: calling it repeatedly without an
+///   intervening [`ProtocolCore::advance`] returns the same value.
 /// * After `status()` returns [`Status::Pending`]`(Op::Read(a))`, the
 ///   driver must execute the read and call `advance(Some(value))`.
 /// * After `status()` returns [`Status::Pending`]`(Op::Write(..))`, the
@@ -62,9 +64,14 @@ impl fmt::Display for Status {
 /// * Once `status()` returns [`Status::Decided`], the machine is final:
 ///   `advance` must not be called again.
 ///
+/// This trait never touches memory itself, so it is implemented exactly
+/// once per protocol; the memory-plane-generic [`Protocol`] subtrait
+/// (usually a one-line blanket over all [`MemStore`]s) adds the fused
+/// stepping entry point drivers use.
+///
 /// `Debug` is a supertrait so heterogeneous collections of protocols
 /// (e.g. `Vec<Box<dyn Protocol>>`) stay debuggable.
-pub trait Protocol: fmt::Debug {
+pub trait ProtocolCore: fmt::Debug {
     /// The machine's current pending operation or final decision.
     fn status(&self) -> Status;
 
@@ -79,47 +86,24 @@ pub trait Protocol: fmt::Debug {
     /// bugs, not recoverable conditions.
     fn advance(&mut self, read_value: Option<Word>);
 
-    /// [`Protocol::advance`] followed by [`Protocol::status`], as one
-    /// call.
+    /// [`ProtocolCore::advance`] followed by [`ProtocolCore::status`],
+    /// as one call.
     ///
     /// Semantically redundant, but load-bearing for throughput: the
     /// discrete-event engine holds protocols as `Box<dyn Protocol>`, and
-    /// its hot loop needs the post-advance status after every operation.
-    /// Through the provided method both calls resolve behind a single
-    /// virtual dispatch (and inline into each other on the concrete
-    /// type), instead of two separate vtable round-trips per event.
+    /// its general loop needs the post-advance status after every
+    /// operation. Through the provided method both calls resolve behind
+    /// a single virtual dispatch (and inline into each other on the
+    /// concrete type), instead of two separate vtable round-trips per
+    /// event.
     ///
     /// # Panics
     ///
-    /// Same contract as [`Protocol::advance`].
+    /// Same contract as [`ProtocolCore::advance`].
     #[inline]
     fn advance_status(&mut self, read_value: Option<Word>) -> Status {
         self.advance(read_value);
         self.status()
-    }
-
-    /// Executes this machine's pending operation directly against `mem`
-    /// and returns the post-operation status; on an already-decided
-    /// machine, returns the decision without touching memory.
-    ///
-    /// Semantically this IS `status()` + [`SimMemory::exec`] +
-    /// [`Protocol::advance_status`], and the provided implementation is
-    /// exactly that. It exists as a trait method so protocols can fuse
-    /// the three (one state match instead of three, no `Op` encode/
-    /// decode round-trip) — on the engine's hot path that fusion is a
-    /// measurable fraction of whole-simulation throughput. Overrides
-    /// **must** execute the identical memory operation and return the
-    /// identical status; the engine's baseline-equivalence suite pins
-    /// this.
-    #[inline]
-    fn step_status(&mut self, mem: &mut SimMemory) -> Status {
-        match self.status() {
-            Status::Pending(op) => {
-                let observed = mem.exec(op);
-                self.advance_status(observed)
-            }
-            done => done,
-        }
     }
 
     /// The protocol's current round number (1-based; implementation-
@@ -135,7 +119,45 @@ pub trait Protocol: fmt::Debug {
     fn ops_completed(&self) -> u64;
 }
 
-impl<P: Protocol + ?Sized> Protocol for Box<P> {
+/// A consensus protocol runnable against the word-store plane `M`.
+///
+/// `M` defaults to [`SimMemory`], so `P: Protocol` and
+/// `Box<dyn Protocol>` keep meaning what they always did; drivers that
+/// are generic over the plane take `P: Protocol<M>` and stay fully
+/// monomorphized — the memory's concrete `read`/`write` inline into the
+/// protocol's fused step, which inlines into the event loop, with no
+/// `dyn` anywhere on the path.
+///
+/// Most protocols implement this with an empty body over every plane
+/// (`impl<M: MemStore> Protocol<M> for X {}`), inheriting the provided
+/// [`Protocol::step_status`].
+pub trait Protocol<M: MemStore = SimMemory>: ProtocolCore {
+    /// Executes this machine's pending operation directly against `mem`
+    /// and returns the post-operation status; on an already-decided
+    /// machine, returns the decision without touching memory.
+    ///
+    /// Semantically this IS `status()` + [`MemStore::exec`] +
+    /// [`ProtocolCore::advance_status`], and the provided implementation
+    /// is exactly that. It exists as a trait method so protocols can
+    /// fuse the three (one state match instead of three, no `Op`
+    /// encode/decode round-trip) — on the engine's hot path that fusion
+    /// is a measurable fraction of whole-simulation throughput.
+    /// Overrides **must** execute the identical memory operation and
+    /// return the identical status; the engine's baseline-equivalence
+    /// suite pins this.
+    #[inline]
+    fn step_status(&mut self, mem: &mut M) -> Status {
+        match self.status() {
+            Status::Pending(op) => {
+                let observed = mem.exec(op);
+                self.advance_status(observed)
+            }
+            done => done,
+        }
+    }
+}
+
+impl<P: ProtocolCore + ?Sized> ProtocolCore for Box<P> {
     fn status(&self) -> Status {
         (**self).status()
     }
@@ -146,10 +168,6 @@ impl<P: Protocol + ?Sized> Protocol for Box<P> {
 
     fn advance_status(&mut self, read_value: Option<Word>) -> Status {
         (**self).advance_status(read_value)
-    }
-
-    fn step_status(&mut self, mem: &mut SimMemory) -> Status {
-        (**self).step_status(mem)
     }
 
     fn round(&self) -> usize {
@@ -165,13 +183,19 @@ impl<P: Protocol + ?Sized> Protocol for Box<P> {
     }
 }
 
+impl<M: MemStore, P: Protocol<M> + ?Sized> Protocol<M> for Box<P> {
+    fn step_status(&mut self, mem: &mut M) -> Status {
+        (**self).step_status(mem)
+    }
+}
+
 /// Executes one step of `proc` against `mem`: if the machine is pending,
 /// performs its operation and advances it, returning `None`; if it has
 /// decided, returns the decision without touching memory.
 ///
 /// This is the minimal driver, used by unit tests, doc examples, and the
-/// larger drivers in `nc-engine`.
-pub fn step<P: Protocol + ?Sized>(proc_: &mut P, mem: &mut SimMemory) -> Option<Bit> {
+/// larger drivers in `nc-engine`. Generic over the word-store plane.
+pub fn step<M: MemStore, P: Protocol<M> + ?Sized>(proc_: &mut P, mem: &mut M) -> Option<Bit> {
     match proc_.status() {
         Status::Decided(b) => Some(b),
         Status::Pending(op) => {
@@ -188,9 +212,9 @@ pub fn step<P: Protocol + ?Sized>(proc_: &mut P, mem: &mut SimMemory) -> Option<
 ///
 /// Round-robin is close to the worst schedule for lean-consensus (nobody
 /// pulls ahead), so this helper doubles as a stress driver in tests.
-pub fn run_round_robin<P: Protocol>(
+pub fn run_round_robin<M: MemStore, P: Protocol<M>>(
     procs: &mut [P],
-    mem: &mut SimMemory,
+    mem: &mut M,
     max_steps: u64,
 ) -> Option<Vec<Bit>> {
     let mut steps = 0u64;
@@ -223,9 +247,9 @@ pub fn run_round_robin<P: Protocol>(
 /// Random interleaving is the discrete analogue of exponential noise, so
 /// unlike [`run_round_robin`] it terminates lean-consensus with
 /// probability 1 even on split inputs.
-pub fn run_random_interleave<P: Protocol>(
+pub fn run_random_interleave<M: MemStore, P: Protocol<M>>(
     procs: &mut [P],
-    mem: &mut SimMemory,
+    mem: &mut M,
     seed: u64,
     max_steps: u64,
 ) -> Option<Vec<Bit>> {
@@ -271,7 +295,9 @@ mod tests {
         }
     }
 
-    impl Protocol for Toy {
+    impl<M: MemStore> Protocol<M> for Toy {}
+
+    impl ProtocolCore for Toy {
         fn status(&self) -> Status {
             match self.state {
                 0 => Status::Pending(Op::Read(Addr::new(0))),
@@ -338,7 +364,8 @@ mod tests {
         /// Never decides.
         #[derive(Debug)]
         struct Forever;
-        impl Protocol for Forever {
+        impl<M: MemStore> Protocol<M> for Forever {}
+        impl ProtocolCore for Forever {
             fn status(&self) -> Status {
                 Status::Pending(Op::Read(Addr::new(0)))
             }

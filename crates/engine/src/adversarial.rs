@@ -7,6 +7,7 @@
 //! It is the workhorse behind the property-based safety suite.
 
 use nc_core::{Protocol, Status};
+use nc_memory::MemStore;
 use nc_sched::adversary::{Adversary, CrashAdversary, NoCrashes, ProcView};
 
 use crate::report::{Limits, RunOutcome, RunReport};
@@ -46,8 +47,8 @@ pub fn run_adversarial_with(
 
 /// The adversarial driver behind both the [`crate::sim`] API and the
 /// deprecated `run_adversarial*` wrappers.
-pub(crate) fn drive_adversarial(
-    inst: &mut Instance,
+pub(crate) fn drive_adversarial<M: MemStore, P: Protocol<M>>(
+    inst: &mut Instance<P, M>,
     adversary: &mut dyn Adversary,
     crash: &mut dyn CrashAdversary,
     limits: Limits,

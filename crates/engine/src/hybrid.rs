@@ -10,6 +10,7 @@
 //! E5 check exactly that bound.
 
 use nc_core::{Protocol, Status};
+use nc_memory::MemStore;
 use nc_memory::Op;
 use nc_sched::hybrid::{HybridPolicy, HybridSpec, HybridView};
 
@@ -34,8 +35,8 @@ pub fn run_hybrid(
 
 /// The hybrid-uniprocessor driver behind both the [`crate::sim`] API
 /// and the deprecated [`run_hybrid`] wrapper.
-pub(crate) fn drive_hybrid(
-    inst: &mut Instance,
+pub(crate) fn drive_hybrid<M: MemStore, P: Protocol<M>>(
+    inst: &mut Instance<P, M>,
     spec: &HybridSpec,
     policy: &mut dyn HybridPolicy,
     limits: Limits,

@@ -2,7 +2,10 @@
 //!
 //! The front door is [`sim::Sim`] — one typed builder covering every
 //! execution model from the paper. Pick an [`Algorithm`] and inputs,
-//! pick a schedule, layer options, then either run seeds one at a time
+//! pick a schedule, layer options — including the word-store plane the
+//! run executes against ([`sim::Sim::memory_backend`], any
+//! [`MemStore`]) and deterministic value-fault injection
+//! ([`sim::Sim::value_faults`]) — then either run seeds one at a time
 //! through a reusable [`sim::SimRun`] handle or sweep thousands of
 //! trials through a [`sim::TrialSet`] (which owns scratch pooling,
 //! lockstep trial pipelining, and per-call worker fan-out):
@@ -98,3 +101,8 @@ pub use sim::{Sim, SimRun, TrialSet};
 // Re-exported so engine callers can pick a queue without importing
 // nc-sched directly.
 pub use nc_sched::select::{QueueKind, QueuePolicy};
+
+// Re-exported so engine callers can pick a memory plane
+// ([`sim::Sim::memory_backend`]) or describe value faults
+// ([`sim::Sim::value_faults`]) without importing nc-memory directly.
+pub use nc_memory::{DenseRaceMemory, FaultSpec, FaultyMemory, MemStore};

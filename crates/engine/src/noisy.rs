@@ -68,7 +68,7 @@
 use rand::rngs::SmallRng;
 
 use nc_core::{Protocol, Status};
-use nc_memory::{Event, Op, OpKind};
+use nc_memory::{Event, MemStore, Op, OpKind};
 use nc_sched::adversary::{CrashAdversary, ProcView};
 use nc_sched::queue::Event as QueuedEvent;
 use nc_sched::rng::salts;
@@ -413,9 +413,9 @@ pub fn run_noisy_with_scratch<P: Protocol>(
 /// The fully general single-trial driver behind both the [`crate::sim`]
 /// API and the deprecated `run_noisy*` wrappers: scratch reuse, crash
 /// adversary, and history recording.
-pub(crate) fn drive_noisy<P: Protocol>(
+pub(crate) fn drive_noisy<M: MemStore, P: Protocol<M>>(
     scratch: &mut EngineScratch,
-    inst: &mut Instance<P>,
+    inst: &mut Instance<P, M>,
     timing: &TimingModel,
     seed: u64,
     limits: Limits,
@@ -516,9 +516,9 @@ pub fn run_noisy_batch<P: Protocol>(
 
 /// The K-lane lockstep batch driver behind [`crate::sim::TrialSet`]'s
 /// `lanes` knob and the deprecated [`run_noisy_batch`] wrapper.
-pub(crate) fn drive_noisy_batch<P: Protocol>(
+pub(crate) fn drive_noisy_batch<M: MemStore, P: Protocol<M>>(
     scratches: &mut [EngineScratch],
-    insts: &mut [Instance<P>],
+    insts: &mut [Instance<P, M>],
     timing: &TimingModel,
     seeds: &[u64],
     limits: Limits,
@@ -657,10 +657,10 @@ struct LoopOut {
 
 /// Primes the queue with each process's first operation; returns the
 /// last used sequence number.
-fn prime<P: Protocol, Q: SimQueue>(
+fn prime<M: MemStore, P: Protocol<M>, Q: SimQueue>(
     soa: &mut ProcSoA,
     queue: &mut Q,
-    inst: &mut Instance<P>,
+    inst: &mut Instance<P, M>,
     timing: &TimingModel,
     batch: Option<&Noise>,
 ) -> u64 {
@@ -685,11 +685,11 @@ fn prime<P: Protocol, Q: SimQueue>(
 
 /// Primes the queue and runs the appropriate loop to completion.
 #[allow(clippy::too_many_arguments)]
-fn drive<P: Protocol, Q: SimQueue>(
+fn drive<M: MemStore, P: Protocol<M>, Q: SimQueue>(
     soa: &mut ProcSoA,
     decision_rounds: &mut [Option<usize>],
     queue: &mut Q,
-    inst: &mut Instance<P>,
+    inst: &mut Instance<P, M>,
     timing: &TimingModel,
     batch: Option<Noise>,
     fast_eligible: bool,
@@ -725,10 +725,10 @@ fn drive<P: Protocol, Q: SimQueue>(
 }
 
 /// Folds a finished run into a `RunReport`.
-fn assemble_report<P: Protocol>(
+fn assemble_report<M: MemStore, P: Protocol<M>>(
     soa: &ProcSoA,
     decision_rounds: &[Option<usize>],
-    inst: &Instance<P>,
+    inst: &Instance<P, M>,
     out: LoopOut,
 ) -> RunReport {
     // Runs that were not cut off ended because every process decided or
@@ -757,11 +757,11 @@ fn assemble_report<P: Protocol>(
 /// The specialized hot loop: no failures, no crash adversary, no
 /// history, batched single-distribution noise.
 #[allow(clippy::too_many_arguments)]
-fn loop_fast<P: Protocol, Q: SimQueue>(
+fn loop_fast<M: MemStore, P: Protocol<M>, Q: SimQueue>(
     soa: &mut ProcSoA,
     decision_rounds: &mut [Option<usize>],
     queue: &mut Q,
-    inst: &mut Instance<P>,
+    inst: &mut Instance<P, M>,
     timing: &TimingModel,
     noise: &Noise,
     mut seq: u64,
@@ -791,11 +791,11 @@ fn loop_fast<P: Protocol, Q: SimQueue>(
 /// interleaved execution are the same code path.
 #[allow(clippy::too_many_arguments)]
 #[inline]
-fn step_fast<P: Protocol, Q: SimQueue>(
+fn step_fast<M: MemStore, P: Protocol<M>, Q: SimQueue>(
     soa: &mut ProcSoA,
     decision_rounds: &mut [Option<usize>],
     queue: &mut Q,
-    inst: &mut Instance<P>,
+    inst: &mut Instance<P, M>,
     timing: &TimingModel,
     noise: &Noise,
     seq: &mut u64,
@@ -852,11 +852,11 @@ fn step_fast<P: Protocol, Q: SimQueue>(
 /// The fully general loop: random failures, adaptive crash adversaries,
 /// history recording, per-kind noise.
 #[allow(clippy::too_many_arguments)]
-fn loop_general<P: Protocol, Q: SimQueue>(
+fn loop_general<M: MemStore, P: Protocol<M>, Q: SimQueue>(
     soa: &mut ProcSoA,
     decision_rounds: &mut [Option<usize>],
     queue: &mut Q,
-    inst: &mut Instance<P>,
+    inst: &mut Instance<P, M>,
     timing: &TimingModel,
     batch: Option<&Noise>,
     mut seq: u64,
@@ -976,9 +976,9 @@ fn draw_increment(
 
 /// Applies adaptive crashes; returns how many live undecided processes
 /// were halted.
-fn apply_crashes<P: Protocol>(
+fn apply_crashes<M: MemStore, P: Protocol<M>>(
     crash: &mut dyn CrashAdversary,
-    inst: &Instance<P>,
+    inst: &Instance<P, M>,
     soa: &mut ProcSoA,
 ) -> usize {
     let enabled: Vec<bool> = soa.hot.iter().map(|h| !h.halted && !h.decided).collect();

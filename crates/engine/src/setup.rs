@@ -9,7 +9,7 @@ use rand::rngs::SmallRng;
 
 use nc_backup::{BackupConsensus, BackupLayout};
 use nc_core::{BoundedLean, LeanConsensus, Protocol, RandomizedLean, SkippingLean};
-use nc_memory::{Bit, RaceLayout, SimMemory};
+use nc_memory::{Bit, MemStore, RaceLayout, SimMemory};
 use nc_sched::rng::salts;
 use nc_sched::stream_rng;
 
@@ -50,16 +50,22 @@ impl Algorithm {
 
 /// A ready-to-run set of processes over one shared memory.
 ///
-/// Generic over the protocol representation: the default
-/// `Box<dyn Protocol>` lets the harness swap algorithms by name, while a
-/// concrete `P` (e.g. [`Instance<LeanConsensus>`] from [`build_lean`])
-/// monomorphizes the drivers — the protocol's `advance`/`status` inline
-/// straight into the engine's event loop with no virtual dispatch, which
-/// is worth a large constant factor on sweep workloads.
+/// Generic over the protocol representation **and** the word-store
+/// plane: the default `Box<dyn Protocol>` over [`SimMemory`] lets the
+/// harness swap algorithms by name, while concrete parameters (e.g.
+/// [`Instance<LeanConsensus>`] from [`build_lean`], or any
+/// [`MemStore`] backend via [`build_in`]) monomorphize the drivers —
+/// the protocol's fused step and the memory's `read`/`write` inline
+/// straight into the engine's event loop with no virtual dispatch,
+/// which is worth a large constant factor on sweep workloads.
 #[derive(Debug)]
-pub struct Instance<P: Protocol = Box<dyn Protocol>> {
+pub struct Instance<P = Box<dyn Protocol>, M = SimMemory>
+where
+    P: Protocol<M>,
+    M: MemStore,
+{
     /// The shared memory, sentinels installed.
-    pub mem: SimMemory,
+    pub mem: M,
     /// One protocol state machine per process.
     pub procs: Vec<P>,
     /// The inputs the processes were created with.
@@ -68,14 +74,14 @@ pub struct Instance<P: Protocol = Box<dyn Protocol>> {
     pub algorithm: Algorithm,
 }
 
-impl<P: Protocol> Instance<P> {
+impl<P: Protocol<M>, M: MemStore> Instance<P, M> {
     /// Number of processes.
     pub fn n(&self) -> usize {
         self.procs.len()
     }
 }
 
-impl Instance<LeanConsensus> {
+impl<M: MemStore> Instance<LeanConsensus, M> {
     /// Re-initializes this instance in place for a fresh trial with
     /// `inputs` — equivalent to [`build_lean`] but reusing every
     /// allocation (memory words, process vector, inputs vector), so a
@@ -102,24 +108,44 @@ impl Instance<LeanConsensus> {
 ///
 /// Panics if `inputs` is empty.
 pub fn build(algorithm: Algorithm, inputs: &[Bit], seed: u64) -> Instance {
+    build_in(algorithm, inputs, seed, SimMemory::new())
+}
+
+/// [`build`] on an explicit word-store plane: the same wiring, with the
+/// boxed protocols and the instance monomorphized over `M`.
+///
+/// `mem` is reset first, so passing a reused or prototype store is
+/// fine; fault-injecting stores ([`nc_memory::FaultyMemory`]) come back
+/// disarmed — the driver arms them per trial via
+/// [`MemStore::reseed`] after this function's setup writes.
+///
+/// # Panics
+///
+/// Panics if `inputs` is empty.
+pub fn build_in<M: MemStore>(
+    algorithm: Algorithm,
+    inputs: &[Bit],
+    seed: u64,
+    mut mem: M,
+) -> Instance<Box<dyn Protocol<M>>, M> {
     assert!(!inputs.is_empty(), "need at least one process");
     let n = inputs.len();
-    let mut mem = SimMemory::new();
+    mem.reset();
     let coin = |pid: usize| -> SmallRng { stream_rng(seed, pid as u64, salts::COIN) };
 
-    let procs: Vec<Box<dyn Protocol>> = match algorithm {
+    let procs: Vec<Box<dyn Protocol<M>>> = match algorithm {
         Algorithm::Lean => {
             let layout = race_layout(&mut mem);
             inputs
                 .iter()
-                .map(|&b| Box::new(LeanConsensus::new(layout, b)) as Box<dyn Protocol>)
+                .map(|&b| Box::new(LeanConsensus::new(layout, b)) as Box<dyn Protocol<M>>)
                 .collect()
         }
         Algorithm::Skipping => {
             let layout = race_layout(&mut mem);
             inputs
                 .iter()
-                .map(|&b| Box::new(SkippingLean::new(layout, b)) as Box<dyn Protocol>)
+                .map(|&b| Box::new(SkippingLean::new(layout, b)) as Box<dyn Protocol<M>>)
                 .collect()
         }
         Algorithm::Randomized => {
@@ -128,7 +154,7 @@ pub fn build(algorithm: Algorithm, inputs: &[Bit], seed: u64) -> Instance {
                 .iter()
                 .enumerate()
                 .map(|(pid, &b)| {
-                    Box::new(RandomizedLean::new(layout, b, coin(pid))) as Box<dyn Protocol>
+                    Box::new(RandomizedLean::new(layout, b, coin(pid))) as Box<dyn Protocol<M>>
                 })
                 .collect()
         }
@@ -149,7 +175,7 @@ pub fn build(algorithm: Algorithm, inputs: &[Bit], seed: u64) -> Instance {
                     let make = Box::new(move |pref: Bit| {
                         BackupConsensus::new(backup_layout, pid, pref, rng)
                     }) as Box<dyn FnOnce(Bit) -> BackupConsensus>;
-                    Box::new(BoundedLean::new(lean_layout, b, r_max, make)) as Box<dyn Protocol>
+                    Box::new(BoundedLean::new(lean_layout, b, r_max, make)) as Box<dyn Protocol<M>>
                 })
                 .collect()
         }
@@ -160,7 +186,8 @@ pub fn build(algorithm: Algorithm, inputs: &[Bit], seed: u64) -> Instance {
                 .iter()
                 .enumerate()
                 .map(|(pid, &b)| {
-                    Box::new(BackupConsensus::new(layout, pid, b, coin(pid))) as Box<dyn Protocol>
+                    Box::new(BackupConsensus::new(layout, pid, b, coin(pid)))
+                        as Box<dyn Protocol<M>>
                 })
                 .collect()
         }
@@ -187,8 +214,18 @@ pub fn build(algorithm: Algorithm, inputs: &[Bit], seed: u64) -> Instance {
 ///
 /// Panics if `inputs` is empty.
 pub fn build_lean(inputs: &[Bit]) -> Instance<LeanConsensus> {
+    build_lean_in(inputs, SimMemory::new())
+}
+
+/// [`build_lean`] on an explicit word-store plane (`mem` is reset
+/// first), for the monomorphized fast path over alternative backends.
+///
+/// # Panics
+///
+/// Panics if `inputs` is empty.
+pub fn build_lean_in<M: MemStore>(inputs: &[Bit], mut mem: M) -> Instance<LeanConsensus, M> {
     assert!(!inputs.is_empty(), "need at least one process");
-    let mut mem = SimMemory::new();
+    mem.reset();
     let layout = race_layout(&mut mem);
     Instance {
         mem,
@@ -201,7 +238,7 @@ pub fn build_lean(inputs: &[Bit]) -> Instance<LeanConsensus> {
     }
 }
 
-fn race_layout(mem: &mut SimMemory) -> RaceLayout {
+fn race_layout<M: MemStore>(mem: &mut M) -> RaceLayout {
     let layout = RaceLayout::at_base(0);
     layout.install_sentinels(mem);
     layout

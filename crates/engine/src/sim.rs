@@ -13,6 +13,10 @@
 //!   or [`Sim::hybrid`] (the quantum + priority uniprocessor, §3.2/§7),
 //! * layer options on top: [`Sim::faults`], [`Sim::crash_adversary`],
 //!   [`Sim::record_history`], [`Sim::limits`], [`Sim::queue_policy`],
+//!   [`Sim::memory_backend`] (the word-store plane the run executes
+//!   against — any [`MemStore`], e.g. `DenseRaceMemory`), and
+//!   [`Sim::value_faults`] (deterministic seeded stuck-at/drop/bit-flip
+//!   value faults via `FaultyMemory`),
 //! * [`Sim::build`] a reusable [`SimRun`] handle and call
 //!   [`SimRun::run`] per seed, or go straight to a sweep with
 //!   [`Sim::trials`].
@@ -58,9 +62,11 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use nc_core::LeanConsensus;
-use nc_memory::{Bit, Event, SimMemory};
+use nc_core::Protocol;
+use nc_memory::{Bit, Event, FaultSpec, FaultyMemory, MemStore, SimMemory};
 use nc_sched::adversary::{Adversary, CrashAdversary, NoCrashes};
 use nc_sched::hybrid::{HybridPolicy, HybridSpec};
+use nc_sched::rng::{salts, trial_seed};
 use nc_sched::select::QueuePolicy;
 use nc_sched::{FailureModel, TimingModel};
 
@@ -117,8 +123,9 @@ impl Schedule {
 }
 
 /// The validated, immutable configuration shared by [`SimRun`] and
-/// [`TrialSet`] (and by every worker thread of a sweep).
-struct SimConfig {
+/// [`TrialSet`] (and by every worker thread of a sweep). `mem` is the
+/// prototype word store each lane stamps its own copy from.
+struct SimConfig<M: MemStore = SimMemory> {
     algorithm: Algorithm,
     inputs: Vec<Bit>,
     schedule: Schedule,
@@ -126,9 +133,10 @@ struct SimConfig {
     queue: QueuePolicy,
     crash: Option<CrashFactory>,
     record_history: bool,
+    mem: M,
 }
 
-impl SimConfig {
+impl<M: MemStore> SimConfig<M> {
     /// Whether the K-lane lockstep batch driver may serve this
     /// configuration (monomorphized lean under a noisy schedule, no
     /// per-run adversary or history hooks).
@@ -147,7 +155,7 @@ impl SimConfig {
 /// [`Sim::build`] (a reusable [`SimRun`]) or [`Sim::trials`] (a
 /// [`TrialSet`] sweep).
 #[must_use = "a Sim does nothing until built into a SimRun or TrialSet"]
-pub struct Sim {
+pub struct Sim<M: MemStore = SimMemory> {
     algorithm: Algorithm,
     inputs: Vec<Bit>,
     schedule: Option<Schedule>,
@@ -156,9 +164,10 @@ pub struct Sim {
     queue: QueuePolicy,
     crash: Option<CrashFactory>,
     record_history: bool,
+    mem: M,
 }
 
-impl std::fmt::Debug for Sim {
+impl<M: MemStore> std::fmt::Debug for Sim<M> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Sim")
             .field("algorithm", &self.algorithm)
@@ -171,8 +180,9 @@ impl std::fmt::Debug for Sim {
 }
 
 impl Sim {
-    /// Starts a builder for the given algorithm. Inputs and a schedule
-    /// must be supplied before [`Sim::build`].
+    /// Starts a builder for the given algorithm, on the default
+    /// [`SimMemory`] word-store plane. Inputs and a schedule must be
+    /// supplied before [`Sim::build`].
     pub fn new(algorithm: Algorithm) -> Self {
         Sim {
             algorithm,
@@ -183,7 +193,60 @@ impl Sim {
             queue: QueuePolicy::default(),
             crash: None,
             record_history: false,
+            mem: SimMemory::new(),
         }
+    }
+}
+
+impl<M: MemStore> Sim<M> {
+    /// Swaps the word-store plane every run executes against, keeping
+    /// the rest of the configuration. `mem` is the prototype each
+    /// lane/worker clones and resets, so pass a fresh store (e.g.
+    /// [`nc_memory::DenseRaceMemory::new()`]).
+    ///
+    /// Backends are observationally identical when fault-free — reports
+    /// are bit-for-bit the same on every plane (pinned by the engine's
+    /// equivalence suites) — so this is a performance/instrumentation
+    /// knob, exactly like [`Sim::queue_policy`].
+    ///
+    /// This **replaces** the current plane wholesale, including any
+    /// fault wrapper a previous [`Sim::value_faults`] call installed —
+    /// to combine them, pick the backend first and layer faults on
+    /// top: `.memory_backend(DenseRaceMemory::new()).value_faults(..)`.
+    pub fn memory_backend<M2: MemStore>(self, mem: M2) -> Sim<M2> {
+        Sim {
+            algorithm: self.algorithm,
+            inputs: self.inputs,
+            schedule: self.schedule,
+            faults: self.faults,
+            limits: self.limits,
+            queue: self.queue,
+            crash: self.crash,
+            record_history: self.record_history,
+            mem,
+        }
+    }
+
+    /// Wraps the current word-store plane in
+    /// [`nc_memory::FaultyMemory`], injecting the deterministic seeded
+    /// value faults of `spec` (stuck-at registers, write drops with
+    /// rate δ, read bit-flips with rate ε) into every run.
+    ///
+    /// Unlike [`Sim::faults`] (random *halting*, part of the timing
+    /// model), value faults perturb what protocols **observe** and are
+    /// supported under every schedule. Each trial derives its own fault
+    /// stream from the run seed (via `nc_sched::rng::trial_seed` with
+    /// the dedicated fault salt), so runs stay pure functions of their
+    /// seed at any thread count or lane width; setup writes (sentinels)
+    /// are never faulted.
+    ///
+    /// Wraps the plane configured so far — call it *after*
+    /// [`Sim::memory_backend`] (a later `memory_backend` call would
+    /// replace the wrapper, faults included). Stacking `value_faults`
+    /// composes: each layer injects an independent seeded stream.
+    pub fn value_faults(self, spec: FaultSpec) -> Sim<FaultyMemory<M>> {
+        let inner = self.mem.clone();
+        self.memory_backend(FaultyMemory::new(inner, spec))
     }
 
     /// Sets the per-process input bits (e.g. [`setup::half_and_half`]).
@@ -297,7 +360,7 @@ impl Sim {
     /// [`Sim::record_history`] without [`Sim::timing`],
     /// [`Sim::crash_adversary`] with [`Sim::hybrid`], or a hybrid spec
     /// sized for a different process count).
-    pub fn build(self) -> SimRun {
+    pub fn build(self) -> SimRun<M> {
         let cfg = self.into_config();
         SimRun {
             lane: Lane::new(&cfg),
@@ -308,7 +371,7 @@ impl Sim {
 
     /// Shortcut: validates the configuration and starts a `trials`-run
     /// sweep (see [`TrialSet`]).
-    pub fn trials(self, trials: u64) -> TrialSet {
+    pub fn trials(self, trials: u64) -> TrialSet<M> {
         TrialSet::new(self.into_config(), trials)
     }
 
@@ -322,7 +385,7 @@ impl Sim {
         self.schedule = Some(schedule);
     }
 
-    fn into_config(self) -> SimConfig {
+    fn into_config(self) -> SimConfig<M> {
         assert!(
             !self.inputs.is_empty(),
             "Sim needs at least one process: call inputs()"
@@ -367,6 +430,7 @@ impl Sim {
             queue: self.queue,
             crash: self.crash,
             record_history: self.record_history,
+            mem: self.mem,
         }
     }
 }
@@ -383,15 +447,15 @@ enum LastInstance {
 /// caches (the monomorphized lean instance is rebuilt in place across
 /// runs; other algorithms rebuild a boxed instance per run, keeping the
 /// last one for inspection).
-struct Lane {
+struct Lane<M: MemStore> {
     scratch: EngineScratch,
-    lean: Option<Instance<LeanConsensus>>,
-    boxed: Option<Instance>,
+    lean: Option<Instance<LeanConsensus, M>>,
+    boxed: Option<Instance<Box<dyn Protocol<M>>, M>>,
     last: LastInstance,
 }
 
-impl Lane {
-    fn new(cfg: &SimConfig) -> Self {
+impl<M: MemStore> Lane<M> {
+    fn new(cfg: &SimConfig<M>) -> Self {
         Lane {
             scratch: EngineScratch::with_queue(cfg.queue),
             lean: None,
@@ -417,9 +481,17 @@ fn crash_opt(
 /// Executes one run of `cfg` with the given seed through `lane`'s
 /// reusable state. The single dispatch point all public entry paths
 /// share.
-fn run_one(
-    cfg: &SimConfig,
-    lane: &mut Lane,
+/// Derives the seed for a run's value-fault stream
+/// ([`MemStore::reseed`]) from the run seed: independent of every
+/// `(seed, pid, salt)` engine stream and of the protocol coins, by the
+/// dedicated salt.
+fn fault_seed(seed: u64) -> u64 {
+    trial_seed(seed, 0, salts::VALUE_FAULTS)
+}
+
+fn run_one<M: MemStore>(
+    cfg: &SimConfig<M>,
+    lane: &mut Lane<M>,
     seed: u64,
     history: Option<&mut Vec<Event>>,
 ) -> RunReport {
@@ -438,8 +510,9 @@ fn run_one(
                         inst.rebuild(&cfg.inputs);
                         inst
                     }
-                    slot => slot.insert(setup::build_lean(&cfg.inputs)),
+                    slot => slot.insert(setup::build_lean_in(&cfg.inputs, cfg.mem.clone())),
                 };
+                inst.mem.reseed(fault_seed(seed));
                 noisy::drive_noisy(
                     &mut lane.scratch,
                     inst,
@@ -451,9 +524,13 @@ fn run_one(
                 )
             } else {
                 lane.last = LastInstance::Boxed;
-                let inst = lane
-                    .boxed
-                    .insert(setup::build(cfg.algorithm, &cfg.inputs, seed));
+                let inst = lane.boxed.insert(setup::build_in(
+                    cfg.algorithm,
+                    &cfg.inputs,
+                    seed,
+                    cfg.mem.clone(),
+                ));
+                inst.mem.reseed(fault_seed(seed));
                 noisy::drive_noisy(
                     &mut lane.scratch,
                     inst,
@@ -468,9 +545,13 @@ fn run_one(
         Schedule::Adversarial(make_adv) => {
             let mut adv = make_adv(seed);
             lane.last = LastInstance::Boxed;
-            let inst = lane
-                .boxed
-                .insert(setup::build(cfg.algorithm, &cfg.inputs, seed));
+            let inst = lane.boxed.insert(setup::build_in(
+                cfg.algorithm,
+                &cfg.inputs,
+                seed,
+                cfg.mem.clone(),
+            ));
+            inst.mem.reseed(fault_seed(seed));
             match &cfg.crash {
                 Some(make_crash) => {
                     let mut crash = make_crash(seed);
@@ -482,9 +563,13 @@ fn run_one(
         Schedule::Hybrid(spec, make_policy) => {
             let mut policy = make_policy(seed);
             lane.last = LastInstance::Boxed;
-            let inst = lane
-                .boxed
-                .insert(setup::build(cfg.algorithm, &cfg.inputs, seed));
+            let inst = lane.boxed.insert(setup::build_in(
+                cfg.algorithm,
+                &cfg.inputs,
+                seed,
+                cfg.mem.clone(),
+            ));
+            inst.mem.reseed(fault_seed(seed));
             hybrid::drive_hybrid(inst, spec, &mut *policy, cfg.limits)
         }
     }
@@ -513,13 +598,13 @@ fn run_one(
 /// }
 /// ```
 #[must_use = "a SimRun does nothing until run"]
-pub struct SimRun {
-    cfg: SimConfig,
-    lane: Lane,
+pub struct SimRun<M: MemStore = SimMemory> {
+    cfg: SimConfig<M>,
+    lane: Lane<M>,
     history: Vec<Event>,
 }
 
-impl std::fmt::Debug for SimRun {
+impl<M: MemStore> std::fmt::Debug for SimRun<M> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SimRun")
             .field("algorithm", &self.cfg.algorithm)
@@ -530,7 +615,7 @@ impl std::fmt::Debug for SimRun {
     }
 }
 
-impl SimRun {
+impl<M: MemStore> SimRun<M> {
     /// Executes one run with the given seed.
     ///
     /// The seed drives every stochastic stream of the run (noise,
@@ -555,7 +640,7 @@ impl SimRun {
     /// The shared memory as the last run left it (sentinels, racing
     /// arrays, backup regions) — for visualization and debugging.
     /// `None` before the first run.
-    pub fn memory(&self) -> Option<&SimMemory> {
+    pub fn memory(&self) -> Option<&M> {
         match self.lane.last {
             LastInstance::None => None,
             LastInstance::Lean => self.lane.lean.as_ref().map(|inst| &inst.mem),
@@ -567,7 +652,7 @@ impl SimRun {
     /// undecided processes, which [`RunReport::decision_rounds`] omits).
     /// `None` before the first run.
     pub fn rounds(&self) -> Option<Vec<usize>> {
-        use nc_core::Protocol as _;
+        use nc_core::ProtocolCore as _;
         match self.lane.last {
             LastInstance::None => None,
             LastInstance::Lean => self
@@ -585,7 +670,7 @@ impl SimRun {
 
     /// Converts this handle into a `trials`-run sweep over the same
     /// configuration.
-    pub fn into_trials(self, trials: u64) -> TrialSet {
+    pub fn into_trials(self, trials: u64) -> TrialSet<M> {
         TrialSet::new(self.cfg, trials)
     }
 }
@@ -624,15 +709,15 @@ impl SeedPlan {
 ///
 /// [`stride`]: TrialSet::seed_stride
 #[must_use = "a TrialSet does nothing until mapped"]
-pub struct TrialSet {
-    cfg: SimConfig,
+pub struct TrialSet<M: MemStore = SimMemory> {
+    cfg: SimConfig<M>,
     trials: u64,
     seeds: SeedPlan,
     threads: usize,
     lanes: usize,
 }
 
-impl std::fmt::Debug for TrialSet {
+impl<M: MemStore> std::fmt::Debug for TrialSet<M> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("TrialSet")
             .field("algorithm", &self.cfg.algorithm)
@@ -644,8 +729,8 @@ impl std::fmt::Debug for TrialSet {
     }
 }
 
-impl TrialSet {
-    fn new(cfg: SimConfig, trials: u64) -> Self {
+impl<M: MemStore> TrialSet<M> {
+    fn new(cfg: SimConfig<M>, trials: u64) -> Self {
         // A sweep has nowhere to hand histories back (reports don't
         // carry them), so a recording request would be a silent no-op —
         // reject it like the builder's other conflicting options.
@@ -815,8 +900,8 @@ where
 
 /// Runs trials `lo..hi` on the current thread, through the lockstep
 /// batch driver when the configuration allows it and `lanes > 1`.
-fn run_span<T, F>(
-    cfg: &SimConfig,
+fn run_span<M: MemStore, T, F>(
+    cfg: &SimConfig<M>,
     lo: u64,
     hi: u64,
     lanes: usize,
@@ -839,8 +924,8 @@ where
 /// lean trials in lockstep (see [`noisy::run_noisy_batch`]'s docs for
 /// the mechanism; per-trial results are bit-identical to sequential
 /// execution by construction).
-fn run_span_batch<T, F>(
-    cfg: &SimConfig,
+fn run_span_batch<M: MemStore, T, F>(
+    cfg: &SimConfig<M>,
     lo: u64,
     hi: u64,
     lanes: usize,
@@ -857,8 +942,9 @@ where
     let mut scratches: Vec<EngineScratch> = (0..width)
         .map(|_| EngineScratch::with_queue(cfg.queue))
         .collect();
-    let mut insts: Vec<Instance<LeanConsensus>> =
-        (0..width).map(|_| setup::build_lean(&cfg.inputs)).collect();
+    let mut insts: Vec<Instance<LeanConsensus, M>> = (0..width)
+        .map(|_| setup::build_lean_in(&cfg.inputs, cfg.mem.clone()))
+        .collect();
     let mut lane_seeds = vec![0u64; width];
     let mut out = Vec::with_capacity((hi - lo) as usize);
     let mut t = lo;
@@ -867,8 +953,9 @@ where
         for (j, seed) in lane_seeds[..g].iter_mut().enumerate() {
             *seed = seeds.seed_of(t + j as u64);
         }
-        for inst in insts[..g].iter_mut() {
+        for (inst, &seed) in insts[..g].iter_mut().zip(&lane_seeds[..g]) {
             inst.rebuild(&cfg.inputs);
+            inst.mem.reseed(fault_seed(seed));
         }
         let reports = noisy::drive_noisy_batch(
             &mut scratches[..g],

@@ -20,10 +20,11 @@
 
 use nc_engine::baseline::{run_noisy_baseline, run_noisy_with_baseline};
 use nc_engine::noisy::run_noisy_batch;
+use nc_engine::sim::Sim;
 use nc_engine::{
     run_noisy_scratch, setup, Algorithm, EngineScratch, Limits, QueuePolicy, RunReport,
 };
-use nc_memory::Bit;
+use nc_memory::{Bit, DenseRaceMemory, FaultyMemory, SimMemory};
 use nc_sched::adversary::{CrashAdversary, CrashScript, LeaderKiller};
 use nc_sched::{DelayPolicy, FailureModel, Noise, StartTimes, TimingModel};
 
@@ -222,6 +223,61 @@ fn auto_policy_above_tree_threshold_matches_oracle() {
         QueuePolicy::Auto,
     );
     assert!(report.first_decision_round.is_some());
+}
+
+/// Alternative word-store planes against the oracle: the builder on
+/// `DenseRaceMemory` (and on disarmed `FaultyMemory` wrappers) must
+/// match the naive `SimMemory` baseline bit for bit across algorithms ×
+/// queues × lane widths — closing the memory-plane chain
+/// `baseline == SimMemory == DenseRaceMemory` end to end.
+/// (`tests/memory_planes.rs` carries the oracle-free half of this
+/// matrix so it also runs without `--features baseline`.)
+#[test]
+fn dense_backend_matches_oracle_across_matrix() {
+    let timing = TimingModel::figure1(Noise::Uniform { lo: 0.0, hi: 2.0 });
+    for alg in algorithms() {
+        for policy in QUEUES {
+            for lanes in [1usize, 3] {
+                let inputs = setup::half_and_half(7);
+                let reports = Sim::new(alg)
+                    .inputs(inputs.clone())
+                    .timing(timing.clone())
+                    .queue_policy(policy)
+                    .memory_backend(DenseRaceMemory::new())
+                    .trials(4)
+                    .seed0(60)
+                    .seed_stride(5)
+                    .threads(1)
+                    .lanes(lanes)
+                    .reports();
+                let wrapped = Sim::new(alg)
+                    .inputs(inputs.clone())
+                    .timing(timing.clone())
+                    .queue_policy(policy)
+                    .memory_backend(FaultyMemory::pass_through(SimMemory::new()))
+                    .trials(4)
+                    .seed0(60)
+                    .seed_stride(5)
+                    .threads(1)
+                    .lanes(lanes)
+                    .reports();
+                for (t, report) in reports.iter().enumerate() {
+                    let seed = 60 + 5 * t as u64;
+                    let mut inst = setup::build(alg, &inputs, seed);
+                    let oracle =
+                        run_noisy_baseline(&mut inst, &timing, seed, Limits::run_to_completion());
+                    assert_eq!(
+                        *report, oracle,
+                        "dense vs oracle: {alg:?} × {policy:?} × {lanes} lanes, trial {t}"
+                    );
+                    assert_eq!(
+                        wrapped[t], oracle,
+                        "faulty-off vs oracle: {alg:?} × {policy:?} × {lanes} lanes, trial {t}"
+                    );
+                }
+            }
+        }
+    }
 }
 
 /// Determinism across pipeline widths: a sweep's reports are identical

@@ -11,7 +11,7 @@
 //! lean-consensus and a backup protocol side by side in one memory, each
 //! inside its own region.
 
-use crate::sim::SimMemory;
+use crate::store::MemStore;
 use crate::types::{Addr, Bit, Word};
 
 /// A contiguous, exclusively-owned range of register addresses.
@@ -145,11 +145,13 @@ impl RaceLayout {
         2 * (max_round + 1)
     }
 
-    /// Writes the paper's read-only sentinels `a0[0] = a1[0] = 1`.
+    /// Writes the paper's read-only sentinels `a0[0] = a1[0] = 1` into
+    /// any word-store plane.
     ///
-    /// This models initial state, not protocol steps, so it bypasses
-    /// operation accounting by using plain writes before the run starts.
-    pub fn install_sentinels(self, mem: &mut SimMemory) {
+    /// This models initial state, not protocol steps; it runs before
+    /// the trial's [`MemStore::reseed`], so fault-injecting stores
+    /// never perturb it.
+    pub fn install_sentinels<M: MemStore>(self, mem: &mut M) {
         let one: Word = Bit::One.word();
         mem.write(self.slot(Bit::Zero, 0), one);
         mem.write(self.slot(Bit::One, 0), one);
@@ -159,6 +161,7 @@ impl RaceLayout {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sim::SimMemory;
     use proptest::prelude::*;
 
     #[test]

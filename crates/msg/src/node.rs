@@ -11,7 +11,7 @@
 
 use std::collections::HashMap;
 
-use nc_core::{LeanConsensus, Protocol, Status};
+use nc_core::{LeanConsensus, ProtocolCore, Status};
 use nc_memory::{Addr, Bit, Op, Word};
 
 use crate::proto::{OpId, Payload, Stamp};

@@ -93,6 +93,9 @@ pub mod salts {
     pub const ADVERSARY: u64 = 4;
     /// Protocol-local coins (randomized baseline, backup shared coin).
     pub const COIN: u64 = 5;
+    /// Value-fault injection streams (`nc_memory::FaultyMemory`,
+    /// armed per trial by the engine through `MemStore::reseed`).
+    pub const VALUE_FAULTS: u64 = 6;
 }
 
 #[cfg(test)]
