@@ -18,6 +18,7 @@
 //! | [`msgpass`] | E13 | §10 message-passing extension (ABD) |
 //! | [`statistical`] | E14 | §10 statistical adversary |
 //! | [`value_faults`] | E15 | related-work value faults (ε-noise, stuck registers) |
+//! | [`partitions`] | E17 | §10 extension: network faults, partitions, gossip recovery |
 
 pub mod ablation;
 pub mod baseline;
@@ -27,6 +28,7 @@ pub mod fig1;
 pub mod hybrid;
 pub mod lower;
 pub mod msgpass;
+pub mod partitions;
 pub mod race;
 pub mod scaling;
 pub mod statistical;

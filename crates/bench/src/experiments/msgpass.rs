@@ -12,7 +12,7 @@ use nc_memory::Bit;
 use nc_sched::Noise;
 use nc_theory::OnlineStats;
 
-use nc_msg::{run_message_passing, MsgConfig};
+use nc_msg::{run_message_passing, MsgConfig, Outcome};
 
 use crate::par_trials;
 use crate::scenario::{Preset, Scenario, Spec};
@@ -91,8 +91,9 @@ pub fn run(trials: u64, max_n: usize, seed0: u64, threads: usize) -> (Table, Tab
             });
             for (t, report) in reports.into_iter().enumerate() {
                 let seed = seed0 + t as u64 * 29;
-                assert!(
-                    report.completed,
+                assert_eq!(
+                    report.outcome,
+                    Outcome::Decided,
                     "{name} n={n} seed {seed} did not complete"
                 );
                 let decisions: Vec<Bit> = report.decisions.iter().map(|d| d.unwrap()).collect();
@@ -129,7 +130,7 @@ pub fn run(trials: u64, max_n: usize, seed0: u64, threads: usize) -> (Table, Tab
                 .collect();
             let cfg = MsgConfig::new(n, Noise::Exponential { mean: 1.0 }).with_crashes(crashes);
             let report = run_message_passing(&cfg, seed);
-            assert!(report.completed, "n={n} seed {seed}");
+            assert_eq!(report.outcome, Outcome::Decided, "n={n} seed {seed}");
             let live: Vec<Bit> = report.decisions[crash_count..]
                 .iter()
                 .map(|d| d.expect("live node must decide"))

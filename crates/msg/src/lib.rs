@@ -14,13 +14,23 @@
 //! This crate provides:
 //!
 //! * [`proto`] — the wire protocol: timestamped values, read/write
-//!   query/reply/put/ack messages ([`proto::Payload`]).
+//!   query/reply/put/ack messages plus anti-entropy gossip
+//!   ([`proto::Payload`]).
 //! * [`node`] — one node = one replica (hosting a share of every
 //!   register) + one ABD client + one unchanged
-//!   [`nc_core::LeanConsensus`] step machine driving it.
+//!   [`nc_core::LeanConsensus`] step machine driving it. Quorums count
+//!   **distinct** replicas, phases are resendable, and a subset of nodes
+//!   can serve replica duties out of a shared [`node::SharedPlane`]
+//!   (bridging `nc_memory` for mixed deployments).
+//! * [`faults`] — the deterministic network-fault plane: seeded message
+//!   loss, duplication, and timed partition schedules
+//!   ([`faults::NetFaultSpec`]), with retry/timeout and gossip tuning
+//!   ([`faults::RecoverySpec`]).
 //! * [`sim`] — a discrete-event network simulator: every message suffers
-//!   an i.i.d. noisy delay (any [`nc_sched::Noise`]); nodes may crash;
-//!   the run ends when all live nodes decide.
+//!   an i.i.d. noisy delay (any [`nc_sched::Noise`]); nodes may crash,
+//!   messages may be lost/duplicated/cut by a partition; retry timers
+//!   and gossip keep the run live through the faults; the run ends when
+//!   all live nodes decide (see [`sim::Outcome`]).
 //!
 //! # Example
 //!
@@ -39,9 +49,11 @@
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
+pub mod faults;
 pub mod node;
 pub mod proto;
 pub mod sim;
 
+pub use faults::{NetFaultSpec, Partition, RecoverySpec};
 pub use proto::{Payload, Stamp};
-pub use sim::{run_message_passing, MsgConfig, MsgReport};
+pub use sim::{run_message_passing, Channel, MsgConfig, MsgReport, Outcome};

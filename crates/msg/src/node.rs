@@ -8,24 +8,170 @@
 //! two-phase ABD exchange; when the quorum answers, the machine is
 //! advanced — the step-machine design means lean-consensus itself never
 //! learns it left shared memory.
+//!
+//! Three robustness mechanisms ride on top of the classic emulation:
+//!
+//! * **Distinct-quorum counting.** Replies carry the replica id and each
+//!   phase tracks responders in a bitmask, so retransmitted or
+//!   network-duplicated replies can never fake a majority.
+//! * **Resendable phases.** Every phase keeps enough state to rebroadcast
+//!   its request verbatim ([`Node::resend`], same operation id); replicas
+//!   are idempotent (highest-stamp-wins puts, re-replies deduplicated by
+//!   the mask), so the simulator's retry timers make the client survive
+//!   message loss and partitions.
+//! * **Gossip / anti-entropy.** [`Node::gossip`] pushes the node's
+//!   decision plus one drip-fed replica entry to a round-robin peer; an
+//!   undecided receiver adopts an incoming decision outright (safe by
+//!   agreement of the underlying protocol) and merges entries under the
+//!   highest-stamp rule — after a partition heals, the minority side
+//!   catches up instead of stalling.
+//!
+//! Nodes may also share a memory plane ([`SharedPlane`], a bridge to
+//! [`nc_memory::SimMemory`]): plane members serve replica duties out of
+//! one common store, modelling mixed shared-memory/message deployments.
+//! Merging replicas is safe — replica state is a join-semilattice under
+//! highest-stamp-wins, and a shared replica is simply the join of its
+//! members' private states.
 
-use std::collections::HashMap;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
 
 use nc_core::{LeanConsensus, ProtocolCore, Status};
-use nc_memory::{Addr, Bit, Op, Word};
+use nc_memory::{Addr, Bit, Op, SimMemory, Word};
 
 use crate::proto::{OpId, Payload, Stamp};
+
+/// Destination of an outgoing message: one peer, or every node (the
+/// simulator expands `All` according to the configured channel model —
+/// independent unicast delays, or a single broadcast delay).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum Dest {
+    /// A single destination node.
+    One(u32),
+    /// Every node, including the sender.
+    All,
+}
 
 /// A message handed to the network for delivery.
 #[derive(Clone, Copy, PartialEq, Debug)]
 pub struct Outgoing {
-    /// Destination node.
-    pub to: u32,
+    /// The sending node (the fault plane cuts links by endpoint pair).
+    pub from: u32,
+    /// Destination.
+    pub to: Dest,
     /// The payload.
     pub payload: Payload,
 }
 
-/// What the ABD client is currently doing.
+/// A word store shared by a subset of nodes: the bridge between the
+/// message-passing world and the engine's `nc_memory` planes.
+///
+/// Values live in a [`SimMemory`] (reads of never-written addresses
+/// return 0, exactly like a private replica's default entry); stamps
+/// live alongside in an ordered map. Plane members hand out and absorb
+/// `(stamp, value)` pairs through the same highest-stamp-wins rule as
+/// private replicas, so a `Put` applied by one member is instantly
+/// visible to every member — the plane is the join of its members'
+/// replicas, which the ABD emulation tolerates by construction.
+#[derive(Debug)]
+pub struct SharedPlane {
+    mem: SimMemory,
+    stamps: BTreeMap<Addr, Stamp>,
+}
+
+impl SharedPlane {
+    /// Creates a plane pre-seeded with `sentinels` (same stamping rule
+    /// as [`Node::new`]).
+    pub fn new(sentinels: &[(Addr, Word)]) -> Rc<RefCell<Self>> {
+        let mut plane = SharedPlane {
+            mem: SimMemory::new(),
+            stamps: BTreeMap::new(),
+        };
+        for &(addr, value) in sentinels {
+            plane.put(addr, Stamp::ZERO.next_for(0), value);
+        }
+        Rc::new(RefCell::new(plane))
+    }
+
+    fn get(&mut self, addr: Addr) -> (Stamp, Word) {
+        let stamp = self.stamps.get(&addr).copied().unwrap_or(Stamp::ZERO);
+        (stamp, self.mem.read(addr))
+    }
+
+    fn put(&mut self, addr: Addr, stamp: Stamp, value: Word) {
+        let current = self.stamps.get(&addr).copied().unwrap_or(Stamp::ZERO);
+        if stamp > current {
+            self.stamps.insert(addr, stamp);
+            self.mem.write(addr, value);
+        }
+    }
+
+    fn nth_entry(&mut self, k: usize) -> Option<(Addr, Stamp, Word)> {
+        if self.stamps.is_empty() {
+            return None;
+        }
+        let idx = k % self.stamps.len();
+        let (&addr, &stamp) = self.stamps.iter().nth(idx)?;
+        Some((addr, stamp, self.mem.read(addr)))
+    }
+
+    /// Words touched in the backing [`SimMemory`] (bridge introspection).
+    pub fn footprint_words(&self) -> usize {
+        self.mem.footprint_words()
+    }
+}
+
+/// The node's replica state: private, or a shared plane.
+#[derive(Debug)]
+enum ReplicaStore {
+    /// A private ordered map (ordered so gossip's entry drip is
+    /// deterministic — `HashMap` iteration order is randomized per
+    /// process and would break run reproducibility).
+    Private(BTreeMap<Addr, (Stamp, Word)>),
+    /// A plane shared with other nodes.
+    Shared(Rc<RefCell<SharedPlane>>),
+}
+
+impl ReplicaStore {
+    fn get(&mut self, addr: Addr) -> (Stamp, Word) {
+        match self {
+            ReplicaStore::Private(map) => map.get(&addr).copied().unwrap_or((Stamp::ZERO, 0)),
+            ReplicaStore::Shared(plane) => plane.borrow_mut().get(addr),
+        }
+    }
+
+    fn put(&mut self, addr: Addr, stamp: Stamp, value: Word) {
+        match self {
+            ReplicaStore::Private(map) => {
+                let entry = map.entry(addr).or_insert((Stamp::ZERO, 0));
+                if stamp > entry.0 {
+                    *entry = (stamp, value);
+                }
+            }
+            ReplicaStore::Shared(plane) => plane.borrow_mut().put(addr, stamp, value),
+        }
+    }
+
+    fn nth_entry(&mut self, k: usize) -> Option<(Addr, Stamp, Word)> {
+        match self {
+            ReplicaStore::Private(map) => {
+                if map.is_empty() {
+                    return None;
+                }
+                let idx = k % map.len();
+                map.iter()
+                    .nth(idx)
+                    .map(|(&addr, &(stamp, value))| (addr, stamp, value))
+            }
+            ReplicaStore::Shared(plane) => plane.borrow_mut().nth_entry(k),
+        }
+    }
+}
+
+/// What the ABD client is currently doing. Every waiting phase tracks
+/// the distinct replicas heard from (`heard`, a bitmask) and carries
+/// enough state to rebroadcast its request verbatim on a retry timeout.
 #[derive(Clone, Debug, PartialEq)]
 enum ClientPhase {
     /// No operation in flight (lean machine decided, or about to start).
@@ -33,20 +179,30 @@ enum ClientPhase {
     /// Read phase 1: collecting `ReadR` replies.
     ReadQuery {
         addr: Addr,
-        acks: u32,
+        heard: u128,
         best: (Stamp, Word),
     },
     /// Read phase 2 (write-back): collecting `Ack`s; will return `value`.
-    ReadBack { acks: u32, value: Word },
+    ReadBack {
+        addr: Addr,
+        stamp: Stamp,
+        value: Word,
+        heard: u128,
+    },
     /// Write phase 1: collecting `WriteR` stamps.
     WriteQuery {
         addr: Addr,
         value: Word,
-        acks: u32,
+        heard: u128,
         best: Stamp,
     },
     /// Write phase 2: collecting `Ack`s.
-    WritePut { acks: u32 },
+    WritePut {
+        addr: Addr,
+        stamp: Stamp,
+        value: Word,
+        heard: u128,
+    },
 }
 
 /// One simulated node.
@@ -55,9 +211,18 @@ pub struct Node {
     id: u32,
     n: u32,
     machine: LeanConsensus,
-    replica: HashMap<Addr, (Stamp, Word)>,
+    replica: ReplicaStore,
     phase: ClientPhase,
+    /// Bumped on every phase transition; the simulator's retry timers
+    /// carry the epoch they were armed for, so a stale timer (the phase
+    /// it guarded already completed) dies silently.
+    epoch: u64,
     op_seq: u64,
+    /// Decision adopted from gossip (the local machine may still be
+    /// mid-run; [`Node::decision`] prefers whichever exists).
+    adopted: Option<Bit>,
+    gossip_peer: u32,
+    gossip_entry: usize,
     /// Emulated register operations completed (= lean-consensus ops).
     pub ops_done: u64,
     /// Messages this node has sent.
@@ -65,7 +230,8 @@ pub struct Node {
 }
 
 impl Node {
-    /// Creates node `id` of `n`, proposing `input`.
+    /// Creates node `id` of `n`, proposing `input`, with a private
+    /// replica.
     ///
     /// The sentinels `a0[0] = a1[0] = 1` are pre-seeded into the local
     /// replica of every node (initial state, exactly like the
@@ -74,18 +240,37 @@ impl Node {
     /// outrank a reader's "never heard anything" initial best — with the
     /// zero stamp, the seeded 1 would tie with the default 0 and lose,
     /// and lean-consensus would (unsoundly) decide at round 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 128` (quorum bitmask width).
     pub fn new(id: u32, n: u32, input: Bit, sentinels: &[(Addr, Word)]) -> Self {
-        let mut replica = HashMap::new();
+        let mut replica = BTreeMap::new();
         for &(addr, value) in sentinels {
             replica.insert(addr, (Stamp::ZERO.next_for(0), value));
         }
+        Self::with_store(id, n, input, ReplicaStore::Private(replica))
+    }
+
+    /// Creates node `id` of `n` whose replica duties are served out of
+    /// `plane` (a shared word store; the plane carries the sentinels).
+    pub fn new_shared(id: u32, n: u32, input: Bit, plane: Rc<RefCell<SharedPlane>>) -> Self {
+        Self::with_store(id, n, input, ReplicaStore::Shared(plane))
+    }
+
+    fn with_store(id: u32, n: u32, input: Bit, replica: ReplicaStore) -> Self {
+        assert!(n <= 128, "quorum bitmask supports at most 128 nodes");
         Node {
             id,
             n,
             machine: LeanConsensus::new(nc_memory::RaceLayout::at_base(0), input),
             replica,
             phase: ClientPhase::Idle,
+            epoch: 0,
             op_seq: 0,
+            adopted: None,
+            gossip_peer: id,
+            gossip_entry: 0,
             ops_done: 0,
             msgs_sent: 0,
         }
@@ -96,9 +281,9 @@ impl Node {
         self.id
     }
 
-    /// The decision, if the lean machine has decided.
+    /// The decision: the lean machine's, or one adopted from gossip.
     pub fn decision(&self) -> Option<Bit> {
-        self.machine.status().decision()
+        self.machine.status().decision().or(self.adopted)
     }
 
     /// The lean machine's current round.
@@ -106,15 +291,41 @@ impl Node {
         self.machine.round()
     }
 
+    /// Whether an ABD phase is in flight (waiting on quorum replies).
+    pub fn awaiting(&self) -> bool {
+        self.phase != ClientPhase::Idle
+    }
+
+    /// The phase epoch (see the field doc; used by retry timers).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    fn set_phase(&mut self, phase: ClientPhase) {
+        self.phase = phase;
+        self.epoch += 1;
+    }
+
     fn quorum(&self) -> u32 {
         self.n / 2 + 1
     }
 
     fn broadcast(&mut self, payload: Payload, out: &mut Vec<Outgoing>) {
-        for to in 0..self.n {
-            out.push(Outgoing { to, payload });
-        }
+        out.push(Outgoing {
+            from: self.id,
+            to: Dest::All,
+            payload,
+        });
         self.msgs_sent += self.n as u64;
+    }
+
+    fn reply(&mut self, to: u32, payload: Payload, out: &mut Vec<Outgoing>) {
+        out.push(Outgoing {
+            from: self.id,
+            to: Dest::One(to),
+            payload,
+        });
+        self.msgs_sent += 1;
     }
 
     fn fresh_op(&mut self) -> OpId {
@@ -125,36 +336,91 @@ impl Node {
         }
     }
 
+    fn current_op_id(&self) -> OpId {
+        OpId {
+            node: self.id,
+            seq: self.op_seq,
+        }
+    }
+
     /// Starts the next emulated operation if the machine is pending and
     /// the client idle. Returns `true` if messages were emitted.
     pub fn kick(&mut self, out: &mut Vec<Outgoing>) -> bool {
-        if self.phase != ClientPhase::Idle {
+        if self.phase != ClientPhase::Idle || self.adopted.is_some() {
             return false;
         }
         match self.machine.status() {
             Status::Decided(_) => false,
             Status::Pending(Op::Read(addr)) => {
                 let op = self.fresh_op();
-                self.phase = ClientPhase::ReadQuery {
+                self.set_phase(ClientPhase::ReadQuery {
                     addr,
-                    acks: 0,
+                    heard: 0,
                     best: (Stamp::ZERO, 0),
-                };
+                });
                 self.broadcast(Payload::ReadQ { op, addr }, out);
                 true
             }
             Status::Pending(Op::Write(addr, value)) => {
                 let op = self.fresh_op();
-                self.phase = ClientPhase::WriteQuery {
+                self.set_phase(ClientPhase::WriteQuery {
                     addr,
                     value,
-                    acks: 0,
+                    heard: 0,
                     best: Stamp::ZERO,
-                };
+                });
                 self.broadcast(Payload::WriteQ { op, addr }, out);
                 true
             }
         }
+    }
+
+    /// Rebroadcasts the in-flight phase's request (same operation id —
+    /// replies already collected keep counting; replicas re-reply
+    /// idempotently and the `heard` mask deduplicates). Returns `false`
+    /// when idle.
+    pub fn resend(&mut self, out: &mut Vec<Outgoing>) -> bool {
+        let op = self.current_op_id();
+        let payload = match self.phase {
+            ClientPhase::Idle => return false,
+            ClientPhase::ReadQuery { addr, .. } => Payload::ReadQ { op, addr },
+            ClientPhase::WriteQuery { addr, .. } => Payload::WriteQ { op, addr },
+            ClientPhase::ReadBack {
+                addr, stamp, value, ..
+            }
+            | ClientPhase::WritePut {
+                addr, stamp, value, ..
+            } => Payload::Put {
+                op,
+                addr,
+                stamp,
+                value,
+            },
+        };
+        self.broadcast(payload, out);
+        true
+    }
+
+    /// Emits one anti-entropy push to the next round-robin peer: the
+    /// node's decision (if any) plus one replica entry, cycling through
+    /// the replica so repeated rounds converge state. Returns the chosen
+    /// peer.
+    pub fn gossip(&mut self, out: &mut Vec<Outgoing>) -> u32 {
+        // Round-robin peer selection, skipping self (n = 1 degenerates
+        // to self-gossip, which is harmless).
+        self.gossip_peer = (self.gossip_peer + 1) % self.n;
+        if self.gossip_peer == self.id && self.n > 1 {
+            self.gossip_peer = (self.gossip_peer + 1) % self.n;
+        }
+        let entry = self.replica.nth_entry(self.gossip_entry);
+        self.gossip_entry = self.gossip_entry.wrapping_add(1);
+        let payload = Payload::Gossip {
+            from: self.id,
+            decision: self.decision(),
+            entry,
+        };
+        self.reply(self.gossip_peer, payload, out);
+        self.gossip_peer
     }
 
     /// Handles one delivered message (replica duties + client progress),
@@ -163,20 +429,23 @@ impl Node {
         match payload {
             // ----- replica side -----
             Payload::ReadQ { op, addr } => {
-                let (stamp, value) = self.replica.get(&addr).copied().unwrap_or((Stamp::ZERO, 0));
-                out.push(Outgoing {
-                    to: op.node,
-                    payload: Payload::ReadR { op, stamp, value },
-                });
-                self.msgs_sent += 1;
+                let (stamp, value) = self.replica.get(addr);
+                let from = self.id;
+                self.reply(
+                    op.node,
+                    Payload::ReadR {
+                        op,
+                        from,
+                        stamp,
+                        value,
+                    },
+                    out,
+                );
             }
             Payload::WriteQ { op, addr } => {
-                let (stamp, _) = self.replica.get(&addr).copied().unwrap_or((Stamp::ZERO, 0));
-                out.push(Outgoing {
-                    to: op.node,
-                    payload: Payload::WriteR { op, stamp },
-                });
-                self.msgs_sent += 1;
+                let (stamp, _) = self.replica.get(addr);
+                let from = self.id;
+                self.reply(op.node, Payload::WriteR { op, from, stamp }, out);
             }
             Payload::Put {
                 op,
@@ -184,33 +453,41 @@ impl Node {
                 stamp,
                 value,
             } => {
-                let entry = self.replica.entry(addr).or_insert((Stamp::ZERO, 0));
-                if stamp > entry.0 {
-                    *entry = (stamp, value);
-                }
-                out.push(Outgoing {
-                    to: op.node,
-                    payload: Payload::Ack { op },
-                });
-                self.msgs_sent += 1;
+                self.replica.put(addr, stamp, value);
+                let from = self.id;
+                self.reply(op.node, Payload::Ack { op, from }, out);
             }
 
             // ----- client side -----
-            Payload::ReadR { op, stamp, value } => {
+            Payload::ReadR {
+                op,
+                from,
+                stamp,
+                value,
+            } => {
                 if !self.current_op(op) {
                     return;
                 }
-                if let ClientPhase::ReadQuery { addr, acks, best } = &mut self.phase {
-                    *acks += 1;
+                if let ClientPhase::ReadQuery { addr, heard, best } = &mut self.phase {
+                    let bit = 1u128 << from;
+                    if *heard & bit != 0 {
+                        return; // duplicate / retransmitted reply
+                    }
+                    *heard |= bit;
                     if stamp > best.0 {
                         *best = (stamp, value);
                     }
-                    if *acks > self.n / 2 {
+                    if heard.count_ones() > self.n / 2 {
                         // Phase 2: write back the freshest (stamp, value).
                         let (stamp, value) = *best;
                         let addr = *addr;
                         let op = self.fresh_op();
-                        self.phase = ClientPhase::ReadBack { acks: 0, value };
+                        self.set_phase(ClientPhase::ReadBack {
+                            addr,
+                            stamp,
+                            value,
+                            heard: 0,
+                        });
                         self.broadcast(
                             Payload::Put {
                                 op,
@@ -223,27 +500,36 @@ impl Node {
                     }
                 }
             }
-            Payload::WriteR { op, stamp } => {
+            Payload::WriteR { op, from, stamp } => {
                 if !self.current_op(op) {
                     return;
                 }
                 if let ClientPhase::WriteQuery {
                     addr,
                     value,
-                    acks,
+                    heard,
                     best,
                 } = &mut self.phase
                 {
-                    *acks += 1;
+                    let bit = 1u128 << from;
+                    if *heard & bit != 0 {
+                        return;
+                    }
+                    *heard |= bit;
                     if stamp > *best {
                         *best = stamp;
                     }
-                    if *acks > self.n / 2 {
+                    if heard.count_ones() > self.n / 2 {
                         let addr = *addr;
                         let value = *value;
                         let stamp = best.next_for(self.id);
                         let op = self.fresh_op();
-                        self.phase = ClientPhase::WritePut { acks: 0 };
+                        self.set_phase(ClientPhase::WritePut {
+                            addr,
+                            stamp,
+                            value,
+                            heard: 0,
+                        });
                         self.broadcast(
                             Payload::Put {
                                 op,
@@ -256,24 +542,63 @@ impl Node {
                     }
                 }
             }
-            Payload::Ack { op } => {
+            Payload::Ack { op, from } => {
                 if !self.current_op(op) {
                     return;
                 }
                 let quorum = self.quorum();
+                let bit = 1u128 << from;
                 match &mut self.phase {
-                    ClientPhase::ReadBack { acks, value } => {
-                        *acks += 1;
-                        if *acks >= quorum {
+                    ClientPhase::ReadBack { heard, value, .. } => {
+                        if *heard & bit != 0 {
+                            return;
+                        }
+                        *heard |= bit;
+                        if heard.count_ones() >= quorum {
                             let v = *value;
                             self.finish_op(Some(v), out);
                         }
                     }
-                    ClientPhase::WritePut { acks } => {
-                        *acks += 1;
-                        if *acks >= quorum {
+                    ClientPhase::WritePut { heard, .. } => {
+                        if *heard & bit != 0 {
+                            return;
+                        }
+                        *heard |= bit;
+                        if heard.count_ones() >= quorum {
                             self.finish_op(None, out);
                         }
+                    }
+                    _ => {}
+                }
+            }
+
+            // ----- gossip / anti-entropy -----
+            Payload::Gossip {
+                from,
+                decision,
+                entry,
+            } => {
+                if let Some((addr, stamp, value)) = entry {
+                    self.replica.put(addr, stamp, value);
+                }
+                match (decision, self.decision()) {
+                    (Some(d), None) => {
+                        // Adopt: abandon the in-flight phase (its timer
+                        // dies with the epoch bump) and decide.
+                        self.adopted = Some(d);
+                        self.set_phase(ClientPhase::Idle);
+                    }
+                    (None, Some(_)) => {
+                        // Push-pull: an undecided peer asked — answer
+                        // with our decision (and an entry of our own).
+                        let entry = self.replica.nth_entry(self.gossip_entry);
+                        self.gossip_entry = self.gossip_entry.wrapping_add(1);
+                        let payload = Payload::Gossip {
+                            from: self.id,
+                            decision: self.decision(),
+                            entry,
+                        };
+                        self.reply(from, payload, out);
                     }
                     _ => {}
                 }
@@ -288,7 +613,7 @@ impl Node {
     }
 
     fn finish_op(&mut self, read_value: Option<Word>, out: &mut Vec<Outgoing>) {
-        self.phase = ClientPhase::Idle;
+        self.set_phase(ClientPhase::Idle);
         self.ops_done += 1;
         self.machine.advance(read_value);
         // Immediately start the next operation (the network delay model
@@ -311,12 +636,22 @@ mod tests {
         ]
     }
 
+    fn expand(out: &mut Vec<Outgoing>, n: u32, queue: &mut Vec<(u32, Payload)>) {
+        for o in out.drain(..) {
+            match o.to {
+                Dest::One(to) => queue.push((to, o.payload)),
+                Dest::All => queue.extend((0..n).map(|to| (to, o.payload))),
+            }
+        }
+    }
+
     /// Delivery loop with a seeded pseudo-random delivery order
     /// (`scramble = 0` gives strict FIFO). Strict FIFO is a symmetric,
     /// deterministic schedule that can tie split-input races forever —
     /// the message-passing incarnation of the paper's lockstep — so
     /// termination tests scramble the order.
     fn run_sync(nodes: &mut [Node], max_msgs: u64, scramble: u64) -> u64 {
+        let n = nodes.len() as u32;
         let mut queue: Vec<(u32, Payload)> = Vec::new();
         let mut out = Vec::new();
         let mut lcg = scramble.wrapping_mul(2).wrapping_add(1);
@@ -325,7 +660,7 @@ mod tests {
         }
         let mut delivered = 0;
         loop {
-            queue.extend(out.drain(..).map(|o| (o.to, o.payload)));
+            expand(&mut out, n, &mut queue);
             if queue.is_empty() || delivered >= max_msgs {
                 return delivered;
             }
@@ -391,6 +726,31 @@ mod tests {
     }
 
     #[test]
+    fn shared_plane_nodes_agree_with_private_nodes() {
+        // Nodes 0 and 1 share a plane; node 2 is message-only. The mixed
+        // deployment must still reach agreement under scrambled delivery.
+        for scramble in 1..=5u64 {
+            let plane = SharedPlane::new(&sentinels());
+            let inputs = [Bit::Zero, Bit::One, Bit::One];
+            let mut nodes = vec![
+                Node::new_shared(0, 3, inputs[0], Rc::clone(&plane)),
+                Node::new_shared(1, 3, inputs[1], Rc::clone(&plane)),
+                Node::new(2, 3, inputs[2], &sentinels()),
+            ];
+            run_sync(&mut nodes, 5_000_000, scramble);
+            let decisions: Vec<Bit> = nodes
+                .iter()
+                .map(|n| n.decision().expect("decided"))
+                .collect();
+            assert!(
+                decisions.iter().all(|&d| d == decisions[0]),
+                "scramble {scramble}: {decisions:?}"
+            );
+            assert!(plane.borrow().footprint_words() > 0, "plane was exercised");
+        }
+    }
+
+    #[test]
     fn replica_adopts_only_newer_stamps() {
         let mut node = Node::new(0, 2, Bit::Zero, &[]);
         let mut out = Vec::new();
@@ -422,7 +782,7 @@ mod tests {
             },
             &mut out,
         );
-        assert_eq!(node.replica.get(&addr), Some(&(newer, 7)));
+        assert_eq!(node.replica.get(addr), (newer, 7));
         // Both puts were acked regardless.
         let acks = out
             .iter()
@@ -440,6 +800,7 @@ mod tests {
         node.on_message(
             Payload::ReadR {
                 op: stale,
+                from: 1,
                 stamp: Stamp {
                     counter: 9,
                     writer: 9,
@@ -448,8 +809,124 @@ mod tests {
             },
             &mut out,
         );
-        // Phase must still be the original query with zero acks.
-        assert!(matches!(node.phase, ClientPhase::ReadQuery { acks: 0, .. }));
+        // Phase must still be the original query with no replicas heard.
+        assert!(matches!(
+            node.phase,
+            ClientPhase::ReadQuery { heard: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn duplicated_replies_do_not_fake_a_quorum() {
+        // n = 3 needs 2 distinct replicas; two copies of the same reply
+        // must not advance the phase.
+        let mut node = Node::new(0, 3, Bit::One, &sentinels());
+        let mut out = Vec::new();
+        node.kick(&mut out);
+        let op = node.current_op_id();
+        let reply = Payload::ReadR {
+            op,
+            from: 1,
+            stamp: Stamp::ZERO,
+            value: 0,
+        };
+        node.on_message(reply, &mut out);
+        node.on_message(reply, &mut out);
+        assert!(
+            matches!(node.phase, ClientPhase::ReadQuery { .. }),
+            "duplicate reply advanced the phase"
+        );
+        // A reply from a second replica completes the majority.
+        node.on_message(
+            Payload::ReadR {
+                op,
+                from: 2,
+                stamp: Stamp::ZERO,
+                value: 0,
+            },
+            &mut out,
+        );
+        assert!(matches!(node.phase, ClientPhase::ReadBack { .. }));
+    }
+
+    #[test]
+    fn resend_rebroadcasts_the_current_phase_verbatim() {
+        let mut node = Node::new(0, 3, Bit::One, &sentinels());
+        let mut out = Vec::new();
+        node.kick(&mut out);
+        let original = out[0];
+        out.clear();
+        let epoch = node.epoch();
+        assert!(node.resend(&mut out));
+        assert_eq!(out[0], original, "resend must repeat the same request");
+        assert_eq!(node.epoch(), epoch, "resend must not bump the epoch");
+        // Idle nodes have nothing to resend.
+        let mut idle = Node::new(1, 3, Bit::One, &sentinels());
+        idle.adopted = Some(Bit::One);
+        assert!(!idle.resend(&mut Vec::new()));
+    }
+
+    #[test]
+    fn gossip_decision_is_adopted_by_undecided_peers() {
+        let mut node = Node::new(0, 3, Bit::One, &sentinels());
+        let mut out = Vec::new();
+        node.kick(&mut out);
+        assert!(node.awaiting());
+        out.clear();
+        node.on_message(
+            Payload::Gossip {
+                from: 2,
+                decision: Some(Bit::Zero),
+                entry: Some((Addr::new(9), Stamp::ZERO.next_for(2), 1)),
+            },
+            &mut out,
+        );
+        assert_eq!(node.decision(), Some(Bit::Zero), "adopted the decision");
+        assert!(!node.awaiting(), "in-flight phase abandoned");
+        assert_eq!(node.replica.get(Addr::new(9)), (Stamp::ZERO.next_for(2), 1));
+        // A decided node answers an undecided gossiper (push-pull).
+        out.clear();
+        node.on_message(
+            Payload::Gossip {
+                from: 1,
+                decision: None,
+                entry: None,
+            },
+            &mut out,
+        );
+        assert_eq!(out.len(), 1);
+        assert!(matches!(
+            out[0].payload,
+            Payload::Gossip {
+                decision: Some(Bit::Zero),
+                ..
+            }
+        ));
+        assert_eq!(out[0].to, Dest::One(1));
+    }
+
+    #[test]
+    fn gossip_cycles_peers_and_entries() {
+        let mut node = Node::new(1, 4, Bit::One, &sentinels());
+        let mut out = Vec::new();
+        let peers: Vec<u32> = (0..6).map(|_| node.gossip(&mut out)).collect();
+        assert!(peers.iter().all(|&p| p != 1), "never gossips to self");
+        let distinct: std::collections::BTreeSet<u32> = peers.iter().copied().collect();
+        assert_eq!(distinct.len(), 3, "cycles through all peers");
+        // Entries drip round-robin over the (sorted) replica.
+        let entries: Vec<Addr> = out
+            .iter()
+            .filter_map(|o| match o.payload {
+                Payload::Gossip {
+                    entry: Some((addr, _, _)),
+                    ..
+                } => Some(addr),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(entries.len(), 6);
+        assert_ne!(entries[0], entries[1], "cursor advances");
+        assert_eq!(entries[0], entries[2], "and wraps");
     }
 
     #[test]

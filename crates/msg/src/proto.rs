@@ -15,7 +15,7 @@
 
 use std::fmt;
 
-use nc_memory::{Addr, Word};
+use nc_memory::{Addr, Bit, Word};
 
 /// A logical timestamp: `(counter, writer)`, ordered lexicographically.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
@@ -73,6 +73,9 @@ pub enum Payload {
     ReadR {
         /// Operation id echoed.
         op: OpId,
+        /// The replying replica (quorums count **distinct** replicas, so
+        /// retransmitted or duplicated replies must be deduplicable).
+        from: u32,
         /// Register stamp at the replica.
         stamp: Stamp,
         /// Register value at the replica.
@@ -89,6 +92,8 @@ pub enum Payload {
     WriteR {
         /// Operation id echoed.
         op: OpId,
+        /// The replying replica (see [`Payload::ReadR::from`]).
+        from: u32,
         /// Register stamp at the replica.
         stamp: Stamp,
     },
@@ -108,19 +113,37 @@ pub enum Payload {
     Ack {
         /// Operation id echoed.
         op: OpId,
+        /// The acking replica (see [`Payload::ReadR::from`]).
+        from: u32,
+    },
+    /// Anti-entropy push between peers: the sender's decision (if any)
+    /// plus one drip-fed replica entry. An undecided receiver adopts an
+    /// incoming decision outright (decision adoption is safe: agreement
+    /// of the underlying protocol makes every decision equal); the entry
+    /// merges under the usual highest-stamp-wins rule, so repeated
+    /// gossip rounds converge replica state across a healed partition.
+    Gossip {
+        /// The gossiping node.
+        from: u32,
+        /// The sender's decision, if it has one.
+        decision: Option<Bit>,
+        /// One replica entry (round-robin over the sender's replica).
+        entry: Option<(Addr, Stamp, Word)>,
     },
 }
 
 impl Payload {
-    /// The operation id this message belongs to.
-    pub fn op_id(&self) -> OpId {
+    /// The operation id this message belongs to (`None` for gossip,
+    /// which is not tied to any client operation).
+    pub fn op_id(&self) -> Option<OpId> {
         match *self {
             Payload::ReadQ { op, .. }
             | Payload::ReadR { op, .. }
             | Payload::WriteQ { op, .. }
             | Payload::WriteR { op, .. }
             | Payload::Put { op, .. }
-            | Payload::Ack { op } => op,
+            | Payload::Ack { op, .. } => Some(op),
+            Payload::Gossip { .. } => None,
         }
     }
 }
@@ -193,6 +216,7 @@ mod tests {
             },
             Payload::ReadR {
                 op,
+                from: 1,
                 stamp: Stamp::ZERO,
                 value: 0,
             },
@@ -202,6 +226,7 @@ mod tests {
             },
             Payload::WriteR {
                 op,
+                from: 1,
                 stamp: Stamp::ZERO,
             },
             Payload::Put {
@@ -210,10 +235,16 @@ mod tests {
                 stamp: Stamp::ZERO,
                 value: 1,
             },
-            Payload::Ack { op },
+            Payload::Ack { op, from: 1 },
         ];
         for m in msgs {
-            assert_eq!(m.op_id(), op);
+            assert_eq!(m.op_id(), Some(op));
         }
+        let gossip = Payload::Gossip {
+            from: 0,
+            decision: Some(Bit::One),
+            entry: None,
+        };
+        assert_eq!(gossip.op_id(), None);
     }
 }

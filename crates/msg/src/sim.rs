@@ -1,11 +1,28 @@
-//! The noisy asynchronous network simulator.
+//! The noisy, faulty asynchronous network simulator.
 //!
 //! Every message suffers an independent random delay drawn from the
 //! configured [`Noise`] distribution — the message-passing analogue of
 //! the paper's noisy operation scheduling. Deliveries execute in time
 //! order (deterministic tie-breaking), nodes may crash (dropping all
 //! their future sends and deliveries), and the run ends when every live
-//! node's lean machine has decided.
+//! node has decided.
+//!
+//! On top of the delay model sits a deterministic **network-fault
+//! plane** ([`NetFaultSpec`]): i.i.d. message loss, duplication, and a
+//! timed partition schedule, drawn from a stream salted independently of
+//! the delay noise ([`salts::NET_FAULTS`]) so a run with
+//! [`NetFaultSpec::none`] is byte-identical to the fault-free simulator.
+//! Whenever faults are armed, a **recovery plane** ([`RecoverySpec`])
+//! runs alongside: per-phase retry timers with deterministic
+//! timeout/backoff (timeouts derived from the delay distribution via
+//! [`Noise::timeout_hint`]) and periodic gossip/anti-entropy ticks
+//! ([`salts::GOSSIP`] jitter), so quorum phases stranded by loss or a
+//! partition are re-driven and minority-side nodes catch up after heal.
+//!
+//! Broadcasts can be expanded two ways ([`Channel`]): independent
+//! per-recipient unicast delays (the default, matching E13), or a single
+//! shared broadcast delay per send — the Clementi–Natale-style broadcast
+//! model E17 compares against.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -13,9 +30,26 @@ use std::collections::BinaryHeap;
 use nc_memory::{Bit, RaceLayout, Word};
 use nc_sched::rng::salts;
 use nc_sched::{stream_rng, Noise};
+use rand::RngExt;
 
-use crate::node::{Node, Outgoing};
+use crate::faults::{NetFaultSpec, RecoverySpec};
+use crate::node::{Dest, Node, Outgoing, SharedPlane};
 use crate::proto::Payload;
+
+/// How a [`Dest::All`] send is expanded into the network.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Channel {
+    /// Each recipient's copy gets its own independent delay draw (the
+    /// classic point-to-point model; the historical default).
+    #[default]
+    Unicast,
+    /// All recipients share one delay draw per broadcast (a radio /
+    /// LAN-style medium): recipients hear the message simultaneously,
+    /// which removes the order-statistic straggler wait of unicast
+    /// quorums. Loss and duplication then also apply per broadcast, not
+    /// per copy; partitions still cut per link.
+    Broadcast,
+}
 
 /// Configuration of one message-passing consensus run.
 #[derive(Clone, PartialEq, Debug)]
@@ -30,8 +64,21 @@ pub struct MsgConfig {
     /// `(node, after_deliveries)`. Must leave a majority alive for the
     /// ABD quorums to answer.
     pub crashes: Vec<(u32, u64)>,
-    /// Safety cap on total deliveries.
+    /// Safety cap on total processed events (deliveries, retry timers,
+    /// gossip ticks; in a fault-free run only deliveries exist, so this
+    /// is the historical delivery cap).
     pub max_deliveries: u64,
+    /// Network-fault injection (default: none).
+    pub faults: NetFaultSpec,
+    /// Retry/gossip tuning; only consulted when `faults` injects
+    /// something (see [`NetFaultSpec::needs_recovery`]).
+    pub recovery: RecoverySpec,
+    /// Broadcast expansion model (default: unicast).
+    pub channel: Channel,
+    /// Nodes whose replica duties are served out of one shared
+    /// [`SharedPlane`] (the bridge to `nc_memory`): a mixed
+    /// shared-memory/message deployment. `None` or empty = all private.
+    pub shared_plane: Option<Vec<u32>>,
 }
 
 impl MsgConfig {
@@ -43,6 +90,10 @@ impl MsgConfig {
             inputs: (0..n).map(|i| Bit::from(i >= n / 2)).collect(),
             crashes: Vec::new(),
             max_deliveries: 50_000_000,
+            faults: NetFaultSpec::none(),
+            recovery: RecoverySpec::default(),
+            channel: Channel::Unicast,
+            shared_plane: None,
         }
     }
 
@@ -62,6 +113,44 @@ impl MsgConfig {
         self.crashes = crashes;
         self
     }
+
+    /// Arms the network-fault plane (builder-style).
+    pub fn with_faults(mut self, faults: NetFaultSpec) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Replaces the recovery tuning (builder-style).
+    pub fn with_recovery(mut self, recovery: RecoverySpec) -> Self {
+        self.recovery = recovery;
+        self
+    }
+
+    /// Selects the broadcast expansion model (builder-style).
+    pub fn with_channel(mut self, channel: Channel) -> Self {
+        self.channel = channel;
+        self
+    }
+
+    /// Puts `nodes` on one shared memory plane (builder-style).
+    pub fn with_shared_plane(mut self, nodes: Vec<u32>) -> Self {
+        self.shared_plane = Some(nodes);
+        self
+    }
+}
+
+/// How a message-passing run ended.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Outcome {
+    /// Every live node decided.
+    Decided,
+    /// The network drained with no progress possible (crash-heavy run).
+    Drained,
+    /// The event cap was hit with no partition in effect.
+    CapHit,
+    /// The run was still (or again) inside a partition window when it
+    /// ran out of events — the cut, not the cap, is what starved it.
+    PartitionStarved,
 }
 
 /// The outcome of a message-passing run.
@@ -75,34 +164,66 @@ pub struct MsgReport {
     pub ops: Vec<u64>,
     /// Total messages delivered.
     pub deliveries: u64,
-    /// Total messages sent.
+    /// Total messages sent (per recipient copy).
     pub sent: u64,
-    /// Simulated time of the last delivery.
+    /// Simulated time of the last processed event.
     pub sim_time: f64,
-    /// Whether every live node decided (false = delivery cap hit).
-    pub completed: bool,
+    /// How the run ended.
+    pub outcome: Outcome,
+    /// Phase retransmissions fired by the retry timers.
+    pub retries: u64,
+    /// Anti-entropy pushes initiated by the gossip timers.
+    pub gossip: u64,
+    /// Messages dropped by the loss coin.
+    pub lost: u64,
+    /// Extra copies injected by the duplication coin.
+    pub duplicated: u64,
+    /// Messages dropped by a partition window.
+    pub cut: u64,
+    /// Per-node simulated time of first decision (`None` = never).
+    pub decide_times: Vec<Option<f64>>,
+}
+
+impl MsgReport {
+    /// Whether every live node decided.
+    #[deprecated(note = "match on `outcome` instead (`Outcome::Decided`)")]
+    pub fn completed(&self) -> bool {
+        self.outcome == Outcome::Decided
+    }
+}
+
+/// A simulator event: a message delivery, a client retry timer, or a
+/// gossip tick.
+#[derive(Clone, Copy, Debug)]
+enum Event {
+    /// Deliver `payload` to `to`.
+    Msg { to: u32, payload: Payload },
+    /// Retry timer for `node`'s phase epoch `epoch` (`attempt` resends
+    /// already fired; stale epochs die silently).
+    Timeout { node: u32, epoch: u64, attempt: u32 },
+    /// Periodic anti-entropy tick for `node`.
+    GossipTick { node: u32 },
 }
 
 #[derive(Debug)]
-struct InFlight {
+struct Scheduled {
     time: f64,
     seq: u64,
-    to: u32,
-    payload: Payload,
+    event: Event,
 }
 
-impl PartialEq for InFlight {
+impl PartialEq for Scheduled {
     fn eq(&self, other: &Self) -> bool {
         self.cmp(other) == Ordering::Equal
     }
 }
-impl Eq for InFlight {}
-impl PartialOrd for InFlight {
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
-impl Ord for InFlight {
+impl Ord for Scheduled {
     fn cmp(&self, other: &Self) -> Ordering {
         other
             .time
@@ -111,95 +232,342 @@ impl Ord for InFlight {
     }
 }
 
-/// Runs lean-consensus over ABD-emulated registers on a noisy network.
+/// Arms a retry timer for node `i`'s current phase if recovery is on,
+/// the node is waiting, and no timer chain guards this epoch yet.
+#[allow(clippy::too_many_arguments)]
+fn arm_timer(
+    i: usize,
+    nodes: &[Node],
+    alive: &[bool],
+    armed_epoch: &mut [u64],
+    queue: &mut BinaryHeap<Scheduled>,
+    seq: &mut u64,
+    clock: f64,
+    timeout0: f64,
+) {
+    if alive[i] && nodes[i].awaiting() && armed_epoch[i] != nodes[i].epoch() {
+        armed_epoch[i] = nodes[i].epoch();
+        *seq += 1;
+        queue.push(Scheduled {
+            time: clock + timeout0,
+            seq: *seq,
+            event: Event::Timeout {
+                node: i as u32,
+                epoch: armed_epoch[i],
+                attempt: 0,
+            },
+        });
+    }
+}
+
+/// Runs lean-consensus over ABD-emulated registers on a noisy — and
+/// optionally faulty — network.
 ///
-/// Deterministic in `(cfg, seed)`.
+/// Deterministic in `(cfg, seed)`: the delay stream, the fault coins
+/// ([`salts::NET_FAULTS`]) and the gossip jitter ([`salts::GOSSIP`]) are
+/// all derived from `seed` through independent salts, so arming faults
+/// never perturbs the delays of the fault-free path, and a config with
+/// [`NetFaultSpec::none`] reproduces the pre-fault simulator event for
+/// event.
 ///
 /// # Panics
 ///
-/// Panics if `cfg.n == 0` or the crash schedule would kill a majority
-/// (the ABD emulation requires `f < n/2`; a run configured to violate
-/// that would block forever by construction, so it is rejected eagerly).
+/// Panics if `cfg.n == 0`, `cfg.n > 128`, or the crash schedule would
+/// kill a majority of **distinct** nodes (the ABD emulation requires
+/// `f < n/2`; a run configured to violate that would block forever by
+/// construction, so it is rejected eagerly).
 pub fn run_message_passing(cfg: &MsgConfig, seed: u64) -> MsgReport {
     assert!(cfg.n > 0, "need at least one node");
+    // Count *distinct* in-range node ids: a plan may legitimately list
+    // the same node twice (first entry wins; the rest are no-ops).
+    let mut crash_ids: Vec<u32> = cfg
+        .crashes
+        .iter()
+        .map(|&(node, _)| node)
+        .filter(|&node| (node as usize) < cfg.n)
+        .collect();
+    crash_ids.sort_unstable();
+    crash_ids.dedup();
     assert!(
-        cfg.crashes.len() < cfg.n.div_ceil(2),
+        crash_ids.len() < cfg.n.div_ceil(2),
         "crashing {} of {} nodes would destroy the majority quorum",
-        cfg.crashes.len(),
+        crash_ids.len(),
         cfg.n
     );
+
     let layout = RaceLayout::at_base(0);
     let sentinels: Vec<(nc_memory::Addr, Word)> = vec![
         (layout.slot(Bit::Zero, 0), 1),
         (layout.slot(Bit::One, 0), 1),
     ];
+    let plane_members = cfg.shared_plane.clone().unwrap_or_default();
+    let plane = if plane_members.is_empty() {
+        None
+    } else {
+        Some(SharedPlane::new(&sentinels))
+    };
     let mut nodes: Vec<Node> = cfg
         .inputs
         .iter()
         .enumerate()
-        .map(|(i, &b)| Node::new(i as u32, cfg.n as u32, b, &sentinels))
+        .map(|(i, &b)| match &plane {
+            Some(plane) if plane_members.contains(&(i as u32)) => {
+                Node::new_shared(i as u32, cfg.n as u32, b, std::rc::Rc::clone(plane))
+            }
+            _ => Node::new(i as u32, cfg.n as u32, b, &sentinels),
+        })
         .collect();
     let mut alive = vec![true; cfg.n];
+
     let mut rng = stream_rng(seed, 0, salts::NOISE);
-    let mut queue: BinaryHeap<InFlight> = BinaryHeap::new();
+    let mut fault_rng = stream_rng(seed, 0, salts::NET_FAULTS);
+    let mut gossip_rng = stream_rng(seed, 0, salts::GOSSIP);
+
+    let mut queue: BinaryHeap<Scheduled> = BinaryHeap::new();
     let mut seq = 0u64;
     let mut clock = 0.0f64;
     let mut sent = 0u64;
+    let mut lost = 0u64;
+    let mut duplicated = 0u64;
+    let mut cut = 0u64;
+    let mut retries = 0u64;
+    let mut gossip_sent = 0u64;
+    let mut decide_times: Vec<Option<f64>> = vec![None; cfg.n];
+
+    let recovery_on = cfg.faults.needs_recovery();
+    let hint = cfg.delay.timeout_hint().max(1e-6);
+    let timeout0 = cfg.recovery.timeout_mult * hint;
+    let gossip_interval = cfg.recovery.gossip_mult * hint;
+    let mut armed_epoch = vec![u64::MAX; cfg.n];
 
     let mut outbox: Vec<Outgoing> = Vec::new();
     for node in nodes.iter_mut() {
         node.kick(&mut outbox);
     }
+    if recovery_on {
+        for i in 0..cfg.n {
+            arm_timer(
+                i,
+                &nodes,
+                &alive,
+                &mut armed_epoch,
+                &mut queue,
+                &mut seq,
+                clock,
+                timeout0,
+            );
+        }
+        if gossip_interval > 0.0 {
+            for node in 0..cfg.n as u32 {
+                let jitter: f64 = gossip_rng.random();
+                seq += 1;
+                queue.push(Scheduled {
+                    time: gossip_interval * (1.0 + jitter),
+                    seq,
+                    event: Event::GossipTick { node },
+                });
+            }
+        }
+    }
 
+    let mut events = 0u64;
     let mut deliveries = 0u64;
     let mut crash_plan = cfg.crashes.clone();
 
     loop {
-        // Flush the outbox into the network with fresh random delays.
+        // Flush the outbox into the network. Every per-recipient copy
+        // draws its delay from the noise stream in recipient order
+        // (byte-compatible with the pre-fault simulator); fault coins
+        // come from their own stream and only when the spec arms them.
         for out in outbox.drain(..) {
-            seq += 1;
-            sent += 1;
-            queue.push(InFlight {
-                time: clock + cfg.delay.sample(&mut rng),
-                seq,
-                to: out.to,
-                payload: out.payload,
-            });
+            if out.to == Dest::All && cfg.channel == Channel::Broadcast {
+                // One shared delay and one loss/duplication draw for the
+                // whole broadcast; partitions still cut per link.
+                let delay = cfg.delay.sample(&mut rng);
+                let lose_all = cfg.faults.loss > 0.0 && fault_rng.random::<f64>() < cfg.faults.loss;
+                let dup_all =
+                    cfg.faults.duplicate > 0.0 && fault_rng.random::<f64>() < cfg.faults.duplicate;
+                let dup_delay = if dup_all {
+                    cfg.delay.sample(&mut fault_rng)
+                } else {
+                    0.0
+                };
+                for to in 0..cfg.n as u32 {
+                    sent += 1;
+                    if cfg.faults.cuts(out.from, to, clock) {
+                        cut += 1;
+                        continue;
+                    }
+                    if lose_all {
+                        lost += 1;
+                        continue;
+                    }
+                    seq += 1;
+                    queue.push(Scheduled {
+                        time: clock + delay,
+                        seq,
+                        event: Event::Msg {
+                            to,
+                            payload: out.payload,
+                        },
+                    });
+                    if dup_all {
+                        duplicated += 1;
+                        seq += 1;
+                        queue.push(Scheduled {
+                            time: clock + dup_delay,
+                            seq,
+                            event: Event::Msg {
+                                to,
+                                payload: out.payload,
+                            },
+                        });
+                    }
+                }
+                continue;
+            }
+            let recipients = match out.to {
+                Dest::One(to) => to..to + 1,
+                Dest::All => 0..cfg.n as u32,
+            };
+            for to in recipients {
+                let delay = cfg.delay.sample(&mut rng);
+                seq += 1;
+                sent += 1;
+                if cfg.faults.cuts(out.from, to, clock) {
+                    cut += 1;
+                    continue;
+                }
+                if cfg.faults.loss > 0.0 && fault_rng.random::<f64>() < cfg.faults.loss {
+                    lost += 1;
+                    continue;
+                }
+                queue.push(Scheduled {
+                    time: clock + delay,
+                    seq,
+                    event: Event::Msg {
+                        to,
+                        payload: out.payload,
+                    },
+                });
+                if cfg.faults.duplicate > 0.0 && fault_rng.random::<f64>() < cfg.faults.duplicate {
+                    duplicated += 1;
+                    let dup_delay = cfg.delay.sample(&mut fault_rng);
+                    seq += 1;
+                    queue.push(Scheduled {
+                        time: clock + dup_delay,
+                        seq,
+                        event: Event::Msg {
+                            to,
+                            payload: out.payload,
+                        },
+                    });
+                }
+            }
         }
 
-        // Done when every live node decided (undelivered messages are
-        // irrelevant then) or when nothing remains in flight.
+        // Done when every live node decided (in-flight events are
+        // irrelevant then) or when nothing remains scheduled.
         let all_live_decided = (0..cfg.n).all(|i| !alive[i] || nodes[i].decision().is_some());
         if all_live_decided {
             break;
         }
-        let Some(msg) = queue.pop() else {
+        let Some(next) = queue.pop() else {
             break; // network drained without progress (crash-heavy run)
         };
-        if deliveries >= cfg.max_deliveries {
+        if events >= cfg.max_deliveries {
             break;
         }
-        deliveries += 1;
-        clock = msg.time;
+        events += 1;
+        clock = next.time;
 
-        // Crash plan: crash nodes whose delivery count has arrived.
-        crash_plan.retain(|&(node, after)| {
-            if deliveries >= after {
-                if let Some(a) = alive.get_mut(node as usize) {
-                    *a = false;
+        match next.event {
+            Event::Msg { to, payload } => {
+                deliveries += 1;
+                // Crash plan: crash nodes whose delivery count arrived.
+                crash_plan.retain(|&(node, after)| {
+                    if deliveries >= after {
+                        if let Some(a) = alive.get_mut(node as usize) {
+                            *a = false;
+                        }
+                        false
+                    } else {
+                        true
+                    }
+                });
+                let i = to as usize;
+                if alive[i] {
+                    nodes[i].on_message(payload, &mut outbox);
+                    if decide_times[i].is_none() && nodes[i].decision().is_some() {
+                        decide_times[i] = Some(clock);
+                    }
+                    if recovery_on {
+                        arm_timer(
+                            i,
+                            &nodes,
+                            &alive,
+                            &mut armed_epoch,
+                            &mut queue,
+                            &mut seq,
+                            clock,
+                            timeout0,
+                        );
+                    }
                 }
-                false
-            } else {
-                true
             }
-        });
-
-        if alive[msg.to as usize] {
-            nodes[msg.to as usize].on_message(msg.payload, &mut outbox);
+            Event::Timeout {
+                node,
+                epoch,
+                attempt,
+            } => {
+                let i = node as usize;
+                // Fire only if the guarded phase is still in flight; a
+                // stale epoch means the phase completed (or was
+                // abandoned for an adopted decision) and the chain dies.
+                if alive[i] && nodes[i].awaiting() && nodes[i].epoch() == epoch {
+                    retries += 1;
+                    nodes[i].resend(&mut outbox);
+                    let exp = (attempt + 1).min(cfg.recovery.max_backoff_exp);
+                    let backoff = timeout0 * cfg.recovery.backoff.powi(exp as i32);
+                    seq += 1;
+                    queue.push(Scheduled {
+                        time: clock + backoff,
+                        seq,
+                        event: Event::Timeout {
+                            node,
+                            epoch,
+                            attempt: attempt + 1,
+                        },
+                    });
+                }
+            }
+            Event::GossipTick { node } => {
+                let i = node as usize;
+                if alive[i] {
+                    nodes[i].gossip(&mut outbox);
+                    gossip_sent += 1;
+                    let jitter: f64 = gossip_rng.random();
+                    seq += 1;
+                    queue.push(Scheduled {
+                        time: clock + gossip_interval * (0.75 + 0.5 * jitter),
+                        seq,
+                        event: Event::GossipTick { node },
+                    });
+                }
+            }
         }
     }
 
-    let completed = (0..cfg.n).all(|i| !alive[i] || nodes[i].decision().is_some());
+    let all_live_decided = (0..cfg.n).all(|i| !alive[i] || nodes[i].decision().is_some());
+    let outcome = if all_live_decided {
+        Outcome::Decided
+    } else if cfg.faults.partition_active(clock) {
+        Outcome::PartitionStarved
+    } else if events >= cfg.max_deliveries {
+        Outcome::CapHit
+    } else {
+        Outcome::Drained
+    };
     MsgReport {
         decisions: nodes.iter().map(|n| n.decision()).collect(),
         rounds: nodes.iter().map(|n| n.round()).collect(),
@@ -207,7 +575,13 @@ pub fn run_message_passing(cfg: &MsgConfig, seed: u64) -> MsgReport {
         deliveries,
         sent,
         sim_time: clock,
-        completed,
+        outcome,
+        retries,
+        gossip: gossip_sent,
+        lost,
+        duplicated,
+        cut,
+        decide_times,
     }
 }
 
@@ -221,12 +595,16 @@ mod tests {
             for seed in 0..3 {
                 let cfg = MsgConfig::new(5, delay);
                 let report = run_message_passing(&cfg, seed);
-                assert!(report.completed, "{name} seed {seed}");
+                assert_eq!(report.outcome, Outcome::Decided, "{name} seed {seed}");
                 let decisions: Vec<Bit> = report.decisions.iter().map(|d| d.unwrap()).collect();
                 assert!(
                     decisions.iter().all(|&d| d == decisions[0]),
                     "{name} seed {seed}: {decisions:?}"
                 );
+                // The fault-free path must not touch the recovery plane.
+                assert_eq!(report.retries, 0);
+                assert_eq!(report.gossip, 0);
+                assert_eq!(report.lost + report.duplicated + report.cut, 0);
             }
         }
     }
@@ -237,7 +615,7 @@ mod tests {
             let cfg =
                 MsgConfig::new(4, Noise::Exponential { mean: 1.0 }).with_inputs(vec![input; 4]);
             let report = run_message_passing(&cfg, 9);
-            assert!(report.completed);
+            assert_eq!(report.outcome, Outcome::Decided);
             assert!(report.decisions.iter().all(|&d| d == Some(input)));
             // Validity still costs exactly 8 emulated operations each.
             assert!(report.ops.iter().all(|&o| o == 8), "{:?}", report.ops);
@@ -250,7 +628,7 @@ mod tests {
             let cfg = MsgConfig::new(5, Noise::Exponential { mean: 1.0 })
                 .with_crashes(vec![(0, 50), (1, 120)]);
             let report = run_message_passing(&cfg, seed);
-            assert!(report.completed, "seed {seed}");
+            assert_eq!(report.outcome, Outcome::Decided, "seed {seed}");
             let live: Vec<Bit> = report.decisions[2..]
                 .iter()
                 .map(|d| d.expect("live node must decide"))
@@ -265,6 +643,36 @@ mod tests {
         let cfg =
             MsgConfig::new(4, Noise::Exponential { mean: 1.0 }).with_crashes(vec![(0, 1), (1, 2)]);
         run_message_passing(&cfg, 0);
+    }
+
+    #[test]
+    fn duplicate_crash_entries_are_not_double_counted() {
+        // Two entries for node 0 crash ONE node; at n = 4 that leaves a
+        // 3-node majority and must be accepted (the old guard counted
+        // entries, not distinct nodes, and spuriously rejected this).
+        let cfg =
+            MsgConfig::new(4, Noise::Exponential { mean: 1.0 }).with_crashes(vec![(0, 1), (0, 2)]);
+        let report = run_message_passing(&cfg, 3);
+        assert_eq!(report.outcome, Outcome::Decided);
+        assert!(report.decisions[0].is_none(), "node 0 crashed undecided");
+        let live: Vec<Bit> = report.decisions[1..]
+            .iter()
+            .map(|d| d.expect("live node must decide"))
+            .collect();
+        assert!(live.iter().all(|&d| d == live[0]), "{live:?}");
+    }
+
+    #[test]
+    fn out_of_range_crash_ids_do_not_trip_the_guard() {
+        // Ids >= n never crash anything real; they must not count
+        // against the quorum budget either.
+        let cfg = MsgConfig::new(4, Noise::Exponential { mean: 1.0 }).with_crashes(vec![
+            (0, 40),
+            (7, 1),
+            (9, 2),
+        ]);
+        let report = run_message_passing(&cfg, 5);
+        assert_eq!(report.outcome, Outcome::Decided);
     }
 
     #[test]
@@ -298,7 +706,7 @@ mod tests {
         let cfg = MsgConfig::new(9, Noise::Exponential { mean: 1.0 });
         for seed in 0..5 {
             let report = run_message_passing(&cfg, seed);
-            assert!(report.completed, "seed {seed}");
+            assert_eq!(report.outcome, Outcome::Decided, "seed {seed}");
             let max_round = report.rounds.iter().max().unwrap();
             assert!(*max_round < 500, "seed {seed}: round {max_round}");
         }
@@ -308,5 +716,65 @@ mod tests {
     #[should_panic(expected = "inputs length")]
     fn mismatched_inputs_panic() {
         let _ = MsgConfig::new(3, Noise::Exponential { mean: 1.0 }).with_inputs(vec![Bit::Zero]);
+    }
+
+    #[test]
+    fn deprecated_completed_accessor_still_answers() {
+        let cfg = MsgConfig::new(3, Noise::Exponential { mean: 1.0 });
+        let report = run_message_passing(&cfg, 1);
+        #[allow(deprecated)]
+        let done = report.completed();
+        assert!(done);
+        assert_eq!(report.outcome, Outcome::Decided);
+    }
+
+    #[test]
+    fn lossy_runs_recover_via_retries() {
+        for seed in 0..3 {
+            let cfg = MsgConfig::new(5, Noise::Exponential { mean: 1.0 })
+                .with_faults(NetFaultSpec::none().with_loss(0.05));
+            let report = run_message_passing(&cfg, seed);
+            assert_eq!(report.outcome, Outcome::Decided, "seed {seed}");
+            assert!(report.lost > 0, "seed {seed}: loss coin never fired");
+            let decisions: Vec<Bit> = report.decisions.iter().map(|d| d.unwrap()).collect();
+            assert!(decisions.iter().all(|&d| d == decisions[0]));
+        }
+    }
+
+    #[test]
+    fn total_duplication_cannot_fake_quorums() {
+        // Every message duplicated: distinct-replica counting must keep
+        // the emulation correct (agreement + validity).
+        let cfg = MsgConfig::new(4, Noise::Exponential { mean: 1.0 })
+            .with_inputs(vec![Bit::One; 4])
+            .with_faults(NetFaultSpec::none().with_duplication(1.0));
+        let report = run_message_passing(&cfg, 11);
+        assert_eq!(report.outcome, Outcome::Decided);
+        assert!(report.duplicated > 0);
+        assert!(report.decisions.iter().all(|&d| d == Some(Bit::One)));
+    }
+
+    #[test]
+    fn broadcast_channel_reaches_agreement() {
+        for seed in 0..3 {
+            let cfg = MsgConfig::new(5, Noise::Exponential { mean: 1.0 })
+                .with_channel(Channel::Broadcast);
+            let report = run_message_passing(&cfg, seed);
+            assert_eq!(report.outcome, Outcome::Decided, "seed {seed}");
+            let decisions: Vec<Bit> = report.decisions.iter().map(|d| d.unwrap()).collect();
+            assert!(decisions.iter().all(|&d| d == decisions[0]));
+        }
+    }
+
+    #[test]
+    fn mixed_shared_plane_deployment_agrees() {
+        for seed in 0..3 {
+            let cfg = MsgConfig::new(5, Noise::Exponential { mean: 1.0 })
+                .with_shared_plane(vec![0, 1, 2]);
+            let report = run_message_passing(&cfg, seed);
+            assert_eq!(report.outcome, Outcome::Decided, "seed {seed}");
+            let decisions: Vec<Bit> = report.decisions.iter().map(|d| d.unwrap()).collect();
+            assert!(decisions.iter().all(|&d| d == decisions[0]), "seed {seed}");
+        }
     }
 }

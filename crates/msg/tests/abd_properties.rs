@@ -12,7 +12,7 @@
 use proptest::prelude::*;
 
 use nc_memory::{Addr, Bit, RaceLayout, Word};
-use nc_msg::node::{Node, Outgoing};
+use nc_msg::node::{Dest, Node, Outgoing};
 use nc_msg::Payload;
 
 fn sentinels() -> Vec<(Addr, Word)> {
@@ -41,7 +41,12 @@ fn drive(inputs: &[Bit], script: &[usize], tail_seed: u64, max_msgs: u64) -> Vec
     let mut delivered = 0u64;
     let mut cursor = 0usize;
     loop {
-        queue.extend(out.drain(..).map(|o| (o.to, o.payload)));
+        for o in out.drain(..) {
+            match o.to {
+                Dest::One(to) => queue.push((to, o.payload)),
+                Dest::All => queue.extend((0..n as u32).map(|to| (to, o.payload))),
+            }
+        }
         if queue.is_empty() || delivered >= max_msgs {
             break;
         }

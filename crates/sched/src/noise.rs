@@ -317,6 +317,21 @@ impl Noise {
         }
     }
 
+    /// A deterministic per-delay timescale for retry timeouts: the mean
+    /// when it is finite and known, otherwise a generous constant.
+    ///
+    /// The `nc_msg` recovery plane multiplies this by its
+    /// `timeout_mult` to decide when an unacknowledged quorum phase is
+    /// resent — "delay-distribution-derived" so the same retry policy
+    /// adapts across the Figure 1 suite without per-distribution tuning.
+    /// Heavy-tailed distributions with no usable mean (pathological,
+    /// asymmetric truncations) fall back to `4.0`, a few multiples of
+    /// every Figure 1 mean: timeouts only trigger resends, so a too-short
+    /// hint costs duplicate (idempotent) messages, never correctness.
+    pub fn timeout_hint(&self) -> f64 {
+        self.mean().unwrap_or(4.0)
+    }
+
     /// Whether the distribution is concentrated on a single point — the
     /// one shape the noisy-scheduling model forbids (§3.1).
     pub fn is_degenerate(&self) -> bool {
@@ -604,6 +619,24 @@ mod tests {
             last = partial;
         }
         assert!(partial > 1e20);
+    }
+
+    #[test]
+    fn timeout_hint_tracks_the_mean_with_a_heavy_tail_fallback() {
+        assert_eq!(Noise::Exponential { mean: 2.5 }.timeout_hint(), 2.5);
+        assert_eq!(Noise::Uniform { lo: 0.0, hi: 2.0 }.timeout_hint(), 1.0);
+        // No finite/known mean => the fixed fallback.
+        assert_eq!(Noise::pathological().timeout_hint(), 4.0);
+        assert_eq!(
+            Noise::TruncatedNormal {
+                mean: 1.0,
+                sd: 0.2,
+                lo: 0.5,
+                hi: 2.0
+            }
+            .timeout_hint(),
+            4.0
+        );
     }
 
     #[test]

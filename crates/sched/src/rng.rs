@@ -96,6 +96,12 @@ pub mod salts {
     /// Value-fault injection streams (`nc_memory::FaultyMemory`,
     /// armed per trial by the engine through `MemStore::reseed`).
     pub const VALUE_FAULTS: u64 = 6;
+    /// Network-fault injection (`nc_msg` message loss / duplication),
+    /// salted independently of the delay-noise stream so arming faults
+    /// never perturbs the delays a fault-free run would draw.
+    pub const NET_FAULTS: u64 = 7;
+    /// Gossip / anti-entropy scheduling jitter (`nc_msg` recovery plane).
+    pub const GOSSIP: u64 = 8;
 }
 
 #[cfg(test)]

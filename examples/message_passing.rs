@@ -9,7 +9,7 @@
 //!
 //! Run with: `cargo run --release --example message_passing [n] [seed]`
 
-use noisy_consensus::msg::{run_message_passing, MsgConfig};
+use noisy_consensus::msg::{run_message_passing, MsgConfig, Outcome};
 use noisy_consensus::sched::Noise;
 
 fn main() {
@@ -22,7 +22,7 @@ fn main() {
 
     let cfg = MsgConfig::new(n, Noise::Exponential { mean: 1.0 });
     let report = run_message_passing(&cfg, seed);
-    assert!(report.completed, "run must complete");
+    assert_eq!(report.outcome, Outcome::Decided, "run must complete");
 
     for (i, (d, r)) in report.decisions.iter().zip(&report.rounds).enumerate() {
         println!(
@@ -45,7 +45,7 @@ fn main() {
             .collect();
         let cfg = MsgConfig::new(n, Noise::Exponential { mean: 1.0 }).with_crashes(crashes);
         let report = run_message_passing(&cfg, seed + 1);
-        assert!(report.completed);
+        assert_eq!(report.outcome, Outcome::Decided);
         for (i, d) in report.decisions.iter().enumerate() {
             let label = if i < crash_count { " (crashed)" } else { "" };
             println!(
