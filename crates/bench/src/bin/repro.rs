@@ -1,6 +1,7 @@
 //! The one experiment driver: runs any subset of the scenario registry
-//! (E1–E14), writes CSVs plus a machine-readable `manifest.json`, and
-//! optionally byte-checks the output against a golden directory.
+//! (E1–E19), writes CSVs plus a byte-reproducible `manifest.json` and
+//! a wall-clock `timings.json` sidecar, and optionally byte-checks the
+//! output (CSVs and manifest) against a golden directory.
 //!
 //! ```sh
 //! # Catalogue (add --markdown for the docs/experiments.md document):
@@ -34,7 +35,8 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use nc_bench::scenario::{
-    by_id, catalogue_markdown, manifest_json, Preset, RunRecord, Scenario, REGISTRY, SMOKE_SEED,
+    by_id, catalogue_markdown, manifest_json, timings_json, Preset, RunRecord, Scenario, REGISTRY,
+    SMOKE_SEED,
 };
 use nc_bench::{arg, flag};
 
@@ -115,6 +117,7 @@ fn main() -> ExitCode {
 
     let suite_start = Instant::now();
     let mut records: Vec<RunRecord> = Vec::new();
+    let mut timings: Vec<(String, u128)> = Vec::new();
     for sc in &selected {
         let spec = sc.spec();
         let mut preset: Preset = if smoke { spec.smoke } else { spec.full }.scaled(scale);
@@ -147,25 +150,34 @@ fn main() -> ExitCode {
             outputs.push((name.to_string(), table.rows.len()));
         }
         println!("<<< {} done in {} ms", spec.id, wall_ms);
+        timings.push((spec.id.to_string(), wall_ms));
         records.push(RunRecord {
             id: spec.id.into(),
             title: spec.title.into(),
             seed,
             params: spec.describe(preset),
             preset,
-            wall_ms,
             outputs,
         });
     }
 
-    let manifest = manifest_json(smoke, scale, seed, threads, &records);
+    // The manifest is byte-reproducible (pure function of flags + seed +
+    // registry); wall-clock timings and the worker count go to the
+    // `timings.json` sidecar so runs that produce the same results
+    // produce the same manifest.
+    let manifest = manifest_json(smoke, scale, seed, &records);
     let manifest_path = Path::new(&out_dir).join("manifest.json");
     std::fs::write(&manifest_path, manifest).expect("write manifest");
+    let suite_ms = suite_start.elapsed().as_millis();
+    let timings_path = Path::new(&out_dir).join("timings.json");
+    std::fs::write(&timings_path, timings_json(threads, &timings, suite_ms))
+        .expect("write timings");
     println!(
-        "\n{} scenario(s) done in {} ms; manifest at {}",
+        "\n{} scenario(s) done in {} ms; manifest at {}, timings at {}",
         records.len(),
-        suite_start.elapsed().as_millis(),
-        manifest_path.display()
+        suite_ms,
+        manifest_path.display(),
+        timings_path.display()
     );
 
     if check_dir.is_empty() {
@@ -173,8 +185,23 @@ fn main() -> ExitCode {
     }
 
     // Golden check: every CSV just written must byte-match its
-    // counterpart under --check (the committed smoke goldens).
+    // counterpart under --check (the committed smoke goldens), and — on
+    // a full-registry run — so must the byte-reproducible manifest.
     let mut drifted = 0usize;
+    if selected.len() == REGISTRY.len() {
+        let fresh = std::fs::read(&manifest_path).expect("read fresh manifest");
+        match std::fs::read(Path::new(&check_dir).join("manifest.json")) {
+            Ok(golden) if golden == fresh => {}
+            Ok(_) => {
+                eprintln!("DRIFT: manifest.json differs from its committed golden");
+                drifted += 1;
+            }
+            Err(err) => {
+                eprintln!("MISSING golden manifest.json: {err}");
+                drifted += 1;
+            }
+        }
+    }
     for record in &records {
         for (name, _) in &record.outputs {
             let fresh = std::fs::read(Path::new(&out_dir).join(name)).expect("read fresh csv");

@@ -19,6 +19,7 @@
 //! | [`statistical`] | E14 | §10 statistical adversary |
 //! | [`value_faults`] | E15 | related-work value faults (ε-noise, stuck registers) |
 //! | [`partitions`] | E17 | §10 extension: network faults, partitions, gossip recovery |
+//! | [`service`] | E19 | multi-instance deployment: the `nc_service` sharded instance manager |
 
 pub mod ablation;
 pub mod baseline;
@@ -31,6 +32,7 @@ pub mod msgpass;
 pub mod partitions;
 pub mod race;
 pub mod scaling;
+pub mod service;
 pub mod statistical;
 pub mod unfair;
 pub mod validity;

@@ -22,7 +22,7 @@
 
 use crate::experiments::{
     ablation, baseline, bounded, crashes, fig1, hybrid, lower, msgpass, partitions, race, scaling,
-    statistical, unfair, validity, value_faults,
+    service, statistical, unfair, validity, value_faults,
 };
 use crate::table::Table;
 
@@ -118,9 +118,9 @@ pub trait Scenario: Sync {
 }
 
 /// Every registered scenario, in experiment-id order. (E12 was folded
-/// into E8's failure variant in DESIGN.md, and E16 — the
-/// adversary-strategy search — is still open in ROADMAP.md, hence 15
-/// entries for E1–E17.)
+/// into E8's failure variant in DESIGN.md, and E16/E18 — the
+/// adversary-strategy search and rumor-spreading consensus — are still
+/// open in ROADMAP.md, hence 16 entries for E1–E19.)
 pub const REGISTRY: &[&dyn Scenario] = &[
     &fig1::Fig1,
     &validity::ValidityCost,
@@ -137,6 +137,7 @@ pub const REGISTRY: &[&dyn Scenario] = &[
     &statistical::StatisticalAdversary,
     &value_faults::ValueFaults,
     &partitions::Partitions,
+    &service::ServiceLayer,
 ];
 
 /// Looks up a scenario by id (case-insensitive).
@@ -160,8 +161,9 @@ pub fn catalogue_markdown() -> String {
         "Every experiment is a [`Scenario`] registered in\n\
          `crates/bench/src/scenario.rs`; the single `repro` binary drives them\n\
          all (`--list`, `--only E1,E7`, `--smoke`, `--scale`, `--out-dir`) and\n\
-         writes a machine-readable `manifest.json` next to the CSVs. Smoke\n\
-         presets are pinned by golden CSVs under `crates/bench/tests/golden/`.\n\n",
+         writes a byte-reproducible `manifest.json` (plus a wall-clock\n\
+         `timings.json` sidecar) next to the CSVs. Smoke presets are pinned by\n\
+         golden CSVs under `crates/bench/tests/golden/`.\n\n",
     );
     out.push_str(
         "| ID | Title | Paper artifact | Outputs | Full preset | Smoke preset |\n\
@@ -203,6 +205,12 @@ pub fn catalogue_markdown() -> String {
 }
 
 /// One completed scenario run, as recorded in `manifest.json`.
+///
+/// Deliberately holds **no wall-clock quantity**: the manifest must be
+/// a pure function of `(flags, seed, registry)` so two identical
+/// `repro` runs produce byte-identical manifests (pinned by the golden
+/// harness). Timings go to the `timings.json` sidecar instead
+/// ([`timings_json`]).
 #[derive(Clone, Debug)]
 pub struct RunRecord {
     /// Scenario id (`"E1"`).
@@ -215,8 +223,6 @@ pub struct RunRecord {
     pub params: String,
     /// Raw preset the run used (post `--scale`).
     pub preset: Preset,
-    /// Wall-clock milliseconds the run took.
-    pub wall_ms: u128,
     /// `(file name, data-row count)` per output CSV, in output order.
     pub outputs: Vec<(String, usize)>,
 }
@@ -241,22 +247,20 @@ fn json_str(s: &str) -> String {
 }
 
 /// Renders the run manifest: suite-level settings plus one entry per
-/// completed scenario (seed, params, wall time, output files with row
-/// counts). Stable key order, two-space indent, trailing newline.
-pub fn manifest_json(
-    smoke: bool,
-    scale: u64,
-    seed: u64,
-    threads: usize,
-    records: &[RunRecord],
-) -> String {
+/// completed scenario (seed, params, output files with row counts).
+/// Stable key order, two-space indent, trailing newline.
+///
+/// Byte-reproducible by construction: every field is a pure function
+/// of `(flags, seed, registry)` — wall-clock timings and execution
+/// details that cannot move a result (worker-thread count) live in the
+/// [`timings_json`] sidecar, never here.
+pub fn manifest_json(smoke: bool, scale: u64, seed: u64, records: &[RunRecord]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"generated_by\": \"repro\",\n");
     out.push_str(&format!("  \"smoke\": {smoke},\n"));
     out.push_str(&format!("  \"scale\": {scale},\n"));
     out.push_str(&format!("  \"seed\": {seed},\n"));
-    out.push_str(&format!("  \"threads\": {threads},\n"));
     out.push_str("  \"scenarios\": [\n");
     for (i, r) in records.iter().enumerate() {
         out.push_str("    {\n");
@@ -268,7 +272,6 @@ pub fn manifest_json(
             "      \"preset\": {{\"trials\": {}, \"size\": {}, \"cap\": {}}},\n",
             r.preset.trials, r.preset.size, r.preset.cap
         ));
-        out.push_str(&format!("      \"wall_ms\": {},\n", r.wall_ms));
         out.push_str("      \"outputs\": [\n");
         for (j, (file, rows)) in r.outputs.iter().enumerate() {
             out.push_str(&format!(
@@ -282,6 +285,31 @@ pub fn manifest_json(
         out.push_str(&format!(
             "    }}{}\n",
             if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n");
+    out.push_str("}\n");
+    out
+}
+
+/// Renders the `timings.json` sidecar: per-scenario wall-clock
+/// milliseconds, the suite total, and the worker-thread count the run
+/// used. This file is *measurement* — it varies run to run by design,
+/// which is exactly why it is kept out of the byte-reproducible
+/// manifest (and out of the golden directory).
+pub fn timings_json(threads: usize, timings: &[(String, u128)], suite_ms: u128) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"generated_by\": \"repro\",\n");
+    out.push_str(&format!("  \"threads\": {threads},\n"));
+    out.push_str(&format!("  \"suite_wall_ms\": {suite_ms},\n"));
+    out.push_str("  \"scenarios\": [\n");
+    for (i, (id, wall_ms)) in timings.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"id\": {}, \"wall_ms\": {}}}{}\n",
+            json_str(id),
+            wall_ms,
+            if i + 1 < timings.len() { "," } else { "" }
         ));
     }
     out.push_str("  ]\n");
@@ -303,7 +331,7 @@ mod tests {
         let mut sorted = nums.clone();
         sorted.sort_unstable();
         assert_eq!(nums, sorted, "registry must stay in E-number order");
-        assert_eq!(ids.len(), 15);
+        assert_eq!(ids.len(), 16);
     }
 
     #[test]
@@ -314,7 +342,7 @@ mod tests {
                 assert!(seen.insert(*out), "output {out} declared twice");
             }
         }
-        assert_eq!(seen.len(), 22, "22 CSV artifacts across the suite");
+        assert_eq!(seen.len(), 23, "23 CSV artifacts across the suite");
     }
 
     #[test]
@@ -363,20 +391,35 @@ mod tests {
                 size: 12,
                 cap: 0,
             },
-            wall_ms: 3,
             outputs: vec![("fig1.csv".into(), 5)],
         };
-        let json = manifest_json(true, 1, 1, 0, &[rec]);
+        let json = manifest_json(true, 1, 1, std::slice::from_ref(&rec));
         assert!(json.contains("\"generated_by\": \"repro\""));
         assert!(json.contains("\\\" and \\\\"));
         assert!(json.contains("{\"file\": \"fig1.csv\", \"rows\": 5}"));
         assert!(json.ends_with("}\n"));
+        // Byte-reproducibility: no wall-clock or worker-count field, and
+        // two renders of the same records are identical.
+        assert!(!json.contains("wall_ms"), "manifest must carry no timing");
+        assert!(!json.contains("threads"), "manifest must carry no threads");
+        assert_eq!(json, manifest_json(true, 1, 1, &[rec]));
         // Rough balance check in lieu of a JSON parser.
         assert_eq!(
             json.matches('{').count(),
             json.matches('}').count(),
             "unbalanced braces"
         );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn timings_sidecar_is_valid_shape() {
+        let json = timings_json(2, &[("E1".into(), 12), ("E19".into(), 7)], 19);
+        assert!(json.contains("\"threads\": 2"));
+        assert!(json.contains("\"suite_wall_ms\": 19"));
+        assert!(json.contains("{\"id\": \"E1\", \"wall_ms\": 12},"));
+        assert!(json.contains("{\"id\": \"E19\", \"wall_ms\": 7}"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
     }
 

@@ -23,7 +23,7 @@ use std::collections::BTreeSet;
 use std::fs;
 use std::path::Path;
 
-use nc_bench::scenario::{REGISTRY, SMOKE_SEED};
+use nc_bench::scenario::{manifest_json, RunRecord, REGISTRY, SMOKE_SEED};
 
 const REGEN: &str =
     "regenerate with: cargo run --release -p nc-bench --bin repro -- --smoke --out-dir crates/bench/tests/golden";
@@ -34,7 +34,7 @@ fn golden_dir() -> &'static Path {
 
 #[test]
 fn every_scenario_smoke_run_matches_its_committed_golden() {
-    let mut produced = BTreeSet::new();
+    let mut records: Vec<RunRecord> = Vec::new();
     for sc in REGISTRY {
         let spec = sc.spec();
         // Worker count 0 (all cores): the determinism suite pins that
@@ -46,8 +46,8 @@ fn every_scenario_smoke_run_matches_its_committed_golden() {
             "{}: table count != declared outputs",
             spec.id
         );
+        let mut outputs = Vec::new();
         for (table, name) in tables.iter().zip(spec.outputs) {
-            produced.insert(name.to_string());
             let path = golden_dir().join(name);
             let golden = fs::read_to_string(&path)
                 .unwrap_or_else(|e| panic!("{}: missing golden {name} ({e}); {REGEN}", spec.id));
@@ -57,8 +57,29 @@ fn every_scenario_smoke_run_matches_its_committed_golden() {
                 "{}: {name} drifted from its golden; if intentional, {REGEN}",
                 spec.id
             );
+            outputs.push((name.to_string(), table.rows.len()));
         }
+        records.push(RunRecord {
+            id: spec.id.into(),
+            title: spec.title.into(),
+            seed: SMOKE_SEED,
+            params: spec.describe(spec.smoke),
+            preset: spec.smoke,
+            outputs,
+        });
     }
+
+    // The manifest is byte-reproducible now that wall-clock timing and
+    // the worker count live in the `timings.json` sidecar: the exact
+    // bytes a smoke run writes are a golden too (the same flags CI's
+    // repro-smoke job uses: smoke, scale 1, default seed).
+    let manifest = manifest_json(true, 1, SMOKE_SEED, &records);
+    let golden = fs::read_to_string(golden_dir().join("manifest.json"))
+        .unwrap_or_else(|e| panic!("missing golden manifest.json ({e}); {REGEN}"));
+    assert_eq!(
+        manifest, golden,
+        "manifest.json drifted from its golden; if intentional, {REGEN}"
+    );
 }
 
 #[test]
@@ -73,7 +94,10 @@ fn golden_dir_holds_no_stale_files() {
     for entry in fs::read_dir(golden_dir()).expect("tests/golden must exist") {
         let name = entry.unwrap().file_name().into_string().unwrap();
         if name == "manifest.json" {
-            continue; // dropped by golden regeneration; gitignored
+            continue; // a golden itself, pinned by the manifest test above
+        }
+        if name == "timings.json" {
+            continue; // wall-clock sidecar dropped by regeneration; gitignored
         }
         assert!(
             declared.contains(name.as_str()),

@@ -113,7 +113,7 @@ impl<M, B, F> Protocol<M> for BoundedLean<B, F>
 where
     M: MemStore,
     B: Protocol<M>,
-    F: FnOnce(Bit) -> B,
+    F: FnOnce(Bit) -> B + Send,
 {
 }
 

@@ -131,7 +131,13 @@ pub trait ProtocolCore: fmt::Debug {
 /// Most protocols implement this with an empty body over every plane
 /// (`impl<M: MemStore> Protocol<M> for X {}`), inheriting the provided
 /// [`Protocol::step_status`].
-pub trait Protocol<M: MemStore = SimMemory>: ProtocolCore {
+///
+/// `Send` is a supertrait so engine handles caching a
+/// `Box<dyn Protocol<M>>` (e.g. `nc_engine::sim::SimRun`) can migrate
+/// across worker threads — `nc_service` fans pooled per-shard handles
+/// out this way. Every in-tree protocol is plain data plus a seeded
+/// RNG, so the bound costs nothing.
+pub trait Protocol<M: MemStore = SimMemory>: ProtocolCore + Send {
     /// Executes this machine's pending operation directly against `mem`
     /// and returns the post-operation status; on an already-decided
     /// machine, returns the decision without touching memory.

@@ -174,7 +174,8 @@ pub fn build_in<M: MemStore>(
                     let rng = coin(pid);
                     let make = Box::new(move |pref: Bit| {
                         BackupConsensus::new(backup_layout, pid, pref, rng)
-                    }) as Box<dyn FnOnce(Bit) -> BackupConsensus>;
+                    })
+                        as Box<dyn FnOnce(Bit) -> BackupConsensus + Send>;
                     Box::new(BoundedLean::new(lean_layout, b, r_max, make)) as Box<dyn Protocol<M>>
                 })
                 .collect()

@@ -631,6 +631,33 @@ impl<M: MemStore> SimRun<M> {
         run_one(&self.cfg, &mut self.lane, seed, history)
     }
 
+    /// Executes one run with the given seed after replacing the
+    /// per-process inputs, reusing this handle's scratch, queue, and
+    /// cached instance exactly like [`SimRun::run`].
+    ///
+    /// This is the multi-instance service hook: `nc_service` pools one
+    /// handle per shard and drives many single-shot instances through
+    /// it, each with its own proposals, amortizing allocation the way
+    /// [`TrialSet`] pools scratch across trials. The process count is
+    /// fixed at build time — `inputs.len()` must match the length the
+    /// handle was built with.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the built input width.
+    pub fn run_with_inputs(&mut self, seed: u64, inputs: &[Bit]) -> RunReport {
+        assert_eq!(
+            inputs.len(),
+            self.cfg.inputs.len(),
+            "run_with_inputs: process count is fixed at build time ({} != {})",
+            inputs.len(),
+            self.cfg.inputs.len()
+        );
+        self.cfg.inputs.clear();
+        self.cfg.inputs.extend_from_slice(inputs);
+        self.run(seed)
+    }
+
     /// The operation history of the last [`SimRun::run`] (empty unless
     /// built with [`Sim::record_history`]).
     pub fn history(&self) -> &[Event] {
@@ -996,6 +1023,48 @@ mod tests {
         // bit-identical (state fully re-seeded per run).
         assert_eq!(sim.run(3), first);
         assert!(sim.memory().is_some());
+    }
+
+    #[test]
+    fn run_with_inputs_matches_fresh_build_per_input_vector() {
+        // A pooled handle cycling through instances with differing
+        // proposals must report exactly what a dedicated handle built
+        // for those proposals would — the nc_service amortization
+        // contract.
+        let n = 6;
+        let input_sets: Vec<Vec<Bit>> = vec![
+            vec![Bit::Zero; n],
+            vec![Bit::One; n],
+            setup::half_and_half(n),
+            (0..n)
+                .map(|i| if i % 3 == 0 { Bit::One } else { Bit::Zero })
+                .collect(),
+        ];
+        let mut pooled = Sim::new(Algorithm::Lean)
+            .inputs(vec![Bit::Zero; n])
+            .timing(exp_timing())
+            .build();
+        for (k, inputs) in input_sets.iter().enumerate() {
+            let seed = 100 + k as u64;
+            let pooled_report = pooled.run_with_inputs(seed, inputs);
+            let fresh_report = Sim::new(Algorithm::Lean)
+                .inputs(inputs.clone())
+                .timing(exp_timing())
+                .build()
+                .run(seed);
+            assert_eq!(pooled_report, fresh_report, "inputs set {k}");
+            pooled_report.check_safety(inputs).unwrap();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "process count is fixed")]
+    fn run_with_inputs_rejects_width_change() {
+        let mut sim = Sim::new(Algorithm::Lean)
+            .inputs(setup::half_and_half(4))
+            .timing(exp_timing())
+            .build();
+        sim.run_with_inputs(1, &[Bit::One; 5]);
     }
 
     #[test]

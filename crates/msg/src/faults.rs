@@ -44,7 +44,84 @@ impl Partition {
         }
         self.side.contains(&a) != self.side.contains(&b)
     }
+
+    /// Checks this window against an `n`-node deployment; see
+    /// [`NetFaultSpec::validate`].
+    fn validate(&self, index: usize, n: usize) -> Result<(), NetFaultError> {
+        if !(self.start >= 0.0 && self.start < self.end) {
+            return Err(NetFaultError::EmptyWindow {
+                index,
+                start: self.start,
+                end: self.end,
+            });
+        }
+        let mut effective: Vec<u32> = self
+            .side
+            .iter()
+            .copied()
+            .filter(|&id| (id as usize) < n)
+            .collect();
+        effective.sort_unstable();
+        effective.dedup();
+        if effective.is_empty() {
+            return Err(NetFaultError::EmptySide { index });
+        }
+        if effective.len() == n {
+            return Err(NetFaultError::FullSide { index });
+        }
+        Ok(())
+    }
 }
+
+/// Why a [`NetFaultSpec`] is rejected for a given deployment — every
+/// variant is a degenerate shape that would silently act as a no-op cut
+/// (or never take effect at all) if the run proceeded.
+#[derive(Clone, PartialEq, Debug)]
+pub enum NetFaultError {
+    /// A partition window with `start >= end` (or a negative start):
+    /// no instant ever falls inside it, so it cuts nothing.
+    EmptyWindow {
+        /// Index into [`NetFaultSpec::partitions`].
+        index: usize,
+        /// The window's start.
+        start: f64,
+        /// The window's end.
+        end: f64,
+    },
+    /// A partition whose `side` names no node in `0..n` — both
+    /// "sides" are the whole network, so no link crosses the cut.
+    EmptySide {
+        /// Index into [`NetFaultSpec::partitions`].
+        index: usize,
+    },
+    /// A partition whose `side` contains every node in `0..n` — the
+    /// complement is empty, so again no link crosses the cut.
+    FullSide {
+        /// Index into [`NetFaultSpec::partitions`].
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for NetFaultError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetFaultError::EmptyWindow { index, start, end } => write!(
+                f,
+                "partition {index}: empty window [{start}, {end}) cuts nothing (need 0 <= start < end)"
+            ),
+            NetFaultError::EmptySide { index } => write!(
+                f,
+                "partition {index}: side names no node in the deployment, the cut is a no-op"
+            ),
+            NetFaultError::FullSide { index } => write!(
+                f,
+                "partition {index}: side contains every node, the complement is empty and the cut is a no-op"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for NetFaultError {}
 
 /// Declarative network-fault injection for one message-passing run.
 ///
@@ -114,6 +191,23 @@ impl NetFaultSpec {
     /// plain cap hit).
     pub fn partition_active(&self, t: f64) -> bool {
         self.partitions.iter().any(|p| p.start <= t && t < p.end)
+    }
+
+    /// Rejects degenerate partition shapes for an `n`-node deployment.
+    ///
+    /// Three shapes pass [`Partition::cuts`] without ever cutting a
+    /// link — `start >= end`, a `side` naming no node in `0..n`, and a
+    /// `side` containing every node. Each used to silently degrade the
+    /// run to fault-free; [`crate::run_message_passing`] now calls this
+    /// up front so a misconfigured experiment fails loudly instead of
+    /// reporting clean-network results. Out-of-range ids and duplicates
+    /// within `side` are tolerated (ignored / deduplicated) as long as
+    /// the *effective* side is a proper non-empty subset.
+    pub fn validate(&self, n: usize) -> Result<(), NetFaultError> {
+        for (index, p) in self.partitions.iter().enumerate() {
+            p.validate(index, n)?;
+        }
+        Ok(())
     }
 }
 
@@ -210,5 +304,66 @@ mod tests {
     #[should_panic(expected = "loss must be in [0,1]")]
     fn invalid_loss_rejected() {
         let _ = NetFaultSpec::none().with_loss(1.5);
+    }
+
+    #[test]
+    fn validate_accepts_proper_cuts() {
+        assert_eq!(NetFaultSpec::none().validate(5), Ok(()));
+        let spec = NetFaultSpec::none()
+            .with_partition(2.0, 7.5, vec![0, 1])
+            .with_partition(5.0, f64::INFINITY, vec![4]);
+        assert_eq!(spec.validate(5), Ok(()));
+        // Duplicates and out-of-range ids are tolerated as long as the
+        // effective side stays a proper non-empty subset.
+        let messy = NetFaultSpec::none().with_partition(0.0, 1.0, vec![0, 0, 99]);
+        assert_eq!(messy.validate(5), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_empty_window() {
+        let spec = NetFaultSpec::none().with_partition(3.0, 3.0, vec![0]);
+        assert_eq!(
+            spec.validate(5),
+            Err(NetFaultError::EmptyWindow {
+                index: 0,
+                start: 3.0,
+                end: 3.0,
+            })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_empty_side() {
+        // Literally empty, and empty after dropping out-of-range ids.
+        let empty = NetFaultSpec::none().with_partition(0.0, 1.0, vec![]);
+        assert_eq!(
+            empty.validate(5),
+            Err(NetFaultError::EmptySide { index: 0 })
+        );
+        let out_of_range = NetFaultSpec::none().with_partition(0.0, 1.0, vec![7, 8]);
+        assert_eq!(
+            out_of_range.validate(5),
+            Err(NetFaultError::EmptySide { index: 0 })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_side_covering_every_node() {
+        // Directly, and via duplicates padding out the id list.
+        let full = NetFaultSpec::none().with_partition(0.0, 1.0, vec![0, 1, 2]);
+        assert_eq!(full.validate(3), Err(NetFaultError::FullSide { index: 0 }));
+        let dup = NetFaultSpec::none().with_partition(0.0, 1.0, vec![0, 1, 1, 2, 2]);
+        assert_eq!(dup.validate(3), Err(NetFaultError::FullSide { index: 0 }));
+    }
+
+    #[test]
+    fn validate_reports_the_offending_window() {
+        let spec = NetFaultSpec::none()
+            .with_partition(0.0, 1.0, vec![0])
+            .with_partition(2.0, 2.0, vec![1]);
+        assert!(matches!(
+            spec.validate(4),
+            Err(NetFaultError::EmptyWindow { index: 1, .. })
+        ));
     }
 }

@@ -54,6 +54,6 @@ pub mod node;
 pub mod proto;
 pub mod sim;
 
-pub use faults::{NetFaultSpec, Partition, RecoverySpec};
+pub use faults::{NetFaultError, NetFaultSpec, Partition, RecoverySpec};
 pub use proto::{Payload, Stamp};
-pub use sim::{run_message_passing, Channel, MsgConfig, MsgReport, Outcome};
+pub use sim::{run_message_passing, Channel, MsgConfig, MsgConfigError, MsgReport, Outcome};

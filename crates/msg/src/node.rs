@@ -169,6 +169,61 @@ impl ReplicaStore {
     }
 }
 
+/// Distinct-replica reply mask: which replicas the in-flight phase has
+/// heard from. The inline `u128` covers n ≤ 128 with zero allocation
+/// (the overwhelmingly common case); larger configurations spill to a
+/// boxed word vector sized once per phase, so oversize deployments work
+/// instead of panicking a worker thread.
+#[derive(Clone, Debug, PartialEq)]
+enum Heard {
+    /// n ≤ 128: one inline mask word.
+    Inline(u128),
+    /// n > 128: `⌈n / 64⌉` mask words.
+    Spilled(Box<[u64]>),
+}
+
+impl Heard {
+    /// An empty mask sized for an `n`-node deployment.
+    fn for_n(n: u32) -> Self {
+        if n <= 128 {
+            Heard::Inline(0)
+        } else {
+            Heard::Spilled(vec![0u64; n.div_ceil(64) as usize].into_boxed_slice())
+        }
+    }
+
+    /// Records a reply from replica `from`; returns `false` when that
+    /// replica was already counted (duplicate / retransmitted reply).
+    fn insert(&mut self, from: u32) -> bool {
+        match self {
+            Heard::Inline(mask) => {
+                let bit = 1u128 << from;
+                if *mask & bit != 0 {
+                    return false;
+                }
+                *mask |= bit;
+                true
+            }
+            Heard::Spilled(words) => {
+                let (word, bit) = ((from / 64) as usize, 1u64 << (from % 64));
+                if words[word] & bit != 0 {
+                    return false;
+                }
+                words[word] |= bit;
+                true
+            }
+        }
+    }
+
+    /// Number of distinct replicas heard from.
+    fn count(&self) -> u32 {
+        match self {
+            Heard::Inline(mask) => mask.count_ones(),
+            Heard::Spilled(words) => words.iter().map(|w| w.count_ones()).sum(),
+        }
+    }
+}
+
 /// What the ABD client is currently doing. Every waiting phase tracks
 /// the distinct replicas heard from (`heard`, a bitmask) and carries
 /// enough state to rebroadcast its request verbatim on a retry timeout.
@@ -179,7 +234,7 @@ enum ClientPhase {
     /// Read phase 1: collecting `ReadR` replies.
     ReadQuery {
         addr: Addr,
-        heard: u128,
+        heard: Heard,
         best: (Stamp, Word),
     },
     /// Read phase 2 (write-back): collecting `Ack`s; will return `value`.
@@ -187,13 +242,13 @@ enum ClientPhase {
         addr: Addr,
         stamp: Stamp,
         value: Word,
-        heard: u128,
+        heard: Heard,
     },
     /// Write phase 1: collecting `WriteR` stamps.
     WriteQuery {
         addr: Addr,
         value: Word,
-        heard: u128,
+        heard: Heard,
         best: Stamp,
     },
     /// Write phase 2: collecting `Ack`s.
@@ -201,7 +256,7 @@ enum ClientPhase {
         addr: Addr,
         stamp: Stamp,
         value: Word,
-        heard: u128,
+        heard: Heard,
     },
 }
 
@@ -241,9 +296,8 @@ impl Node {
     /// zero stamp, the seeded 1 would tie with the default 0 and lose,
     /// and lean-consensus would (unsoundly) decide at round 1.
     ///
-    /// # Panics
-    ///
-    /// Panics if `n > 128` (quorum bitmask width).
+    /// Any `n ≥ 1` is supported: the quorum mask keeps an inline `u128`
+    /// fast path for n ≤ 128 and spills to a heap-backed bitset above.
     pub fn new(id: u32, n: u32, input: Bit, sentinels: &[(Addr, Word)]) -> Self {
         let mut replica = BTreeMap::new();
         for &(addr, value) in sentinels {
@@ -259,7 +313,6 @@ impl Node {
     }
 
     fn with_store(id: u32, n: u32, input: Bit, replica: ReplicaStore) -> Self {
-        assert!(n <= 128, "quorum bitmask supports at most 128 nodes");
         Node {
             id,
             n,
@@ -355,7 +408,7 @@ impl Node {
                 let op = self.fresh_op();
                 self.set_phase(ClientPhase::ReadQuery {
                     addr,
-                    heard: 0,
+                    heard: Heard::for_n(self.n),
                     best: (Stamp::ZERO, 0),
                 });
                 self.broadcast(Payload::ReadQ { op, addr }, out);
@@ -366,7 +419,7 @@ impl Node {
                 self.set_phase(ClientPhase::WriteQuery {
                     addr,
                     value,
-                    heard: 0,
+                    heard: Heard::for_n(self.n),
                     best: Stamp::ZERO,
                 });
                 self.broadcast(Payload::WriteQ { op, addr }, out);
@@ -469,15 +522,13 @@ impl Node {
                     return;
                 }
                 if let ClientPhase::ReadQuery { addr, heard, best } = &mut self.phase {
-                    let bit = 1u128 << from;
-                    if *heard & bit != 0 {
+                    if !heard.insert(from) {
                         return; // duplicate / retransmitted reply
                     }
-                    *heard |= bit;
                     if stamp > best.0 {
                         *best = (stamp, value);
                     }
-                    if heard.count_ones() > self.n / 2 {
+                    if heard.count() > self.n / 2 {
                         // Phase 2: write back the freshest (stamp, value).
                         let (stamp, value) = *best;
                         let addr = *addr;
@@ -486,7 +537,7 @@ impl Node {
                             addr,
                             stamp,
                             value,
-                            heard: 0,
+                            heard: Heard::for_n(self.n),
                         });
                         self.broadcast(
                             Payload::Put {
@@ -511,15 +562,13 @@ impl Node {
                     best,
                 } = &mut self.phase
                 {
-                    let bit = 1u128 << from;
-                    if *heard & bit != 0 {
+                    if !heard.insert(from) {
                         return;
                     }
-                    *heard |= bit;
                     if stamp > *best {
                         *best = stamp;
                     }
-                    if heard.count_ones() > self.n / 2 {
+                    if heard.count() > self.n / 2 {
                         let addr = *addr;
                         let value = *value;
                         let stamp = best.next_for(self.id);
@@ -528,7 +577,7 @@ impl Node {
                             addr,
                             stamp,
                             value,
-                            heard: 0,
+                            heard: Heard::for_n(self.n),
                         });
                         self.broadcast(
                             Payload::Put {
@@ -547,24 +596,21 @@ impl Node {
                     return;
                 }
                 let quorum = self.quorum();
-                let bit = 1u128 << from;
                 match &mut self.phase {
                     ClientPhase::ReadBack { heard, value, .. } => {
-                        if *heard & bit != 0 {
+                        if !heard.insert(from) {
                             return;
                         }
-                        *heard |= bit;
-                        if heard.count_ones() >= quorum {
+                        if heard.count() >= quorum {
                             let v = *value;
                             self.finish_op(Some(v), out);
                         }
                     }
                     ClientPhase::WritePut { heard, .. } => {
-                        if *heard & bit != 0 {
+                        if !heard.insert(from) {
                             return;
                         }
-                        *heard |= bit;
-                        if heard.count_ones() >= quorum {
+                        if heard.count() >= quorum {
                             self.finish_op(None, out);
                         }
                     }
@@ -810,10 +856,7 @@ mod tests {
             &mut out,
         );
         // Phase must still be the original query with no replicas heard.
-        assert!(matches!(
-            node.phase,
-            ClientPhase::ReadQuery { heard: 0, .. }
-        ));
+        assert!(matches!(&node.phase, ClientPhase::ReadQuery { heard, .. } if heard.count() == 0));
     }
 
     #[test]
@@ -927,6 +970,53 @@ mod tests {
         assert_eq!(entries.len(), 6);
         assert_ne!(entries[0], entries[1], "cursor advances");
         assert_eq!(entries[0], entries[2], "and wraps");
+    }
+
+    #[test]
+    fn heard_mask_inline_and_spilled_agree() {
+        // The spilled representation must behave exactly like the
+        // inline mask: idempotent inserts, exact distinct counts.
+        for n in [1u32, 64, 128, 129, 130, 192, 257] {
+            let mut heard = Heard::for_n(n);
+            if n <= 128 {
+                assert!(matches!(heard, Heard::Inline(0)));
+            } else {
+                assert!(matches!(&heard, Heard::Spilled(w) if w.len() == n.div_ceil(64) as usize));
+            }
+            for id in 0..n {
+                assert!(heard.insert(id), "first insert of {id} (n = {n})");
+                assert!(!heard.insert(id), "duplicate insert of {id} (n = {n})");
+                assert_eq!(heard.count(), id + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn oversize_deployment_spills_mask_and_still_dedups() {
+        // Regression for the old `assert!(n <= 128)`: n = 129 must
+        // construct, and replica 128's reply must land in the spilled
+        // mask's second word without shadowing replica 64 (which shares
+        // its bit index mod 64).
+        let mut node = Node::new(0, 129, Bit::One, &sentinels());
+        let mut out = Vec::new();
+        node.kick(&mut out);
+        let op = node.current_op_id();
+        for from in [64u32, 128, 128] {
+            node.on_message(
+                Payload::ReadR {
+                    op,
+                    from,
+                    stamp: Stamp::ZERO,
+                    value: 0,
+                },
+                &mut out,
+            );
+        }
+        assert!(
+            matches!(&node.phase, ClientPhase::ReadQuery { heard, .. } if heard.count() == 2),
+            "expected 2 distinct replicas counted, phase = {:?}",
+            node.phase
+        );
     }
 
     #[test]

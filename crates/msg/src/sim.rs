@@ -32,7 +32,7 @@ use nc_sched::rng::salts;
 use nc_sched::{stream_rng, Noise};
 use rand::RngExt;
 
-use crate::faults::{NetFaultSpec, RecoverySpec};
+use crate::faults::{NetFaultError, NetFaultSpec, RecoverySpec};
 use crate::node::{Dest, Node, Outgoing, SharedPlane};
 use crate::proto::Payload;
 
@@ -137,7 +137,75 @@ impl MsgConfig {
         self.shared_plane = Some(nodes);
         self
     }
+
+    /// Checks the whole configuration, returning the first problem
+    /// found: a zero-node deployment, a crash plan that would destroy
+    /// the majority quorum, or a degenerate partition shape
+    /// ([`NetFaultSpec::validate`]).
+    ///
+    /// [`run_message_passing`] calls this eagerly, so a config error
+    /// surfaces at the entry point instead of panicking (or silently
+    /// no-opping) deep inside a worker thread. Service layers can call
+    /// it themselves to turn bad configs into recoverable errors.
+    pub fn validate(&self) -> Result<(), MsgConfigError> {
+        if self.n == 0 {
+            return Err(MsgConfigError::NoNodes);
+        }
+        // Count *distinct* in-range node ids: a plan may legitimately
+        // list the same node twice (first entry wins; rest are no-ops).
+        let mut crash_ids: Vec<u32> = self
+            .crashes
+            .iter()
+            .map(|&(node, _)| node)
+            .filter(|&node| (node as usize) < self.n)
+            .collect();
+        crash_ids.sort_unstable();
+        crash_ids.dedup();
+        if crash_ids.len() >= self.n.div_ceil(2) {
+            return Err(MsgConfigError::MajorityCrash {
+                crashed: crash_ids.len(),
+                n: self.n,
+            });
+        }
+        self.faults
+            .validate(self.n)
+            .map_err(MsgConfigError::Faults)?;
+        Ok(())
+    }
 }
+
+/// Why a [`MsgConfig`] is rejected (see [`MsgConfig::validate`]).
+#[derive(Clone, PartialEq, Debug)]
+pub enum MsgConfigError {
+    /// `n == 0`: there is nothing to run.
+    NoNodes,
+    /// The crash plan kills a majority of distinct nodes — the ABD
+    /// emulation requires `f < n/2`, so the run would block forever by
+    /// construction.
+    MajorityCrash {
+        /// Distinct in-range nodes the plan crashes.
+        crashed: usize,
+        /// Deployment size.
+        n: usize,
+    },
+    /// The fault plane holds a degenerate partition shape.
+    Faults(NetFaultError),
+}
+
+impl std::fmt::Display for MsgConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MsgConfigError::NoNodes => write!(f, "need at least one node"),
+            MsgConfigError::MajorityCrash { crashed, n } => write!(
+                f,
+                "crashing {crashed} of {n} nodes would destroy the majority quorum"
+            ),
+            MsgConfigError::Faults(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for MsgConfigError {}
 
 /// How a message-passing run ended.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -182,14 +250,6 @@ pub struct MsgReport {
     pub cut: u64,
     /// Per-node simulated time of first decision (`None` = never).
     pub decide_times: Vec<Option<f64>>,
-}
-
-impl MsgReport {
-    /// Whether every live node decided.
-    #[deprecated(note = "match on `outcome` instead (`Outcome::Decided`)")]
-    pub fn completed(&self) -> bool {
-        self.outcome == Outcome::Decided
-    }
 }
 
 /// A simulator event: a message delivery, a client retry timer, or a
@@ -272,28 +332,16 @@ fn arm_timer(
 ///
 /// # Panics
 ///
-/// Panics if `cfg.n == 0`, `cfg.n > 128`, or the crash schedule would
-/// kill a majority of **distinct** nodes (the ABD emulation requires
-/// `f < n/2`; a run configured to violate that would block forever by
-/// construction, so it is rejected eagerly).
+/// Panics if [`MsgConfig::validate`] rejects the configuration —
+/// `cfg.n == 0`, a crash schedule killing a majority of **distinct**
+/// nodes (the ABD emulation requires `f < n/2`; a run configured to
+/// violate that would block forever by construction), or a degenerate
+/// partition shape that would silently cut nothing. Call `validate`
+/// first to handle these as recoverable errors instead.
 pub fn run_message_passing(cfg: &MsgConfig, seed: u64) -> MsgReport {
-    assert!(cfg.n > 0, "need at least one node");
-    // Count *distinct* in-range node ids: a plan may legitimately list
-    // the same node twice (first entry wins; the rest are no-ops).
-    let mut crash_ids: Vec<u32> = cfg
-        .crashes
-        .iter()
-        .map(|&(node, _)| node)
-        .filter(|&node| (node as usize) < cfg.n)
-        .collect();
-    crash_ids.sort_unstable();
-    crash_ids.dedup();
-    assert!(
-        crash_ids.len() < cfg.n.div_ceil(2),
-        "crashing {} of {} nodes would destroy the majority quorum",
-        crash_ids.len(),
-        cfg.n
-    );
+    if let Err(e) = cfg.validate() {
+        panic!("{e}");
+    }
 
     let layout = RaceLayout::at_base(0);
     let sentinels: Vec<(nc_memory::Addr, Word)> = vec![
@@ -719,13 +767,55 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_completed_accessor_still_answers() {
-        let cfg = MsgConfig::new(3, Noise::Exponential { mean: 1.0 });
-        let report = run_message_passing(&cfg, 1);
-        #[allow(deprecated)]
-        let done = report.completed();
-        assert!(done);
+    fn oversize_deployment_decides_without_panicking() {
+        // Regression: n = 129 used to hit `assert!(n <= 128)` in the
+        // node's quorum bitmask; the spilled mask must now carry a full
+        // unanimous run to a decision.
+        let cfg =
+            MsgConfig::new(129, Noise::Exponential { mean: 1.0 }).with_inputs(vec![Bit::One; 129]);
+        assert_eq!(cfg.validate(), Ok(()));
+        let report = run_message_passing(&cfg, 2);
         assert_eq!(report.outcome, Outcome::Decided);
+        assert!(report.decisions.iter().all(|&d| d == Some(Bit::One)));
+        assert!(report.ops.iter().all(|&o| o == 8), "lean still costs 8 ops");
+    }
+
+    #[test]
+    fn validate_surfaces_config_errors_without_running() {
+        let zero = MsgConfig::new(0, Noise::Exponential { mean: 1.0 });
+        assert_eq!(zero.validate(), Err(MsgConfigError::NoNodes));
+
+        let majority =
+            MsgConfig::new(4, Noise::Exponential { mean: 1.0 }).with_crashes(vec![(0, 1), (1, 2)]);
+        assert_eq!(
+            majority.validate(),
+            Err(MsgConfigError::MajorityCrash { crashed: 2, n: 4 })
+        );
+
+        let degenerate = MsgConfig::new(4, Noise::Exponential { mean: 1.0 })
+            .with_faults(NetFaultSpec::none().with_partition(1.0, 1.0, vec![0]));
+        assert!(matches!(
+            degenerate.validate(),
+            Err(MsgConfigError::Faults(
+                crate::NetFaultError::EmptyWindow { .. }
+            ))
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "cuts nothing")]
+    fn degenerate_partitions_are_rejected_at_the_entry_point() {
+        let cfg = MsgConfig::new(4, Noise::Exponential { mean: 1.0 })
+            .with_faults(NetFaultSpec::none().with_partition(5.0, 5.0, vec![0]));
+        run_message_passing(&cfg, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "the cut is a no-op")]
+    fn full_side_partitions_are_rejected_at_the_entry_point() {
+        let cfg = MsgConfig::new(3, Noise::Exponential { mean: 1.0 })
+            .with_faults(NetFaultSpec::none().with_partition(0.0, 9.0, vec![0, 1, 2]));
+        run_message_passing(&cfg, 0);
     }
 
     #[test]

@@ -234,9 +234,7 @@ fn unhealed_partition_is_reported_as_starvation_not_cap_noise() {
     let report = run_message_passing(&cfg, 2);
     assert_eq!(report.outcome, Outcome::PartitionStarved);
     assert!(report.decisions[0].is_none() && report.decisions[1].is_none());
-    #[allow(deprecated)]
-    let done = report.completed();
-    assert!(!done);
+    assert_ne!(report.outcome, Outcome::Decided);
 }
 
 #[test]

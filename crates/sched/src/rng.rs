@@ -102,6 +102,11 @@ pub mod salts {
     pub const NET_FAULTS: u64 = 7;
     /// Gossip / anti-entropy scheduling jitter (`nc_msg` recovery plane).
     pub const GOSSIP: u64 = 8;
+    /// Per-instance seed derivation in the `nc_service` instance table
+    /// (`trial_seed(service_seed, instance_id, SERVICE)`), salted so a
+    /// service and a `TrialSet` sweep sharing a base seed never share a
+    /// per-run stream.
+    pub const SERVICE: u64 = 9;
 }
 
 #[cfg(test)]

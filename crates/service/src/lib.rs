@@ -1,0 +1,547 @@
+//! Consensus as a service: a sharded multi-shot instance manager.
+//!
+//! The paper's protocol decides a *single* binary consensus instance;
+//! production means millions of concurrent single-shot instances
+//! decided behind one front door. This crate is that front door:
+//!
+//! * **Front door.** [`NcService::propose`] feeds one proposal into an
+//!   instance identified by a caller-chosen `u64` id;
+//!   [`NcService::status`] answers where any instance stands
+//!   (unknown / accepting / queued / decided). Once an instance has
+//!   collected one proposal per process it becomes *ready* and is
+//!   queued on its shard.
+//! * **Sharded instance table.** Instances are sharded by id
+//!   (`id % shards`). Every instance derives its run seed as
+//!   `trial_seed(service_seed, id, salts::SERVICE)` — the REQUIRED
+//!   derivation, making each instance's schedule noise an independent
+//!   stream that depends only on the service seed and the instance id,
+//!   never on sharding or arrival order.
+//! * **Batched stepping.** Each shard owns one reusable
+//!   [`nc_engine::sim::SimRun`] handle and drives its ready queue
+//!   through it ([`SimRun::run_with_inputs`]), so queue allocations and
+//!   RNG scratch amortize across instances exactly the way
+//!   [`nc_engine::sim::TrialSet`] pools them across trials.
+//!   [`NcService::run_ready`] optionally fans independent shards across
+//!   worker threads.
+//! * **Commit-fact journals.** Deciding an instance appends an
+//!   immutable [`CommitFact`] (decide value, round count, op count) to
+//!   the shard's append-only journal. Because every fact is a pure
+//!   function of `(service config, id, proposals)`, the canonical
+//!   **reduced log** ([`NcService::reduced_log`], the id-sorted merge
+//!   of all shard journals) is byte-identical regardless of shard
+//!   count or worker threads — the same monotone-journal /
+//!   deterministic-reduction contract the aura exemplar ships, with
+//!   per-shard journal order itself already independent of threads
+//!   (it is the ready-queue order, fixed by the request stream).
+//!
+//! ```
+//! use nc_memory::Bit;
+//! use nc_service::{InstanceStatus, NcService, ServiceConfig};
+//!
+//! let mut svc = NcService::new(ServiceConfig::new(3, 2).with_seed(42));
+//! for id in 0..4u64 {
+//!     for p in 0..3 {
+//!         svc.propose(id, Bit::from((id + p) % 2 == 0)).unwrap();
+//!     }
+//! }
+//! svc.run_ready(1);
+//! for id in 0..4u64 {
+//!     assert!(matches!(svc.status(id), InstanceStatus::Decided(_)));
+//! }
+//! ```
+
+use std::collections::{HashMap, VecDeque};
+
+use nc_engine::sim::{Sim, SimRun};
+use nc_engine::{Algorithm, Limits};
+use nc_memory::Bit;
+use nc_sched::rng::{salts, trial_seed};
+use nc_sched::{Noise, TimingModel};
+
+pub mod loadgen;
+
+pub use loadgen::{drive_open_loop, LoadReport, LoadSpec};
+
+/// Configuration of one service: every instance runs `procs` processes
+/// of lean-consensus under the same timing model, and the table is
+/// split over `shards` shards.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Processes per instance (= proposals needed to make it ready).
+    pub procs: usize,
+    /// Number of shards (≥ 1); instance `id` lives on `id % shards`.
+    pub shards: usize,
+    /// Service seed; instance `id` runs with
+    /// `trial_seed(seed, id, salts::SERVICE)`.
+    pub seed: u64,
+    /// Timing model every instance is scheduled under.
+    pub timing: TimingModel,
+    /// Per-instance run limits (op budget etc.).
+    pub limits: Limits,
+}
+
+impl ServiceConfig {
+    /// A `procs`-process, `shards`-shard service with exponential(1)
+    /// noise, seed 0, and the default op budget.
+    pub fn new(procs: usize, shards: usize) -> Self {
+        ServiceConfig {
+            procs,
+            shards,
+            seed: 0,
+            timing: TimingModel::figure1(Noise::Exponential { mean: 1.0 }),
+            limits: Limits::run_to_completion(),
+        }
+    }
+
+    /// Replaces the service seed (builder-style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the timing model (builder-style).
+    pub fn with_timing(mut self, timing: TimingModel) -> Self {
+        self.timing = timing;
+        self
+    }
+
+    /// Replaces the per-instance limits (builder-style).
+    pub fn with_limits(mut self, limits: Limits) -> Self {
+        self.limits = limits;
+        self
+    }
+}
+
+/// The immutable record of one decided instance — the unit of the
+/// append-only shard journals. A fact is a pure function of
+/// `(service config, instance id, proposals)`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CommitFact {
+    /// The instance this fact decides.
+    pub id: u64,
+    /// The agreed value (`None` when the run exhausted its op budget
+    /// undecided — still a fact: the instance is closed).
+    pub value: Option<Bit>,
+    /// Round of the earliest decision (0 when undecided).
+    pub round: usize,
+    /// Total operations the instance executed across all processes.
+    pub ops: u64,
+}
+
+impl CommitFact {
+    /// The canonical one-line serialization (`id,value,round,ops`);
+    /// `value` is `0`, `1`, or `-` for undecided.
+    pub fn encode(&self) -> String {
+        let v = match self.value {
+            Some(Bit::Zero) => "0",
+            Some(Bit::One) => "1",
+            None => "-",
+        };
+        format!("{},{},{},{}\n", self.id, v, self.round, self.ops)
+    }
+}
+
+/// Canonical serialization of a journal slice: one [`CommitFact::encode`]
+/// line per fact, in slice order.
+pub fn encode_log(facts: &[CommitFact]) -> String {
+    let mut out = String::with_capacity(facts.len() * 16);
+    for fact in facts {
+        out.push_str(&fact.encode());
+    }
+    out
+}
+
+/// Where an instance stands, as answered by [`NcService::status`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum InstanceStatus {
+    /// Never heard of it.
+    Unknown,
+    /// Collecting proposals: `got` of `need` arrived.
+    Accepting {
+        /// Proposals received so far.
+        got: usize,
+        /// Proposals required (= configured `procs`).
+        need: usize,
+    },
+    /// Fully proposed, waiting on its shard's next batch.
+    Queued,
+    /// Decided; the commit fact is in its shard's journal.
+    Decided(CommitFact),
+}
+
+/// What [`NcService::propose`] did with the proposal.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ProposeOutcome {
+    /// Recorded; the instance still needs more proposals.
+    Accepted {
+        /// Proposals received so far.
+        got: usize,
+        /// Proposals required.
+        need: usize,
+    },
+    /// This proposal completed the instance: it is now queued on
+    /// `shard`, to be decided by the next [`NcService::run_ready`].
+    Ready {
+        /// The shard the instance was queued on.
+        shard: usize,
+    },
+}
+
+/// Why [`NcService::propose`] refused a proposal.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ServiceError {
+    /// The instance already collected all its proposals (it is queued
+    /// or decided); a single-shot instance never reopens.
+    InstanceClosed {
+        /// The refused instance.
+        id: u64,
+    },
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::InstanceClosed { id } => {
+                write!(f, "instance {id} is closed (queued or decided)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// One shard: a pooled engine handle, the ready queue it drains, and
+/// the append-only journal it feeds.
+struct Shard {
+    runner: SimRun,
+    ready: VecDeque<(u64, Vec<Bit>)>,
+    journal: Vec<CommitFact>,
+    /// Journal prefix already reflected in the instance table.
+    synced: usize,
+    seed: u64,
+}
+
+impl Shard {
+    fn new(cfg: &ServiceConfig) -> Self {
+        Shard {
+            runner: Sim::new(Algorithm::Lean)
+                .inputs(vec![Bit::Zero; cfg.procs])
+                .timing(cfg.timing.clone())
+                .limits(cfg.limits)
+                .build(),
+            ready: VecDeque::new(),
+            journal: Vec::new(),
+            synced: 0,
+            seed: cfg.seed,
+        }
+    }
+
+    /// Decides every queued instance through the pooled handle,
+    /// appending one commit fact each. Returns facts appended.
+    fn drain(&mut self) -> usize {
+        let drained = self.ready.len();
+        while let Some((id, inputs)) = self.ready.pop_front() {
+            let seed = trial_seed(self.seed, id, salts::SERVICE);
+            let report = self.runner.run_with_inputs(seed, &inputs);
+            self.journal.push(CommitFact {
+                id,
+                value: report.agreement_value(),
+                round: report.first_decision_round.unwrap_or(0),
+                ops: report.total_ops,
+            });
+        }
+        drained
+    }
+}
+
+/// The sharded multi-shot instance manager. See the crate docs for the
+/// architecture; [`ServiceConfig`] for the knobs.
+pub struct NcService {
+    cfg: ServiceConfig,
+    table: HashMap<u64, InstanceStatus>,
+    /// Proposals buffered for still-accepting instances (drained into
+    /// the shard ready queue on the final proposal).
+    pending_inputs: HashMap<u64, Vec<Bit>>,
+    shards: Vec<Shard>,
+}
+
+impl NcService {
+    /// Builds an empty service.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `procs == 0` or `shards == 0`.
+    pub fn new(cfg: ServiceConfig) -> Self {
+        assert!(cfg.procs >= 1, "need at least one process per instance");
+        assert!(cfg.shards >= 1, "need at least one shard");
+        let shards = (0..cfg.shards).map(|_| Shard::new(&cfg)).collect();
+        NcService {
+            cfg,
+            table: HashMap::new(),
+            pending_inputs: HashMap::new(),
+            shards,
+        }
+    }
+
+    /// The configuration this service was built with.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.cfg
+    }
+
+    /// The shard instance `id` lives on.
+    pub fn shard_of(&self, id: u64) -> usize {
+        (id % self.cfg.shards as u64) as usize
+    }
+
+    /// The run seed instance `id` executes under — the REQUIRED
+    /// `trial_seed` derivation, shared with no other instance or sweep.
+    pub fn instance_seed(&self, id: u64) -> u64 {
+        trial_seed(self.cfg.seed, id, salts::SERVICE)
+    }
+
+    /// Feeds one proposal into instance `id`. The `procs`-th proposal
+    /// makes the instance ready and queues it on its shard; proposing
+    /// into a queued or decided instance is refused (single-shot).
+    pub fn propose(&mut self, id: u64, value: Bit) -> Result<ProposeOutcome, ServiceError> {
+        let need = self.cfg.procs;
+        let shard = (id % self.cfg.shards as u64) as usize;
+        let entry = self
+            .table
+            .entry(id)
+            .or_insert(InstanceStatus::Accepting { got: 0, need });
+        let InstanceStatus::Accepting { got, .. } = entry else {
+            return Err(ServiceError::InstanceClosed { id });
+        };
+        *got += 1;
+        let got = *got;
+        self.pending_inputs
+            .entry(id)
+            .or_insert_with(|| Vec::with_capacity(need))
+            .push(value);
+        if got == need {
+            let inputs = self.pending_inputs.remove(&id).expect("buffered above");
+            self.table.insert(id, InstanceStatus::Queued);
+            self.shards[shard].ready.push_back((id, inputs));
+            Ok(ProposeOutcome::Ready { shard })
+        } else {
+            Ok(ProposeOutcome::Accepted { got, need })
+        }
+    }
+
+    /// Where instance `id` stands.
+    pub fn status(&self, id: u64) -> InstanceStatus {
+        self.table
+            .get(&id)
+            .copied()
+            .unwrap_or(InstanceStatus::Unknown)
+    }
+
+    /// Decides every ready instance, fanning independent shards over up
+    /// to `threads` workers (`0` and `1` both mean serial). Returns the
+    /// newly appended commit facts in canonical order (by shard, then
+    /// ready-queue order) — the same facts regardless of `threads`.
+    pub fn run_ready(&mut self, threads: usize) -> Vec<CommitFact> {
+        let workers = threads.max(1).min(self.shards.len());
+        if workers <= 1 {
+            for shard in self.shards.iter_mut() {
+                shard.drain();
+            }
+        } else {
+            let per = self.shards.len().div_ceil(workers);
+            std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for chunk in self.shards.chunks_mut(per) {
+                    handles.push(scope.spawn(move || {
+                        for shard in chunk {
+                            shard.drain();
+                        }
+                    }));
+                }
+                for handle in handles {
+                    handle.join().expect("shard worker panicked");
+                }
+            });
+        }
+        // Serial post-pass: publish the new facts into the table.
+        let mut fresh = Vec::new();
+        for shard in self.shards.iter_mut() {
+            for fact in &shard.journal[shard.synced..] {
+                self.table.insert(fact.id, InstanceStatus::Decided(*fact));
+                fresh.push(*fact);
+            }
+            shard.synced = shard.journal.len();
+        }
+        fresh
+    }
+
+    /// Instances queued and not yet decided, across all shards.
+    pub fn queued(&self) -> usize {
+        self.shards.iter().map(|s| s.ready.len()).sum()
+    }
+
+    /// Shard `s`'s append-only commit-fact journal.
+    pub fn commit_log(&self, s: usize) -> &[CommitFact] {
+        &self.shards[s].journal
+    }
+
+    /// Canonical bytes of shard `s`'s journal.
+    pub fn commit_log_bytes(&self, s: usize) -> String {
+        encode_log(&self.shards[s].journal)
+    }
+
+    /// The canonical reduced commit log: all shard journals merged and
+    /// sorted by instance id, serialized. Byte-identical for the same
+    /// request stream regardless of shard count or worker threads —
+    /// facts are immutable and the id-sorted union is their join.
+    pub fn reduced_log(&self) -> String {
+        let mut facts: Vec<CommitFact> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.journal.iter().copied())
+            .collect();
+        facts.sort_unstable_by_key(|f| f.id);
+        encode_log(&facts)
+    }
+
+    /// Total commit facts across all shards.
+    pub fn decided(&self) -> usize {
+        self.shards.iter().map(|s| s.journal.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill(svc: &mut NcService, id: u64) {
+        let procs = svc.config().procs;
+        for p in 0..procs {
+            svc.propose(id, Bit::from((id + p as u64).is_multiple_of(2)))
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn front_door_lifecycle() {
+        let mut svc = NcService::new(ServiceConfig::new(3, 2).with_seed(5));
+        assert_eq!(svc.status(9), InstanceStatus::Unknown);
+        assert_eq!(
+            svc.propose(9, Bit::One),
+            Ok(ProposeOutcome::Accepted { got: 1, need: 3 })
+        );
+        assert_eq!(svc.status(9), InstanceStatus::Accepting { got: 1, need: 3 });
+        svc.propose(9, Bit::Zero).unwrap();
+        assert_eq!(
+            svc.propose(9, Bit::One),
+            Ok(ProposeOutcome::Ready { shard: 1 })
+        );
+        assert_eq!(svc.status(9), InstanceStatus::Queued);
+        assert_eq!(
+            svc.propose(9, Bit::One),
+            Err(ServiceError::InstanceClosed { id: 9 })
+        );
+        let fresh = svc.run_ready(1);
+        assert_eq!(fresh.len(), 1);
+        assert_eq!(fresh[0].id, 9);
+        let InstanceStatus::Decided(fact) = svc.status(9) else {
+            panic!("instance 9 must be decided");
+        };
+        assert_eq!(fact, fresh[0]);
+        assert!(fact.value.is_some());
+        assert!(fact.round >= 1);
+        assert!(fact.ops >= 1);
+        assert_eq!(
+            svc.propose(9, Bit::Zero),
+            Err(ServiceError::InstanceClosed { id: 9 })
+        );
+    }
+
+    #[test]
+    fn unanimous_instances_decide_their_input() {
+        // Validity survives the service plumbing: an all-ones instance
+        // must commit 1, an all-zeros instance 0.
+        let mut svc = NcService::new(ServiceConfig::new(4, 2).with_seed(3));
+        for _ in 0..4 {
+            svc.propose(0, Bit::Zero).unwrap();
+            svc.propose(1, Bit::One).unwrap();
+        }
+        svc.run_ready(1);
+        let facts: Vec<CommitFact> = svc
+            .run_ready(1)
+            .is_empty()
+            .then(|| {
+                let mut all: Vec<CommitFact> = (0..2)
+                    .flat_map(|s| svc.commit_log(s).iter().copied())
+                    .collect();
+                all.sort_unstable_by_key(|f| f.id);
+                all
+            })
+            .unwrap();
+        assert_eq!(facts[0].value, Some(Bit::Zero));
+        assert_eq!(facts[1].value, Some(Bit::One));
+        // The reduced log is exactly these facts in id order.
+        assert_eq!(svc.reduced_log(), encode_log(&facts));
+    }
+
+    #[test]
+    fn instance_seeds_use_the_required_derivation() {
+        let svc = NcService::new(ServiceConfig::new(3, 4).with_seed(77));
+        assert_eq!(
+            svc.instance_seed(12),
+            nc_sched::rng::trial_seed(77, 12, nc_sched::rng::salts::SERVICE)
+        );
+        assert_eq!(svc.shard_of(12), 0);
+        assert_eq!(svc.shard_of(13), 1);
+    }
+
+    #[test]
+    fn commit_fact_encoding_is_canonical() {
+        let fact = CommitFact {
+            id: 42,
+            value: Some(Bit::One),
+            round: 3,
+            ops: 120,
+        };
+        assert_eq!(fact.encode(), "42,1,3,120\n");
+        let undecided = CommitFact {
+            id: 7,
+            value: None,
+            round: 0,
+            ops: 999,
+        };
+        assert_eq!(undecided.encode(), "7,-,0,999\n");
+        assert_eq!(encode_log(&[fact, undecided]), "42,1,3,120\n7,-,0,999\n");
+    }
+
+    #[test]
+    fn journals_are_append_only_across_batches() {
+        let mut svc = NcService::new(ServiceConfig::new(3, 1).with_seed(1));
+        fill(&mut svc, 0);
+        svc.run_ready(1);
+        let after_first = svc.commit_log_bytes(0);
+        fill(&mut svc, 1);
+        svc.run_ready(1);
+        let after_second = svc.commit_log_bytes(0);
+        assert!(
+            after_second.starts_with(&after_first),
+            "a later batch rewrote committed facts"
+        );
+        assert_eq!(svc.decided(), 2);
+    }
+
+    #[test]
+    fn op_budget_exhaustion_closes_the_instance_undecided() {
+        // A starvation-tight budget cannot decide; the instance must
+        // still close with a `value: None` fact instead of wedging.
+        let cfg = ServiceConfig::new(4, 1)
+            .with_seed(2)
+            .with_limits(Limits::run_to_completion().with_max_ops(4));
+        let mut svc = NcService::new(cfg);
+        fill(&mut svc, 0);
+        let fresh = svc.run_ready(1);
+        assert_eq!(fresh.len(), 1);
+        assert_eq!(fresh[0].value, None);
+        assert_eq!(fresh[0].round, 0);
+        assert!(matches!(svc.status(0), InstanceStatus::Decided(_)));
+    }
+}

@@ -21,6 +21,7 @@
 //! | [`backup`] | `nc-backup` | bounded-space randomized backup consensus (§8) |
 //! | [`theory`] | `nc-theory` | renewal races (Theorem 10), Lemma 5, statistics |
 //! | [`msg`] | `nc-msg` | §10 extension: ABD register emulation over noisy channels |
+//! | [`service`] | `nc-service` | consensus as a service: sharded multi-shot instance manager |
 //!
 //! The most common items are re-exported at the crate root.
 //!
@@ -84,6 +85,7 @@ pub use nc_engine as engine;
 pub use nc_memory as memory;
 pub use nc_msg as msg;
 pub use nc_sched as sched;
+pub use nc_service as service;
 pub use nc_theory as theory;
 
 pub use nc_core::{
@@ -96,3 +98,4 @@ pub use nc_memory::{
     Word,
 };
 pub use nc_sched::{Noise, TimingModel};
+pub use nc_service::{CommitFact, InstanceStatus, NcService, ServiceConfig};
