@@ -1,6 +1,7 @@
 //! Machine-readable service-layer benchmark: measures the `nc_service`
 //! sharded instance manager's sustained throughput and decide latency,
-//! then writes `BENCH_service.json` (alongside `BENCH_engine.json` and
+//! with and without the durable commit journal, then writes
+//! `BENCH_service.json` (alongside `BENCH_engine.json` and
 //! `BENCH_msg.json`) so future PRs can track the trajectory.
 //!
 //! Usage:
@@ -13,55 +14,104 @@
 //!
 //! * **saturation** — every instance arrives at t = 0; sustained
 //!   decided-instances/sec is the shard fan-out's throughput (best-of-R
-//!   wall time, worker threads = shard count);
+//!   wall time, worker threads = shard count), measured journal-off
+//!   and journal-on (per-shard segmented on-disk commit journals);
 //! * **open loop** — instances arrive on a virtual clock at 50% of the
-//!   cell's measured saturation throughput; p99 decide latency
-//!   (scheduled arrival → decided, so backlog is charged to the
-//!   service) is the tail the front door shows a non-saturating
+//!   cell's measured journal-off saturation throughput; p99 decide
+//!   latency (scheduled arrival → decided, so backlog is charged to
+//!   the service) is the tail the front door shows a non-saturating
 //!   client.
 
 use std::io::Write as _;
+use std::path::PathBuf;
 
 use nc_bench::arg;
-use nc_service::{drive_open_loop, LoadSpec, NcService, ServiceConfig};
+use nc_service::{drive_open_loop, LoadSpec, NcService, Retention, ServiceConfig};
 
 const REPEATS: usize = 3;
 
 struct Cell {
     shards: usize,
     decided_per_sec: f64,
+    decided_per_sec_journal: f64,
+    journal_overhead: f64,
     open_loop_rate: f64,
     p50_latency_ms: f64,
     p99_latency_ms: f64,
     max_latency_ms: f64,
 }
 
-fn service(procs: usize, shards: usize, seed: u64) -> NcService {
-    NcService::new(ServiceConfig::new(procs, shards).with_seed(seed))
+/// A scratch directory under the OS temp dir, removed on drop, so
+/// journal-on repeats always start from an empty journal.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("bench-service-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create journal scratch dir");
+        TempDir(dir)
+    }
 }
 
-fn bench_cell(instances: u64, procs: usize, shards: usize, seed: u64) -> Cell {
-    // Saturation: best-of-R sustained throughput with one worker per
-    // shard (a fresh service per repeat — instances are single-shot).
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn service(procs: usize, shards: usize, seed: u64, journal_dir: Option<&PathBuf>) -> NcService {
+    let mut builder = ServiceConfig::builder()
+        .procs(procs)
+        .shards(shards)
+        .seed(seed)
+        // Journal-on runs also exercise the retention plane the way a
+        // durable deployment would: decided instances are evicted from
+        // the resident table once their facts are on disk.
+        .retention(if journal_dir.is_some() {
+            Retention::DecidedCap(256)
+        } else {
+            Retention::KeepAll
+        });
+    if let Some(dir) = journal_dir {
+        builder = builder.journal_dir(dir);
+    }
+    NcService::new(builder.build().expect("static bench config is valid"))
+}
+
+/// Best-of-R saturation throughput for one (journal on/off) variant.
+fn saturation(instances: u64, procs: usize, shards: usize, seed: u64, journal: bool) -> f64 {
     let mut best = 0.0f64;
-    for _ in 0..REPEATS {
-        let mut svc = service(procs, shards, seed);
+    for rep in 0..REPEATS {
+        let scratch = journal.then(|| TempDir::new(&format!("s{shards}-r{rep}")));
+        let mut svc = service(procs, shards, seed, scratch.as_ref().map(|t| &t.0));
         let report = drive_open_loop(&mut svc, &LoadSpec::saturating(instances), shards);
         assert_eq!(report.decided, instances);
         best = best.max(report.decided_per_sec);
     }
+    best
+}
 
-    // Open loop at half the measured saturation rate: the offered load
-    // a healthy deployment would run at, where p99 measures scheduling
-    // tail rather than pure backlog drain.
+fn bench_cell(instances: u64, procs: usize, shards: usize, seed: u64) -> Cell {
+    // Saturation, journal off and on (a fresh service per repeat —
+    // instances are single-shot; a fresh journal dir per journal-on
+    // repeat so replay cost never pollutes the append measurement).
+    let best = saturation(instances, procs, shards, seed, false);
+    let best_journal = saturation(instances, procs, shards, seed, true);
+
+    // Open loop at half the measured journal-off saturation rate: the
+    // offered load a healthy deployment would run at, where p99
+    // measures scheduling tail rather than pure backlog drain.
     let rate = best * 0.5;
-    let mut svc = service(procs, shards, seed);
+    let mut svc = service(procs, shards, seed, None);
     let open = drive_open_loop(&mut svc, &LoadSpec::open_loop(instances, rate), shards);
     assert_eq!(open.decided, instances);
 
     Cell {
         shards,
         decided_per_sec: best,
+        decided_per_sec_journal: best_journal,
+        journal_overhead: best / best_journal,
         open_loop_rate: rate,
         p50_latency_ms: open.p50_latency * 1e3,
         p99_latency_ms: open.p99_latency * 1e3,
@@ -85,16 +135,18 @@ fn main() {
     for (i, c) in cells.iter().enumerate() {
         let speedup = c.decided_per_sec / base;
         eprintln!(
-            "shards {}: {:.0} decided/s ({speedup:.2}x single-shard), open loop @ {:.0}/s: p50 {:.2} ms, p99 {:.2} ms",
-            c.shards, c.decided_per_sec, c.open_loop_rate, c.p50_latency_ms, c.p99_latency_ms,
+            "shards {}: {:.0} decided/s journal-off, {:.0} decided/s journal-on ({:.2}x overhead), open loop @ {:.0}/s: p50 {:.2} ms, p99 {:.2} ms",
+            c.shards, c.decided_per_sec, c.decided_per_sec_journal, c.journal_overhead, c.open_loop_rate, c.p50_latency_ms, c.p99_latency_ms,
         );
         if i > 0 {
             rows.push(',');
         }
         rows.push_str(&format!(
-            "\n    {{\"shards\": {}, \"decided_per_sec\": {:.1}, \"speedup_vs_one_shard\": {speedup:.3}, \"open_loop_rate_per_sec\": {:.1}, \"p50_decide_latency_ms\": {:.3}, \"p99_decide_latency_ms\": {:.3}, \"max_decide_latency_ms\": {:.3}}}",
+            "\n    {{\"shards\": {}, \"decided_per_sec\": {:.1}, \"decided_per_sec_journal_on\": {:.1}, \"journal_overhead_x\": {:.3}, \"speedup_vs_one_shard\": {speedup:.3}, \"open_loop_rate_per_sec\": {:.1}, \"p50_decide_latency_ms\": {:.3}, \"p99_decide_latency_ms\": {:.3}, \"max_decide_latency_ms\": {:.3}}}",
             c.shards,
             c.decided_per_sec,
+            c.decided_per_sec_journal,
+            c.journal_overhead,
             c.open_loop_rate,
             c.p50_latency_ms,
             c.p99_latency_ms,
@@ -103,7 +155,7 @@ fn main() {
     }
 
     let json = format!(
-        "{{\n  \"workload\": \"nc_service front door: {instances} single-shot instances of {procs}-process lean-consensus (exponential(1) delays, deterministic loadgen proposal stream), one worker thread per shard\",\n  \"instances\": {instances},\n  \"procs\": {procs},\n  \"cells\": [{rows}\n  ],\n  \"notes\": \"Numbers from `cargo run --release -p nc-bench --bin bench_service`; decided_per_sec is saturation throughput (all instances arrive at t = 0, best-of-{REPEATS}); latency cells replay the same stream open-loop at 50% of that cell's measured saturation rate, with decide latency measured from each instance's scheduled arrival to the end of the batch that decided it (backlog charged to the service). The commit logs these runs produce are byte-identical across shard counts and worker threads; see E19 and crates/service/tests/determinism.rs.\"\n}}\n"
+        "{{\n  \"workload\": \"nc_service front door: {instances} single-shot instances of {procs}-process lean-consensus (exponential(1) delays, deterministic loadgen proposal stream), one worker thread per shard\",\n  \"instances\": {instances},\n  \"procs\": {procs},\n  \"cells\": [{rows}\n  ],\n  \"notes\": \"Numbers from `cargo run --release -p nc-bench --bin bench_service`; decided_per_sec is saturation throughput (all instances arrive at t = 0, best-of-{REPEATS}); decided_per_sec_journal_on repeats the same stream with per-shard segmented on-disk commit journals plus DecidedCap(256) eviction (fresh journal dir per repeat), and journal_overhead_x is off/on; latency cells replay the stream open-loop at 50% of that cell's journal-off saturation rate, with decide latency measured from each instance's scheduled arrival to the end of the batch that decided it (backlog charged to the service). The commit logs these runs produce are byte-identical across shard counts, worker threads, and kill-and-reopen; see E19/E20 and crates/service/tests/persistence.rs.\"\n}}\n"
     );
     let mut file = std::fs::File::create(&out).expect("create output file");
     file.write_all(json.as_bytes()).expect("write json");

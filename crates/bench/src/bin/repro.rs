@@ -1,5 +1,5 @@
 //! The one experiment driver: runs any subset of the scenario registry
-//! (E1–E19), writes CSVs plus a byte-reproducible `manifest.json` and
+//! (E1–E20), writes CSVs plus a byte-reproducible `manifest.json` and
 //! a wall-clock `timings.json` sidecar, and optionally byte-checks the
 //! output (CSVs and manifest) against a golden directory.
 //!
@@ -27,16 +27,18 @@
 //! `--scale K`, `--trials T`, `--size S` (override the selected tier's
 //! preset knobs on every selected scenario — e.g. a quick mid-size
 //! Figure 1 is `--only E1 --trials 50 --size 20`), `--seed S`,
-//! `--out-dir DIR`, `--check DIR`, `--threads N`. Exit status is
-//! nonzero on unknown ids or golden drift.
+//! `--out-dir DIR`, `--check DIR`, `--threads N`, `--journal-dir DIR`
+//! (scratch root for E20's on-disk commit journals — out-of-band
+//! state that never moves a CSV byte, so it composes with `--check`).
+//! Exit status is nonzero on unknown ids or golden drift.
 
 use std::path::Path;
 use std::process::ExitCode;
 use std::time::Instant;
 
 use nc_bench::scenario::{
-    by_id, catalogue_markdown, manifest_json, timings_json, Preset, RunRecord, Scenario, REGISTRY,
-    SMOKE_SEED,
+    by_id, catalogue_markdown, manifest_json, timings_json, Preset, RunCtx, RunRecord, Scenario,
+    REGISTRY, SMOKE_SEED,
 };
 use nc_bench::{arg, flag};
 
@@ -75,6 +77,16 @@ fn main() -> ExitCode {
     let seed: u64 = arg("seed", SMOKE_SEED);
     let out_dir = arg::<String>("out-dir", "results".into());
     let check_dir = arg::<String>("check", String::new());
+    // Scratch root for journal-exercising scenarios. Deliberately NOT
+    // part of the --check refusal below: the journal location is
+    // out-of-band state that must never change a CSV, so checking the
+    // goldens with an explicit --journal-dir is a meaningful CI leg.
+    let ctx = RunCtx {
+        journal_dir: match arg::<String>("journal-dir", String::new()) {
+            dir if dir.is_empty() => None,
+            dir => Some(dir.into()),
+        },
+    };
     // Per-run preset overrides (0 = keep the selected tier's value).
     let trials_override: u64 = arg("trials", 0);
     let size_override: usize = arg("size", 0);
@@ -131,7 +143,7 @@ fn main() -> ExitCode {
         }
         println!(">>> {} {} [{}]", spec.id, spec.title, spec.describe(preset));
         let start = Instant::now();
-        let tables = sc.run(preset, seed, threads);
+        let tables = sc.run_ctx(preset, seed, threads, &ctx);
         let wall_ms = start.elapsed().as_millis();
         assert_eq!(
             tables.len(),

@@ -20,11 +20,13 @@
 //! | [`value_faults`] | E15 | related-work value faults (ε-noise, stuck registers) |
 //! | [`partitions`] | E17 | §10 extension: network faults, partitions, gossip recovery |
 //! | [`service`] | E19 | multi-instance deployment: the `nc_service` sharded instance manager |
+//! | [`durability`] | E20 | durable service plane: commit journals, eviction, crash recovery |
 
 pub mod ablation;
 pub mod baseline;
 pub mod bounded;
 pub mod crashes;
+pub mod durability;
 pub mod fig1;
 pub mod hybrid;
 pub mod lower;

@@ -85,7 +85,13 @@ pub fn run_shard_sweep(instances: u64, procs: usize, seed: u64, threads: usize) 
         ],
     );
     for shards in [1usize, 2, 4] {
-        let mut svc = NcService::new(ServiceConfig::new(procs, shards).with_seed(seed));
+        let cfg = ServiceConfig::builder()
+            .procs(procs)
+            .shards(shards)
+            .seed(seed)
+            .build()
+            .expect("static E19 config is valid");
+        let mut svc = NcService::new(cfg);
         for id in 0..instances {
             for value in loadgen::proposals_for(id, procs) {
                 svc.propose(id, value).expect("fresh instance ids");

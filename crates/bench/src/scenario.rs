@@ -20,9 +20,11 @@
 //!   regression fingerprint of the entire experiment pipeline: engine,
 //!   scheduler, statistics, and formatting.
 
+use std::path::PathBuf;
+
 use crate::experiments::{
-    ablation, baseline, bounded, crashes, fig1, hybrid, lower, msgpass, partitions, race, scaling,
-    service, statistical, unfair, validity, value_faults,
+    ablation, baseline, bounded, crashes, durability, fig1, hybrid, lower, msgpass, partitions,
+    race, scaling, service, statistical, unfair, validity, value_faults,
 };
 use crate::table::Table;
 
@@ -102,6 +104,18 @@ impl Spec {
     }
 }
 
+/// Out-of-band execution context the `repro` driver passes to every
+/// scenario: scratch-state knobs (where on-disk journals live) that
+/// must **never** change a scenario's CSV bytes — the golden harness
+/// runs with a default context and would catch any leak.
+#[derive(Clone, Debug, Default)]
+pub struct RunCtx {
+    /// Scratch root for scenarios that exercise the on-disk commit
+    /// journal (E20); `None` means each run makes (and removes) its
+    /// own temp directory. Set by `repro --journal-dir DIR`.
+    pub journal_dir: Option<PathBuf>,
+}
+
 /// A registered experiment: a static descriptor plus a preset-driven
 /// runner returning one table per declared output file.
 pub trait Scenario: Sync {
@@ -115,12 +129,21 @@ pub trait Scenario: Sync {
     /// pure function of `(preset, seed)` — bit-identical at every
     /// worker count (pinned by the determinism tests).
     fn run(&self, preset: Preset, seed: u64, threads: usize) -> Vec<Table>;
+    /// [`Scenario::run`] with an execution context. Scenarios with
+    /// out-of-band scratch state (E20's journal directory) override
+    /// this; everyone else ignores the context. Same purity contract:
+    /// the tables are a function of `(preset, seed)` only, never of
+    /// `ctx`.
+    fn run_ctx(&self, preset: Preset, seed: u64, threads: usize, ctx: &RunCtx) -> Vec<Table> {
+        let _ = ctx;
+        self.run(preset, seed, threads)
+    }
 }
 
 /// Every registered scenario, in experiment-id order. (E12 was folded
 /// into E8's failure variant in DESIGN.md, and E16/E18 — the
 /// adversary-strategy search and rumor-spreading consensus — are still
-/// open in ROADMAP.md, hence 16 entries for E1–E19.)
+/// open in ROADMAP.md, hence 17 entries for E1–E20.)
 pub const REGISTRY: &[&dyn Scenario] = &[
     &fig1::Fig1,
     &validity::ValidityCost,
@@ -138,6 +161,7 @@ pub const REGISTRY: &[&dyn Scenario] = &[
     &value_faults::ValueFaults,
     &partitions::Partitions,
     &service::ServiceLayer,
+    &durability::Durability,
 ];
 
 /// Looks up a scenario by id (case-insensitive).
@@ -331,7 +355,7 @@ mod tests {
         let mut sorted = nums.clone();
         sorted.sort_unstable();
         assert_eq!(nums, sorted, "registry must stay in E-number order");
-        assert_eq!(ids.len(), 16);
+        assert_eq!(ids.len(), 17);
     }
 
     #[test]
@@ -342,7 +366,7 @@ mod tests {
                 assert!(seen.insert(*out), "output {out} declared twice");
             }
         }
-        assert_eq!(seen.len(), 23, "23 CSV artifacts across the suite");
+        assert_eq!(seen.len(), 24, "24 CSV artifacts across the suite");
     }
 
     #[test]

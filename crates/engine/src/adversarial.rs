@@ -8,46 +8,29 @@
 
 use nc_core::{Protocol, Status};
 use nc_memory::MemStore;
-use nc_sched::adversary::{Adversary, CrashAdversary, NoCrashes, ProcView};
+use nc_sched::adversary::{Adversary, CrashAdversary, ProcView};
 
 use crate::report::{Limits, RunOutcome, RunReport};
 use crate::setup::Instance;
 
-/// Runs an instance under a schedule chosen step-by-step by `adversary`.
+/// The adversarial driver beneath [`crate::sim::Sim::adversary`]: runs
+/// an instance under a schedule chosen step-by-step by `adversary`,
+/// with an adaptive crash adversary consulted after every executed
+/// operation (pass [`nc_sched::adversary::NoCrashes`] for none).
 ///
 /// The adversary is consulted before every operation with the current
 /// view (enabled flags, rounds, step counts) and must name an enabled
 /// process; returning `None` ends the run with
 /// [`RunOutcome::ScheduleExhausted`].
 ///
+/// Prefer [`crate::sim::Sim`] — this internal is exported so the
+/// equivalence suites can pin the builder against it directly.
+///
 /// # Panics
 ///
 /// Panics if the adversary names a disabled process (an adversary
 /// implementation bug).
-#[deprecated(note = "drive runs through `nc_engine::sim::Sim::adversary` instead")]
-pub fn run_adversarial(
-    inst: &mut Instance,
-    adversary: &mut dyn Adversary,
-    limits: Limits,
-) -> RunReport {
-    drive_adversarial(inst, adversary, &mut NoCrashes, limits)
-}
-
-/// [`run_adversarial`] plus an adaptive crash adversary, consulted after
-/// every executed operation.
-#[deprecated(note = "use `nc_engine::sim::Sim::adversary` with `Sim::crash_adversary` instead")]
-pub fn run_adversarial_with(
-    inst: &mut Instance,
-    adversary: &mut dyn Adversary,
-    crash: &mut dyn CrashAdversary,
-    limits: Limits,
-) -> RunReport {
-    drive_adversarial(inst, adversary, crash, limits)
-}
-
-/// The adversarial driver behind both the [`crate::sim`] API and the
-/// deprecated `run_adversarial*` wrappers.
-pub(crate) fn drive_adversarial<M: MemStore, P: Protocol<M>>(
+pub fn drive_adversarial<M: MemStore, P: Protocol<M>>(
     inst: &mut Instance<P, M>,
     adversary: &mut dyn Adversary,
     crash: &mut dyn CrashAdversary,
@@ -145,17 +128,26 @@ pub(crate) fn drive_adversarial<M: MemStore, P: Protocol<M>>(
 }
 
 #[cfg(test)]
-// These unit tests deliberately pin the deprecated wrappers (the
+// These unit tests pin the drive_adversarial internal directly (the
 // builder side is pinned by tests/sim_equivalence.rs).
-#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::setup::{self, Algorithm};
     use nc_memory::Bit;
     use nc_sched::adversary::{
-        AntiLeader, LeaderKiller, RandomInterleave, RoundRobin, Script, Solo,
+        AntiLeader, LeaderKiller, NoCrashes, RandomInterleave, RoundRobin, Script, Solo,
     };
     use nc_sched::stream_rng;
+
+    /// [`drive_adversarial`] without crashes — the shape most tests
+    /// here want.
+    fn run_adversarial(
+        inst: &mut Instance,
+        adversary: &mut dyn Adversary,
+        limits: Limits,
+    ) -> RunReport {
+        drive_adversarial(inst, adversary, &mut NoCrashes, limits)
+    }
 
     #[test]
     fn round_robin_unanimous_decides_in_8_ops_each() {
@@ -242,7 +234,7 @@ mod tests {
         let inputs = setup::alternating(3);
         let mut inst = setup::build(Algorithm::Lean, &inputs, 0);
         let mut crash = nc_sched::adversary::CrashScript::new(vec![(0, 1), (1, 1), (2, 1)]);
-        let report = run_adversarial_with(
+        let report = drive_adversarial(
             &mut inst,
             &mut RoundRobin::new(),
             &mut crash,
@@ -262,7 +254,7 @@ mod tests {
             let mut inst = setup::build(Algorithm::Lean, &inputs, seed);
             let mut adv = RandomInterleave::new(stream_rng(seed, 1, 4));
             let mut killer = LeaderKiller::new(2, 2);
-            let report = run_adversarial_with(
+            let report = drive_adversarial(
                 &mut inst,
                 &mut adv,
                 &mut killer,

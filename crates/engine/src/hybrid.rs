@@ -17,25 +17,17 @@ use nc_sched::hybrid::{HybridPolicy, HybridSpec, HybridView};
 use crate::report::{Limits, RunOutcome, RunReport};
 use crate::setup::Instance;
 
-/// Runs an instance on a hybrid-scheduled uniprocessor.
+/// The hybrid-uniprocessor driver beneath [`crate::sim::Sim::hybrid`]:
+/// runs an instance on a hybrid-scheduled uniprocessor.
+///
+/// Prefer [`crate::sim::Sim`] — this internal is exported so the
+/// equivalence suites can pin the builder against it directly.
 ///
 /// # Panics
 ///
 /// Panics if `spec` is sized for a different process count than the
 /// instance, or if the policy picks an illegal process.
-#[deprecated(note = "drive runs through `nc_engine::sim::Sim::hybrid` instead")]
-pub fn run_hybrid(
-    inst: &mut Instance,
-    spec: &HybridSpec,
-    policy: &mut dyn HybridPolicy,
-    limits: Limits,
-) -> RunReport {
-    drive_hybrid(inst, spec, policy, limits)
-}
-
-/// The hybrid-uniprocessor driver behind both the [`crate::sim`] API
-/// and the deprecated [`run_hybrid`] wrapper.
-pub(crate) fn drive_hybrid<M: MemStore, P: Protocol<M>>(
+pub fn drive_hybrid<M: MemStore, P: Protocol<M>>(
     inst: &mut Instance<P, M>,
     spec: &HybridSpec,
     policy: &mut dyn HybridPolicy,
@@ -142,9 +134,8 @@ pub(crate) fn drive_hybrid<M: MemStore, P: Protocol<M>>(
 }
 
 #[cfg(test)]
-// These unit tests deliberately pin the deprecated wrapper (the builder
+// These unit tests pin the drive_hybrid internal directly (the builder
 // side is pinned by tests/sim_equivalence.rs).
-#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::setup::{self, Algorithm};
@@ -169,7 +160,7 @@ mod tests {
             let inputs = setup::half_and_half(n);
             let mut inst = setup::build(Algorithm::Lean, &inputs, 0);
             let spec = HybridSpec::uniform(n, 8);
-            let report = run_hybrid(
+            let report = drive_hybrid(
                 &mut inst,
                 &spec,
                 &mut BenignHybrid,
@@ -187,7 +178,7 @@ mod tests {
                 let inputs = setup::alternating(n);
                 let mut inst = setup::build(Algorithm::Lean, &inputs, 0);
                 let spec = HybridSpec::uniform(n, quantum);
-                let report = run_hybrid(
+                let report = drive_hybrid(
                     &mut inst,
                     &spec,
                     &mut WritePreemptor,
@@ -207,7 +198,7 @@ mod tests {
             let inputs = setup::alternating(n);
             let mut inst = setup::build(Algorithm::Lean, &inputs, 0);
             let spec = HybridSpec::uniform(n, 8).with_initial_used(vec![8; n]);
-            let report = run_hybrid(
+            let report = drive_hybrid(
                 &mut inst,
                 &spec,
                 &mut WritePreemptor,
@@ -223,7 +214,7 @@ mod tests {
         let inputs = setup::alternating(n);
         let mut inst = setup::build(Algorithm::Lean, &inputs, 0);
         let spec = HybridSpec::ladder(n, 8);
-        let report = run_hybrid(
+        let report = drive_hybrid(
             &mut inst,
             &spec,
             &mut WritePreemptor,
@@ -241,7 +232,7 @@ mod tests {
             let mut inst = setup::build(Algorithm::Lean, &inputs, seed);
             let spec = HybridSpec::uniform(n, 8);
             let mut policy = RandomHybrid::new(stream_rng(seed, 0, 4));
-            let report = run_hybrid(&mut inst, &spec, &mut policy, Limits::run_to_completion());
+            let report = drive_hybrid(&mut inst, &spec, &mut policy, Limits::run_to_completion());
             assert_theorem14(&report, &format!("random seed={seed}"));
             report.check_safety(&inputs).unwrap();
         }
@@ -259,7 +250,7 @@ mod tests {
                 let inputs = setup::alternating(n);
                 let mut inst = setup::build(Algorithm::Lean, &inputs, 0);
                 let spec = HybridSpec::uniform(n, quantum);
-                let report = run_hybrid(
+                let report = drive_hybrid(
                     &mut inst,
                     &spec,
                     &mut WritePreemptor,
@@ -281,7 +272,7 @@ mod tests {
     fn solo_process_on_uniprocessor() {
         let mut inst = setup::build(Algorithm::Lean, &[Bit::One], 0);
         let spec = HybridSpec::uniform(1, 8);
-        let report = run_hybrid(
+        let report = drive_hybrid(
             &mut inst,
             &spec,
             &mut BenignHybrid,
@@ -296,7 +287,7 @@ mod tests {
     fn mismatched_spec_panics() {
         let mut inst = setup::build(Algorithm::Lean, &[Bit::One], 0);
         let spec = HybridSpec::uniform(3, 8);
-        run_hybrid(
+        drive_hybrid(
             &mut inst,
             &spec,
             &mut BenignHybrid,

@@ -31,9 +31,13 @@
 //! and [`report::RunReport`] is the common result type, with the paper's
 //! safety lemmas checkable via [`report::RunReport::check_safety`].
 //!
-//! The pre-builder entry points (`run_noisy*`, `run_adversarial*`,
-//! `run_hybrid`) remain as deprecated wrappers over the same drivers,
-//! pinned bit-for-bit to the builder by `tests/sim_equivalence.rs`.
+//! Beneath the builder sit the public drive internals
+//! ([`noisy::drive_noisy`], [`noisy::drive_noisy_batch`],
+//! [`adversarial::drive_adversarial`], [`hybrid::drive_hybrid`]);
+//! `tests/sim_equivalence.rs` pins the builder bit-for-bit against
+//! them. (The pre-builder `run_*` wrappers, deprecated since the `Sim`
+//! redesign, are gone — see the migration table in
+//! `docs/engine-internals.md`.)
 //!
 //! # Example: one Figure 1 data point
 //!
@@ -87,13 +91,7 @@ pub mod report;
 pub mod setup;
 pub mod sim;
 
-#[allow(deprecated)]
-pub use adversarial::run_adversarial;
-#[allow(deprecated)]
-pub use hybrid::run_hybrid;
 pub use noisy::EngineScratch;
-#[allow(deprecated)]
-pub use noisy::{run_noisy, run_noisy_batch, run_noisy_scratch, run_noisy_with};
 pub use report::{Limits, RunOutcome, RunReport};
 pub use setup::{build, half_and_half, Algorithm, Instance};
 pub use sim::{Sim, SimRun, TrialSet};

@@ -48,7 +48,7 @@
 //!    hoisting the distribution match and parameter validation out of
 //!    the per-event path. Each process owns its stream, so batching
 //!    cannot change any consumed value.
-//! 5. **Software-pipelined trial interleaving ([`run_noisy_batch`])** —
+//! 5. **Software-pipelined trial interleaving ([`drive_noisy_batch`])** —
 //!    a worker advances K independent trials in lockstep, one event
 //!    each per turn. The trials share no state, so their queue walks
 //!    and protocol steps form K independent dependency chains the core
@@ -85,7 +85,7 @@ use crate::setup::Instance;
 /// processes that stop early.
 pub const NOISE_BATCH: usize = 16;
 
-/// Events each pipeline lane executes before [`run_noisy_batch`]
+/// Events each pipeline lane executes before [`drive_noisy_batch`]
 /// rotates to the next lane.
 ///
 /// The granularity trade: rotating every event maximizes chain overlap
@@ -340,80 +340,26 @@ impl EngineScratch {
     }
 }
 
-/// Runs an instance under the noisy-scheduling model.
+/// The fully general single-trial driver beneath the [`crate::sim`]
+/// builder API: runs one instance under the noisy-scheduling model with
+/// scratch reuse, an optional crash adversary, and optional history
+/// recording.
 ///
 /// `seed` drives the noise, failure, and start-time streams (independent
 /// of the instance's protocol-coin streams, which were fixed at build
-/// time). Returns when all processes have decided or halted, when the
-/// first decision happens (if `limits.stop_at_first_decision`), or when
-/// the operation budget runs out.
-#[deprecated(note = "drive runs through the `nc_engine::sim::Sim` builder instead")]
-pub fn run_noisy<P: Protocol>(
-    inst: &mut Instance<P>,
-    timing: &TimingModel,
-    seed: u64,
-    limits: Limits,
-) -> RunReport {
-    let mut scratch = EngineScratch::new();
-    drive_noisy(&mut scratch, inst, timing, seed, limits, None, None)
-}
-
-/// [`run_noisy`] with a caller-provided [`EngineScratch`], for sweeps
-/// that run many trials and want the steady state allocation-free.
-#[deprecated(
-    note = "drive runs through `nc_engine::sim::Sim` (a `SimRun` owns its scratch) instead"
-)]
-pub fn run_noisy_scratch<P: Protocol>(
-    scratch: &mut EngineScratch,
-    inst: &mut Instance<P>,
-    timing: &TimingModel,
-    seed: u64,
-    limits: Limits,
-) -> RunReport {
-    drive_noisy(scratch, inst, timing, seed, limits, None, None)
-}
-
-/// [`run_noisy`] with an adaptive crash adversary and optional history
-/// recording.
+/// time). The crash adversary, if any, is consulted after every executed
+/// operation with the current [`ProcView`]; returned pids halt
+/// immediately. If `history` is `Some`, every executed operation is
+/// appended as an [`Event`] (time, pid, op, observed value) suitable for
+/// [`nc_memory::check_register_semantics_from`]. Returns when all
+/// processes have decided or halted, when the first decision happens (if
+/// `limits.stop_at_first_decision`), or when the operation budget runs
+/// out.
 ///
-/// The crash adversary is consulted after every executed operation with
-/// the current [`ProcView`]; returned pids halt immediately. If
-/// `history` is `Some`, every executed operation is appended as an
-/// [`Event`] (time, pid, op, observed value) suitable for
-/// [`nc_memory::check_register_semantics_from`].
-#[deprecated(note = "use `nc_engine::sim::Sim::crash_adversary` / `Sim::record_history` instead")]
-pub fn run_noisy_with<P: Protocol>(
-    inst: &mut Instance<P>,
-    timing: &TimingModel,
-    seed: u64,
-    limits: Limits,
-    crash: Option<&mut dyn CrashAdversary>,
-    history: Option<&mut Vec<Event>>,
-) -> RunReport {
-    let mut scratch = EngineScratch::new();
-    drive_noisy(&mut scratch, inst, timing, seed, limits, crash, history)
-}
-
-/// The fully general single-trial entry point: scratch reuse, crash
-/// adversary, and history recording. All other single-trial `run_noisy*`
-/// functions delegate here.
-#[deprecated(note = "use `nc_engine::sim::Sim::crash_adversary` / `Sim::record_history` instead")]
-pub fn run_noisy_with_scratch<P: Protocol>(
-    scratch: &mut EngineScratch,
-    inst: &mut Instance<P>,
-    timing: &TimingModel,
-    seed: u64,
-    limits: Limits,
-    crash: Option<&mut dyn CrashAdversary>,
-    history: Option<&mut Vec<Event>>,
-) -> RunReport {
-    drive_noisy(scratch, inst, timing, seed, limits, crash, history)
-}
-
-/// The fully general single-trial driver behind both the [`crate::sim`]
-/// API and the deprecated `run_noisy*` wrappers: scratch reuse, crash
-/// adversary, and history recording.
-pub(crate) fn drive_noisy<M: MemStore, P: Protocol<M>>(
+/// Prefer [`crate::sim::Sim`] — this is the internal the builder (and
+/// the equivalence suites pinning it) drive; it is exported so those
+/// suites can compare the two layers directly.
+pub fn drive_noisy<M: MemStore, P: Protocol<M>>(
     scratch: &mut EngineScratch,
     inst: &mut Instance<P, M>,
     timing: &TimingModel,
@@ -483,15 +429,16 @@ pub(crate) fn drive_noisy<M: MemStore, P: Protocol<M>>(
 }
 
 /// Runs K independent trials in lockstep on one thread — the
-/// software-pipelined trial interleave (see the module docs).
+/// software-pipelined trial interleave (see the module docs) behind
+/// [`crate::sim::TrialSet`]'s `lanes` knob.
 ///
 /// Lane `i` runs `insts[i]` with `seeds[i]` through `scratches[i]`;
 /// every turn advances each unfinished lane by exactly one event, so
 /// the K lanes' dependency chains overlap in the core's pipeline.
 /// Returns the lanes' reports in order. Each report is **bit-identical**
-/// to what [`run_noisy_scratch`] would produce for that lane alone —
-/// lanes share no state, so interleaving cannot affect results (pinned
-/// by the equivalence suite).
+/// to what [`drive_noisy`] would produce for that lane alone — lanes
+/// share no state, so interleaving cannot affect results (pinned by the
+/// equivalence suite).
 ///
 /// Configurations outside the fast path (per-kind noise distributions
 /// or random halting failures) fall back to running the lanes
@@ -501,22 +448,7 @@ pub(crate) fn drive_noisy<M: MemStore, P: Protocol<M>>(
 /// # Panics
 ///
 /// Panics if the three slices differ in length.
-#[deprecated(
-    note = "drive sweeps through `nc_engine::sim::TrialSet` (its `lanes` knob owns the pipelining) instead"
-)]
-pub fn run_noisy_batch<P: Protocol>(
-    scratches: &mut [EngineScratch],
-    insts: &mut [Instance<P>],
-    timing: &TimingModel,
-    seeds: &[u64],
-    limits: Limits,
-) -> Vec<RunReport> {
-    drive_noisy_batch(scratches, insts, timing, seeds, limits)
-}
-
-/// The K-lane lockstep batch driver behind [`crate::sim::TrialSet`]'s
-/// `lanes` knob and the deprecated [`run_noisy_batch`] wrapper.
-pub(crate) fn drive_noisy_batch<M: MemStore, P: Protocol<M>>(
+pub fn drive_noisy_batch<M: MemStore, P: Protocol<M>>(
     scratches: &mut [EngineScratch],
     insts: &mut [Instance<P, M>],
     timing: &TimingModel,
@@ -1003,10 +935,9 @@ fn apply_crashes<M: MemStore, P: Protocol<M>>(
 }
 
 #[cfg(test)]
-// These unit tests deliberately pin the deprecated wrappers (they stay
+// These unit tests pin the drive_* internals directly (they stay
 // bit-identical to the builder, which tests/sim_equivalence.rs checks
 // from the other side).
-#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::setup::{self, Algorithm};
@@ -1017,6 +948,42 @@ mod tests {
 
     fn exp_timing() -> TimingModel {
         TimingModel::figure1(Noise::Exponential { mean: 1.0 })
+    }
+
+    /// [`drive_noisy`] with a throwaway scratch — the shape most tests
+    /// here want.
+    fn run_noisy<P: Protocol>(
+        inst: &mut Instance<P>,
+        timing: &TimingModel,
+        seed: u64,
+        limits: Limits,
+    ) -> RunReport {
+        let mut scratch = EngineScratch::new();
+        drive_noisy(&mut scratch, inst, timing, seed, limits, None, None)
+    }
+
+    /// [`drive_noisy`] with a caller-held scratch, no adversary.
+    fn run_noisy_scratch<P: Protocol>(
+        scratch: &mut EngineScratch,
+        inst: &mut Instance<P>,
+        timing: &TimingModel,
+        seed: u64,
+        limits: Limits,
+    ) -> RunReport {
+        drive_noisy(scratch, inst, timing, seed, limits, None, None)
+    }
+
+    /// [`drive_noisy`] with a throwaway scratch plus adversary/history.
+    fn run_noisy_with<P: Protocol>(
+        inst: &mut Instance<P>,
+        timing: &TimingModel,
+        seed: u64,
+        limits: Limits,
+        crash: Option<&mut dyn CrashAdversary>,
+        history: Option<&mut Vec<Event>>,
+    ) -> RunReport {
+        let mut scratch = EngineScratch::new();
+        drive_noisy(&mut scratch, inst, timing, seed, limits, crash, history)
     }
 
     #[test]
@@ -1320,7 +1287,7 @@ mod tests {
                 })
                 .collect();
             let seeds: Vec<u64> = (0..k as u64).map(|i| 50 + i).collect();
-            let batch = run_noisy_batch(
+            let batch = drive_noisy_batch(
                 &mut scratches,
                 &mut insts,
                 &timing,
@@ -1349,7 +1316,7 @@ mod tests {
             .map(|i| setup::build(Algorithm::Lean, &inputs, i as u64))
             .collect();
         let seeds: Vec<u64> = (0..k as u64).collect();
-        let batch = run_noisy_batch(
+        let batch = drive_noisy_batch(
             &mut scratches,
             &mut insts,
             &timing,
@@ -1373,7 +1340,7 @@ mod tests {
             .map(|i| setup::build(Algorithm::Lean, &inputs, 100 + i as u64))
             .collect();
         let seeds: Vec<u64> = (0..k as u64).map(|i| 100 + i).collect();
-        let batch = run_noisy_batch(
+        let batch = drive_noisy_batch(
             &mut scratches,
             &mut insts,
             &timing,

@@ -68,7 +68,8 @@ struct ProcState {
     decided: bool,
 }
 
-/// [`crate::noisy::run_noisy`], naive edition. Identical observable
+/// [`crate::noisy::drive_noisy`] without crash/history hooks, naive
+/// edition. Identical observable
 /// behavior, unoptimized implementation.
 pub fn run_noisy_baseline(
     inst: &mut Instance,
@@ -79,7 +80,7 @@ pub fn run_noisy_baseline(
     run_noisy_with_baseline(inst, timing, seed, limits, None, None)
 }
 
-/// [`crate::noisy::run_noisy_with`], naive edition.
+/// [`crate::noisy::drive_noisy`], naive edition.
 pub fn run_noisy_with_baseline(
     inst: &mut Instance,
     timing: &TimingModel,

@@ -2,10 +2,12 @@
 //! execution model, plus the [`TrialSet`] sweep layer.
 //!
 //! Historically each scheduling model had its own fan of entry points
-//! (`run_noisy`, `run_noisy_scratch`, `run_noisy_with`, …), and every
-//! new capability — scratch reuse, crash adversaries, history
-//! recording — added another positional `Option<&mut dyn …>` to every
-//! signature. [`Sim`] replaces that fan with one builder:
+//! (`run_noisy`, `run_noisy_scratch`, `run_noisy_with`, … — deleted
+//! once all callers migrated), and every new capability — scratch
+//! reuse, crash adversaries, history recording — added another
+//! positional `Option<&mut dyn …>` to every signature. [`Sim`]
+//! replaces that fan with one builder over the public drive internals
+//! ([`crate::noisy::drive_noisy`] and friends):
 //!
 //! * pick an [`Algorithm`] and inputs,
 //! * pick exactly one **schedule** — [`Sim::timing`] (the noisy model,
@@ -948,7 +950,7 @@ where
 }
 
 /// The software-pipelined span: advance up to `lanes` monomorphized
-/// lean trials in lockstep (see [`noisy::run_noisy_batch`]'s docs for
+/// lean trials in lockstep (see [`noisy::drive_noisy_batch`]'s docs for
 /// the mechanism; per-trial results are bit-identical to sequential
 /// execution by construction).
 fn run_span_batch<M: MemStore, T, F>(

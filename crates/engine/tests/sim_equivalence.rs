@@ -1,25 +1,23 @@
-//! Builder-vs-legacy pinning suite: every configuration expressible
+//! Builder-vs-internals pinning suite: every configuration expressible
 //! through the [`nc_engine::sim::Sim`] builder must produce **byte
 //! identical** [`nc_engine::RunReport`]s (exact `f64` equality
-//! included) to the deprecated `run_*` entry point it replaces, across
+//! included) to a direct call into the drive internal it wraps
+//! ([`drive_noisy`], [`drive_adversarial`], [`drive_hybrid`]), across
 //! the matrix algorithms × failure models × queue policies × lane
 //! widths × history recording — plus the adversarial and hybrid
 //! schedules and the crash-adversary hooks.
 //!
-//! Together with `tests/soa_equivalence.rs` (legacy vs the naive
+//! Together with `tests/soa_equivalence.rs` (internals vs the naive
 //! oracle, `--features baseline`) this closes the chain
-//! `baseline == legacy == builder`, so the API cutover cannot move a
-//! single golden CSV.
+//! `baseline == drive internals == builder`, so neither the API
+//! cutover nor the deletion of the deprecated `run_*` wrappers can
+//! move a single golden CSV.
 
-// The whole point of this suite is to call the deprecated wrappers.
-#![allow(deprecated)]
-
-use nc_engine::adversarial::run_adversarial_with;
-use nc_engine::noisy::run_noisy_with_scratch;
+use nc_engine::adversarial::drive_adversarial;
+use nc_engine::hybrid::drive_hybrid;
+use nc_engine::noisy::drive_noisy;
 use nc_engine::sim::Sim;
-use nc_engine::{
-    run_hybrid, run_noisy_scratch, setup, Algorithm, EngineScratch, Limits, QueuePolicy, RunReport,
-};
+use nc_engine::{setup, Algorithm, EngineScratch, Limits, QueuePolicy, RunReport};
 use nc_sched::adversary::{
     Adversary, CrashAdversary, CrashScript, LeaderKiller, NoCrashes, RandomInterleave, RoundRobin,
     Script,
@@ -47,9 +45,10 @@ fn exp_timing() -> TimingModel {
     TimingModel::figure1(Noise::Exponential { mean: 1.0 })
 }
 
-/// Legacy reference for one noisy run (fresh scratch per call, like the
-/// experiments' historical usage), optionally with history.
-fn legacy_noisy(
+/// Reference for one noisy run straight through [`drive_noisy`] (fresh
+/// scratch per call, like the experiments' historical usage),
+/// optionally with history.
+fn reference_noisy(
     alg: Algorithm,
     inputs: &[nc_memory::Bit],
     timing: &TimingModel,
@@ -60,14 +59,14 @@ fn legacy_noisy(
 ) -> RunReport {
     let mut scratch = EngineScratch::with_queue(policy);
     let mut inst = setup::build(alg, inputs, seed);
-    run_noisy_with_scratch(&mut scratch, &mut inst, timing, seed, limits, None, history)
+    drive_noisy(&mut scratch, &mut inst, timing, seed, limits, None, history)
 }
 
 /// The headline matrix: algorithms × failure models × queue policies ×
-/// history recording, one `SimRun` reused across seeds vs fresh legacy
-/// runs.
+/// history recording, one `SimRun` reused across seeds vs fresh
+/// reference runs.
 #[test]
-fn noisy_builder_matches_legacy_across_the_matrix() {
+fn noisy_builder_matches_internals_across_the_matrix() {
     for alg in algorithms() {
         for failures in failure_models() {
             for policy in QUEUES {
@@ -87,7 +86,7 @@ fn noisy_builder_matches_legacy_across_the_matrix() {
                     for seed in 0..3 {
                         let built = sim.run(seed);
                         let mut legacy_history = Vec::new();
-                        let legacy = legacy_noisy(
+                        let legacy = reference_noisy(
                             alg,
                             &inputs,
                             &timing,
@@ -115,9 +114,9 @@ fn noisy_builder_matches_legacy_across_the_matrix() {
 }
 
 /// Lane widths × queue policies: `TrialSet` sweeps (which pick the
-/// lockstep batch driver for eligible configs) vs per-seed legacy runs.
+/// lockstep batch driver for eligible configs) vs per-seed reference runs.
 #[test]
-fn trialset_lanes_match_legacy_sequential_runs() {
+fn trialset_lanes_match_internal_sequential_runs() {
     for alg in [Algorithm::Lean, Algorithm::Randomized] {
         for policy in QUEUES {
             for lanes in [1usize, 2, 4, 7] {
@@ -138,12 +137,14 @@ fn trialset_lanes_match_legacy_sequential_runs() {
                     let seed = 400 + 7 * t as u64;
                     let mut scratch = EngineScratch::with_queue(policy);
                     let mut inst = setup::build(alg, &inputs, seed);
-                    let legacy = run_noisy_scratch(
+                    let legacy = drive_noisy(
                         &mut scratch,
                         &mut inst,
                         &timing,
                         seed,
                         Limits::first_decision(),
+                        None,
+                        None,
                     );
                     assert_eq!(
                         *report, legacy,
@@ -155,10 +156,10 @@ fn trialset_lanes_match_legacy_sequential_runs() {
     }
 }
 
-/// Crash adversaries through the builder factory vs the legacy
+/// Crash adversaries through the builder factory vs the internal
 /// `Option<&mut dyn CrashAdversary>` threading, with histories.
 #[test]
-fn crash_adversaries_match_legacy() {
+fn crash_adversaries_match_internals() {
     type MakeCrash = fn() -> Box<dyn CrashAdversary>;
     let adversaries: [MakeCrash; 2] = [
         || Box::new(LeaderKiller::new(3, 1)),
@@ -180,7 +181,7 @@ fn crash_adversaries_match_legacy() {
                 let mut history = Vec::new();
                 let mut scratch = EngineScratch::with_queue(policy);
                 let mut inst = setup::build(Algorithm::Lean, &inputs, seed);
-                let legacy = run_noisy_with_scratch(
+                let legacy = drive_noisy(
                     &mut scratch,
                     &mut inst,
                     &exp_timing(),
@@ -197,9 +198,9 @@ fn crash_adversaries_match_legacy() {
 }
 
 /// Adversarial schedules (with and without crashes) through the builder
-/// vs `run_adversarial_with`.
+/// vs `drive_adversarial`.
 #[test]
-fn adversarial_builder_matches_legacy() {
+fn adversarial_builder_matches_internals() {
     type MakeAdv = fn(u64) -> Box<dyn Adversary>;
     let adversaries: [MakeAdv; 3] = [
         |_| Box::new(RoundRobin::new()),
@@ -224,14 +225,14 @@ fn adversarial_builder_matches_legacy() {
                     let mut inst = setup::build(alg, &inputs, seed);
                     let legacy = if crashes {
                         let mut crash = CrashScript::new(vec![(1, 3)]);
-                        run_adversarial_with(
+                        drive_adversarial(
                             &mut inst,
                             adv.as_mut(),
                             &mut crash,
                             Limits::run_to_completion().with_max_ops(100_000),
                         )
                     } else {
-                        run_adversarial_with(
+                        drive_adversarial(
                             &mut inst,
                             adv.as_mut(),
                             &mut NoCrashes,
@@ -245,10 +246,10 @@ fn adversarial_builder_matches_legacy() {
     }
 }
 
-/// Hybrid schedules through the builder vs `run_hybrid`, across
+/// Hybrid schedules through the builder vs `drive_hybrid`, across
 /// policies, quanta, and initial-quantum burns.
 #[test]
-fn hybrid_builder_matches_legacy() {
+fn hybrid_builder_matches_internals() {
     for n in [2usize, 4, 6] {
         for quantum in [4u32, 8, 12] {
             for burn in [0u32, quantum / 2] {
@@ -285,7 +286,7 @@ fn hybrid_builder_matches_legacy() {
                             1 => Box::new(RandomHybrid::new(stream_rng(seed, 0, 4))),
                             _ => Box::new(WritePreemptor),
                         };
-                        let legacy = run_hybrid(
+                        let legacy = drive_hybrid(
                             &mut inst,
                             &spec,
                             policy.as_mut(),

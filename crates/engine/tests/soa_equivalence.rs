@@ -12,18 +12,15 @@
 //! `--features baseline` leg so the suite can never silently vanish.
 
 #![cfg(feature = "baseline")]
-// This suite pins the *legacy* entry points against the oracle; their
+// This suite pins the public drive internals against the oracle; their
 // equivalence to the `sim::Sim` builder is pinned separately by
-// `tests/sim_equivalence.rs`, so the chain baseline == legacy == builder
-// stays closed.
-#![allow(deprecated)]
+// `tests/sim_equivalence.rs`, so the chain
+// baseline == drive internals == builder stays closed.
 
 use nc_engine::baseline::{run_noisy_baseline, run_noisy_with_baseline};
-use nc_engine::noisy::run_noisy_batch;
+use nc_engine::noisy::{drive_noisy, drive_noisy_batch};
 use nc_engine::sim::Sim;
-use nc_engine::{
-    run_noisy_scratch, setup, Algorithm, EngineScratch, Limits, QueuePolicy, RunReport,
-};
+use nc_engine::{setup, Algorithm, EngineScratch, Limits, QueuePolicy, RunReport};
 use nc_memory::{Bit, DenseRaceMemory, FaultyMemory, SimMemory};
 use nc_sched::adversary::{CrashAdversary, CrashScript, LeaderKiller};
 use nc_sched::{DelayPolicy, FailureModel, Noise, StartTimes, TimingModel};
@@ -53,7 +50,15 @@ fn assert_matches_oracle(
     let mut scratch = EngineScratch::with_queue(policy);
     let mut inst_opt = setup::build(alg, inputs, seed);
     let mut inst_ref = setup::build(alg, inputs, seed);
-    let optimized = run_noisy_scratch(&mut scratch, &mut inst_opt, timing, seed, limits);
+    let optimized = drive_noisy(
+        &mut scratch,
+        &mut inst_opt,
+        timing,
+        seed,
+        limits,
+        None,
+        None,
+    );
     let oracle = run_noisy_baseline(&mut inst_ref, timing, seed, limits);
     assert_eq!(
         optimized, oracle,
@@ -138,7 +143,7 @@ fn crash_adversaries_by_queue_match_oracle() {
                 let mut crash_ref = make();
                 let mut hist_opt = Vec::new();
                 let mut hist_ref = Vec::new();
-                let optimized = nc_engine::noisy::run_noisy_with_scratch(
+                let optimized = drive_noisy(
                     &mut scratch,
                     &mut inst_opt,
                     &timing,
@@ -301,7 +306,7 @@ fn pipelined_widths_match_sequential_and_oracle() {
                 .iter()
                 .map(|&s| setup::build(Algorithm::Lean, &inputs, s))
                 .collect();
-            out.extend(run_noisy_batch(
+            out.extend(drive_noisy_batch(
                 &mut scratches[..g],
                 &mut insts,
                 &timing,

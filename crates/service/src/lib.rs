@@ -1,15 +1,17 @@
-//! Consensus as a service: a sharded multi-shot instance manager.
+//! Consensus as a service: a sharded multi-shot instance manager with
+//! a durable commit-journal plane.
 //!
 //! The paper's protocol decides a *single* binary consensus instance;
 //! production means millions of concurrent single-shot instances
 //! decided behind one front door. This crate is that front door:
 //!
-//! * **Front door.** [`NcService::propose`] feeds one proposal into an
-//!   instance identified by a caller-chosen `u64` id;
-//!   [`NcService::status`] answers where any instance stands
-//!   (unknown / accepting / queued / decided). Once an instance has
-//!   collected one proposal per process it becomes *ready* and is
-//!   queued on its shard.
+//! * **Front door.** [`NcService::submit`] enqueues one proposal into
+//!   a per-shard submission ring and returns a [`Ticket`];
+//!   [`NcService::poll`] answers where the ticket's instance stands
+//!   and [`NcService::drain_completions`] hands back every commit
+//!   fact decided since the last drain — no busy-stepping. The
+//!   synchronous [`NcService::propose`] / [`NcService::status`] pair
+//!   remains for callers that apply proposals immediately.
 //! * **Sharded instance table.** Instances are sharded by id
 //!   (`id % shards`). Every instance derives its run seed as
 //!   `trial_seed(service_seed, id, salts::SERVICE)` — the REQUIRED
@@ -18,39 +20,55 @@
 //!   never on sharding or arrival order.
 //! * **Batched stepping.** Each shard owns one reusable
 //!   [`nc_engine::sim::SimRun`] handle and drives its ready queue
-//!   through it ([`SimRun::run_with_inputs`]), so queue allocations and
-//!   RNG scratch amortize across instances exactly the way
-//!   [`nc_engine::sim::TrialSet`] pools them across trials.
-//!   [`NcService::run_ready`] optionally fans independent shards across
-//!   worker threads.
-//! * **Commit-fact journals.** Deciding an instance appends an
-//!   immutable [`CommitFact`] (decide value, round count, op count) to
-//!   the shard's append-only journal. Because every fact is a pure
-//!   function of `(service config, id, proposals)`, the canonical
-//!   **reduced log** ([`NcService::reduced_log`], the id-sorted merge
-//!   of all shard journals) is byte-identical regardless of shard
-//!   count or worker threads — the same monotone-journal /
-//!   deterministic-reduction contract the aura exemplar ships, with
-//!   per-shard journal order itself already independent of threads
-//!   (it is the ready-queue order, fixed by the request stream).
+//!   through it ([`SimRun::run_with_inputs`]).
+//!   [`NcService::run_ready`] first drains the submission rings in
+//!   deterministic id order, then optionally fans independent shards
+//!   across worker threads.
+//! * **Durable commit journals.** Deciding an instance appends an
+//!   immutable [`CommitFact`] to the shard's append-only journal —
+//!   and, when a `journal_dir` is configured, to the shard's on-disk
+//!   [`journal`] segments *before* the fact is published. The byte
+//!   format is deterministic: a service killed mid-batch and reopened
+//!   from its journal directory produces journals and a reduced log
+//!   **byte-identical** to an uninterrupted run (pinned by
+//!   `tests/persistence.rs`).
+//! * **Instance retention.** [`Retention`] bounds how many decided
+//!   instances stay resident in the table; evicted ids keep answering
+//!   [`NcService::status`] as [`InstanceStatus::Evicted`] out of the
+//!   compact journal index, so eviction never shrinks the API surface.
+//!
+//! The canonical **reduced log** ([`NcService::reduced_log`], the
+//! id-sorted merge of all shard journals) is byte-identical regardless
+//! of shard count, worker threads, batching, or crash-and-reopen —
+//! the same monotone-journal / deterministic-reduction contract the
+//! aura exemplar ships.
 //!
 //! ```
 //! use nc_memory::Bit;
 //! use nc_service::{InstanceStatus, NcService, ServiceConfig};
 //!
-//! let mut svc = NcService::new(ServiceConfig::new(3, 2).with_seed(42));
+//! let cfg = ServiceConfig::builder()
+//!     .procs(3)
+//!     .shards(2)
+//!     .seed(42)
+//!     .build()
+//!     .unwrap();
+//! let mut svc = NcService::new(cfg);
+//! let mut tickets = Vec::new();
 //! for id in 0..4u64 {
 //!     for p in 0..3 {
-//!         svc.propose(id, Bit::from((id + p) % 2 == 0)).unwrap();
+//!         tickets.push(svc.submit(id, Bit::from((id + p) % 2 == 0)).unwrap());
 //!     }
 //! }
 //! svc.run_ready(1);
-//! for id in 0..4u64 {
-//!     assert!(matches!(svc.status(id), InstanceStatus::Decided(_)));
+//! for t in &tickets {
+//!     assert!(matches!(svc.poll(*t), InstanceStatus::Decided(_)));
 //! }
+//! assert_eq!(svc.drain_completions().len(), 4);
 //! ```
 
 use std::collections::{HashMap, VecDeque};
+use std::path::PathBuf;
 
 use nc_engine::sim::{Sim, SimRun};
 use nc_engine::{Algorithm, Limits};
@@ -58,13 +76,31 @@ use nc_memory::Bit;
 use nc_sched::rng::{salts, trial_seed};
 use nc_sched::{Noise, TimingModel};
 
+pub mod journal;
 pub mod loadgen;
+pub mod retention;
 
+pub use journal::{JournalError, JournalReader, JournalWriter};
 pub use loadgen::{drive_open_loop, LoadReport, LoadSpec};
+pub use retention::Retention;
+
+use retention::ResidencyTracker;
+
+/// Where a service's on-disk journal lives and how it is segmented.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct JournalSpec {
+    /// Root directory; shard `s` journals under `shard-<s>/`.
+    pub dir: PathBuf,
+    /// Records per segment file — part of the byte format: reopening
+    /// with a different value than the journal was written with is
+    /// rejected as corruption.
+    pub segment_records: usize,
+}
 
 /// Configuration of one service: every instance runs `procs` processes
 /// of lean-consensus under the same timing model, and the table is
-/// split over `shards` shards.
+/// split over `shards` shards. Build one with
+/// [`ServiceConfig::builder`].
 #[derive(Clone, Debug)]
 pub struct ServiceConfig {
     /// Processes per instance (= proposals needed to make it ready).
@@ -78,19 +114,176 @@ pub struct ServiceConfig {
     pub timing: TimingModel,
     /// Per-instance run limits (op budget etc.).
     pub limits: Limits,
+    /// Residency policy for decided instances.
+    pub retention: Retention,
+    /// On-disk journal location; `None` keeps journals in memory only.
+    pub journal: Option<JournalSpec>,
+}
+
+/// Why [`ServiceConfigBuilder::build`] refused a configuration.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ServiceConfigError {
+    /// `procs` was zero: an instance with no processes can never
+    /// become ready.
+    ZeroProcs,
+    /// `shards` was zero: there would be nowhere to queue instances.
+    ZeroShards,
+    /// A [`Retention::DecidedCap`] / [`Retention::Lru`] cap of zero
+    /// would evict every fact the moment it commits.
+    ZeroRetentionCap,
+    /// `segment_records` was zero: a journal segment must hold at
+    /// least one record.
+    ZeroSegmentRecords,
+}
+
+impl std::fmt::Display for ServiceConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceConfigError::ZeroProcs => write!(f, "procs must be >= 1"),
+            ServiceConfigError::ZeroShards => write!(f, "shards must be >= 1"),
+            ServiceConfigError::ZeroRetentionCap => {
+                write!(f, "retention cap must be >= 1")
+            }
+            ServiceConfigError::ZeroSegmentRecords => {
+                write!(f, "journal segment_records must be >= 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServiceConfigError {}
+
+/// Validating builder for [`ServiceConfig`], mirroring the
+/// `nc_engine::sim::Sim` idiom: set the knobs, then [`build`] checks
+/// them as a whole and returns a typed [`ServiceConfigError`] instead
+/// of panicking later.
+///
+/// [`build`]: ServiceConfigBuilder::build
+#[derive(Clone, Debug)]
+pub struct ServiceConfigBuilder {
+    procs: usize,
+    shards: usize,
+    seed: u64,
+    timing: TimingModel,
+    limits: Limits,
+    retention: Retention,
+    journal_dir: Option<PathBuf>,
+    segment_records: usize,
+}
+
+impl ServiceConfigBuilder {
+    /// Sets the processes per instance (required, ≥ 1).
+    pub fn procs(mut self, procs: usize) -> Self {
+        self.procs = procs;
+        self
+    }
+
+    /// Sets the shard count (default 1).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Sets the service seed (default 0).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the timing model (default exponential(1) Figure 1 noise).
+    pub fn timing(mut self, timing: TimingModel) -> Self {
+        self.timing = timing;
+        self
+    }
+
+    /// Sets the per-instance run limits (default run-to-completion).
+    pub fn limits(mut self, limits: Limits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// Sets the retention policy (default [`Retention::KeepAll`]).
+    pub fn retention(mut self, retention: Retention) -> Self {
+        self.retention = retention;
+        self
+    }
+
+    /// Enables the on-disk journal under `dir` (default: in-memory
+    /// journals only).
+    pub fn journal_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.journal_dir = Some(dir.into());
+        self
+    }
+
+    /// Sets the journal segment capacity in records (default
+    /// [`journal::DEFAULT_SEGMENT_RECORDS`]); ignored without a
+    /// [`journal_dir`](Self::journal_dir).
+    pub fn segment_records(mut self, records: usize) -> Self {
+        self.segment_records = records;
+        self
+    }
+
+    /// Validates the configuration.
+    pub fn build(self) -> Result<ServiceConfig, ServiceConfigError> {
+        if self.procs == 0 {
+            return Err(ServiceConfigError::ZeroProcs);
+        }
+        if self.shards == 0 {
+            return Err(ServiceConfigError::ZeroShards);
+        }
+        if self.retention.cap() == Some(0) {
+            return Err(ServiceConfigError::ZeroRetentionCap);
+        }
+        if self.segment_records == 0 {
+            return Err(ServiceConfigError::ZeroSegmentRecords);
+        }
+        Ok(ServiceConfig {
+            procs: self.procs,
+            shards: self.shards,
+            seed: self.seed,
+            timing: self.timing,
+            limits: self.limits,
+            retention: self.retention,
+            journal: self.journal_dir.map(|dir| JournalSpec {
+                dir,
+                segment_records: self.segment_records,
+            }),
+        })
+    }
 }
 
 impl ServiceConfig {
-    /// A `procs`-process, `shards`-shard service with exponential(1)
-    /// noise, seed 0, and the default op budget.
-    pub fn new(procs: usize, shards: usize) -> Self {
-        ServiceConfig {
-            procs,
-            shards,
+    /// A validating builder with the historical defaults: 1 shard,
+    /// seed 0, exponential(1) Figure 1 noise, run-to-completion
+    /// limits, [`Retention::KeepAll`], no on-disk journal. `procs`
+    /// starts at 0 and **must** be set.
+    pub fn builder() -> ServiceConfigBuilder {
+        ServiceConfigBuilder {
+            procs: 0,
+            shards: 1,
             seed: 0,
             timing: TimingModel::figure1(Noise::Exponential { mean: 1.0 }),
             limits: Limits::run_to_completion(),
+            retention: Retention::KeepAll,
+            journal_dir: None,
+            segment_records: journal::DEFAULT_SEGMENT_RECORDS,
         }
+    }
+
+    /// A `procs`-process, `shards`-shard service with exponential(1)
+    /// noise, seed 0, and the default op budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `procs == 0` or `shards == 0` (the builder reports
+    /// these as typed errors instead).
+    #[deprecated(note = "use the validating `ServiceConfig::builder()` instead")]
+    pub fn new(procs: usize, shards: usize) -> Self {
+        ServiceConfig::builder()
+            .procs(procs)
+            .shards(shards)
+            .build()
+            .expect("invalid legacy ServiceConfig::new arguments")
     }
 
     /// Replaces the service seed (builder-style).
@@ -151,12 +344,36 @@ pub fn encode_log(facts: &[CommitFact]) -> String {
     out
 }
 
-/// Where an instance stands, as answered by [`NcService::status`].
+/// A submission receipt from [`NcService::submit`]: pass it to
+/// [`NcService::poll`] to track the instance without re-deriving its
+/// shard.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Ticket {
+    id: u64,
+    shard: usize,
+}
+
+impl Ticket {
+    /// The instance this ticket tracks.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The shard the instance lives on.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+}
+
+/// Where an instance stands, as answered by [`NcService::status`] and
+/// [`NcService::poll`].
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum InstanceStatus {
-    /// Never heard of it.
+    /// Never heard of it (distinct from [`InstanceStatus::Evicted`]:
+    /// an unknown id has no durable fact).
     Unknown,
-    /// Collecting proposals: `got` of `need` arrived.
+    /// Collecting proposals: `got` of `need` arrived (submitted but
+    /// not-yet-drained ring entries are counted).
     Accepting {
         /// Proposals received so far.
         got: usize,
@@ -167,6 +384,16 @@ pub enum InstanceStatus {
     Queued,
     /// Decided; the commit fact is in its shard's journal.
     Decided(CommitFact),
+    /// Decided and evicted from the resident table under the
+    /// [`Retention`] policy; the full fact remains durable in the
+    /// shard journal, and the compact journal index answers here.
+    Evicted {
+        /// The decided value (`None` for an op-budget-exhausted
+        /// instance, mirroring [`CommitFact::value`]).
+        decided: Option<Bit>,
+        /// Round of the earliest decision (0 when undecided).
+        round: u32,
+    },
 }
 
 /// What [`NcService::propose`] did with the proposal.
@@ -187,11 +414,13 @@ pub enum ProposeOutcome {
     },
 }
 
-/// Why [`NcService::propose`] refused a proposal.
+/// Why [`NcService::propose`] or [`NcService::submit`] refused a
+/// proposal.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum ServiceError {
-    /// The instance already collected all its proposals (it is queued
-    /// or decided); a single-shot instance never reopens.
+    /// The instance already collected all its proposals (counting
+    /// not-yet-drained submissions) — it is queued, decided, or
+    /// evicted; a single-shot instance never reopens.
     InstanceClosed {
         /// The refused instance.
         id: u64,
@@ -202,7 +431,7 @@ impl std::fmt::Display for ServiceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ServiceError::InstanceClosed { id } => {
-                write!(f, "instance {id} is closed (queued or decided)")
+                write!(f, "instance {id} is closed (queued, decided, or evicted)")
             }
         }
     }
@@ -210,45 +439,69 @@ impl std::fmt::Display for ServiceError {
 
 impl std::error::Error for ServiceError {}
 
-/// One shard: a pooled engine handle, the ready queue it drains, and
-/// the append-only journal it feeds.
+/// One shard: a pooled engine handle, the submission ring and ready
+/// queue it drains, and the append-only journal (in-memory always, on
+/// disk when configured) it feeds.
 struct Shard {
     runner: SimRun,
+    /// Non-blocking front door: `(id, value)` submissions awaiting the
+    /// next [`NcService::run_ready`] drain.
+    submissions: VecDeque<(u64, Bit)>,
     ready: VecDeque<(u64, Vec<Bit>)>,
     journal: Vec<CommitFact>,
     /// Journal prefix already reflected in the instance table.
     synced: usize,
+    writer: Option<JournalWriter>,
+    /// First journal-append failure during a drain (drains run on
+    /// worker threads; the error surfaces as a panic in `run_ready`'s
+    /// serial post-pass).
+    io_error: Option<JournalError>,
     seed: u64,
 }
 
 impl Shard {
-    fn new(cfg: &ServiceConfig) -> Self {
+    fn new(cfg: &ServiceConfig, writer: Option<JournalWriter>, replayed: Vec<CommitFact>) -> Self {
+        let synced = replayed.len();
         Shard {
             runner: Sim::new(Algorithm::Lean)
                 .inputs(vec![Bit::Zero; cfg.procs])
                 .timing(cfg.timing.clone())
                 .limits(cfg.limits)
                 .build(),
+            submissions: VecDeque::new(),
             ready: VecDeque::new(),
-            journal: Vec::new(),
-            synced: 0,
+            journal: replayed,
+            synced,
+            writer,
+            io_error: None,
             seed: cfg.seed,
         }
     }
 
     /// Decides every queued instance through the pooled handle,
-    /// appending one commit fact each. Returns facts appended.
+    /// appending one commit fact each — to disk first when a journal
+    /// writer is attached. Returns facts appended.
     fn drain(&mut self) -> usize {
         let drained = self.ready.len();
         while let Some((id, inputs)) = self.ready.pop_front() {
             let seed = trial_seed(self.seed, id, salts::SERVICE);
             let report = self.runner.run_with_inputs(seed, &inputs);
-            self.journal.push(CommitFact {
+            let fact = CommitFact {
                 id,
                 value: report.agreement_value(),
                 round: report.first_decision_round.unwrap_or(0),
                 ops: report.total_ops,
-            });
+            };
+            if let Some(writer) = &mut self.writer {
+                if let Err(e) = writer.append(&fact) {
+                    if self.io_error.is_none() {
+                        self.io_error = Some(e);
+                    }
+                    // Do not publish a fact that is not durable.
+                    break;
+                }
+            }
+            self.journal.push(fact);
         }
         drained
     }
@@ -262,25 +515,82 @@ pub struct NcService {
     /// Proposals buffered for still-accepting instances (drained into
     /// the shard ready queue on the final proposal).
     pending_inputs: HashMap<u64, Vec<Bit>>,
+    /// Compact journal index for evicted instances:
+    /// `id -> (value, round)`.
+    evicted: HashMap<u64, (Option<Bit>, u32)>,
+    /// Proposals sitting in submission rings, per instance.
+    ring_got: HashMap<u64, usize>,
+    /// Facts decided since the last [`NcService::drain_completions`].
+    completions: Vec<CommitFact>,
+    tracker: ResidencyTracker,
     shards: Vec<Shard>,
 }
 
 impl NcService {
-    /// Builds an empty service.
+    /// Builds a service, replaying the on-disk journal when one is
+    /// configured.
     ///
     /// # Panics
     ///
-    /// Panics if `procs == 0` or `shards == 0`.
+    /// Panics if `cfg.procs == 0` or `cfg.shards == 0` (impossible for
+    /// a builder-produced config), or if journal replay fails — use
+    /// [`NcService::open`] to handle [`JournalError`] as a value.
     pub fn new(cfg: ServiceConfig) -> Self {
+        NcService::open(cfg).expect("journal replay failed")
+    }
+
+    /// Builds a service, replaying the on-disk journal when one is
+    /// configured; journal problems come back as [`JournalError`].
+    ///
+    /// Replayed facts repopulate the shard journals and the instance
+    /// table (then the [`Retention`] policy is applied to them in
+    /// canonical id order), so a reopened service continues exactly
+    /// where the durable log ends: a torn final record is truncated
+    /// and its instance simply runs again, reproducing the identical
+    /// fact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.procs == 0` or `cfg.shards == 0`.
+    pub fn open(cfg: ServiceConfig) -> Result<Self, JournalError> {
         assert!(cfg.procs >= 1, "need at least one process per instance");
         assert!(cfg.shards >= 1, "need at least one shard");
-        let shards = (0..cfg.shards).map(|_| Shard::new(&cfg)).collect();
-        NcService {
+        let mut shards = Vec::with_capacity(cfg.shards);
+        for s in 0..cfg.shards {
+            let (writer, replayed) = match &cfg.journal {
+                Some(spec) => {
+                    let dir = spec.dir.join(format!("shard-{s}"));
+                    let (writer, replayed) = JournalWriter::open(&dir, spec.segment_records)?;
+                    (Some(writer), replayed)
+                }
+                None => (None, Vec::new()),
+            };
+            shards.push(Shard::new(&cfg, writer, replayed));
+        }
+        let mut svc = NcService {
             cfg,
             table: HashMap::new(),
             pending_inputs: HashMap::new(),
+            evicted: HashMap::new(),
+            ring_got: HashMap::new(),
+            completions: Vec::new(),
+            tracker: ResidencyTracker::new(Retention::KeepAll),
             shards,
+        };
+        svc.tracker = ResidencyTracker::new(svc.cfg.retention);
+        // Publish replayed facts in canonical id order — the replayed
+        // resident set is then a pure function of the durable facts,
+        // independent of how the original run batched them.
+        let mut replayed: Vec<CommitFact> = svc
+            .shards
+            .iter()
+            .flat_map(|s| s.journal.iter().copied())
+            .collect();
+        replayed.sort_unstable_by_key(|f| f.id);
+        for fact in replayed {
+            svc.publish(fact);
         }
+        Ok(svc)
     }
 
     /// The configuration this service was built with.
@@ -299,11 +609,30 @@ impl NcService {
         trial_seed(self.cfg.seed, id, salts::SERVICE)
     }
 
-    /// Feeds one proposal into instance `id`. The `procs`-th proposal
-    /// makes the instance ready and queues it on its shard; proposing
-    /// into a queued or decided instance is refused (single-shot).
+    /// How many proposals instance `id` has effectively collected
+    /// (table plus not-yet-drained ring entries), or `None` if it is
+    /// closed (queued, decided, or evicted).
+    fn effective_got(&self, id: u64) -> Option<usize> {
+        let ring = self.ring_got.get(&id).copied().unwrap_or(0);
+        match self.table.get(&id) {
+            None if self.evicted.contains_key(&id) => None,
+            None => Some(ring),
+            Some(InstanceStatus::Accepting { got, .. }) => Some(got + ring),
+            Some(_) => None,
+        }
+    }
+
+    /// Feeds one proposal into instance `id`, applied immediately. The
+    /// `procs`-th proposal makes the instance ready and queues it on
+    /// its shard; proposing into a queued, decided, or evicted
+    /// instance — or one whose ring submissions already complete it —
+    /// is refused (single-shot).
     pub fn propose(&mut self, id: u64, value: Bit) -> Result<ProposeOutcome, ServiceError> {
         let need = self.cfg.procs;
+        match self.effective_got(id) {
+            Some(got) if got < need => {}
+            _ => return Err(ServiceError::InstanceClosed { id }),
+        }
         let shard = (id % self.cfg.shards as u64) as usize;
         let entry = self
             .table
@@ -328,19 +657,122 @@ impl NcService {
         }
     }
 
-    /// Where instance `id` stands.
+    /// Enqueues one proposal for instance `id` on its shard's
+    /// submission ring — the non-blocking front door. The proposal is
+    /// applied by the next [`NcService::run_ready`]; track it with
+    /// [`NcService::poll`]. Refused exactly when [`NcService::propose`]
+    /// would be, counting ring entries, so a drain can never reject.
+    pub fn submit(&mut self, id: u64, value: Bit) -> Result<Ticket, ServiceError> {
+        let need = self.cfg.procs;
+        match self.effective_got(id) {
+            Some(got) if got < need => {}
+            _ => return Err(ServiceError::InstanceClosed { id }),
+        }
+        let shard = (id % self.cfg.shards as u64) as usize;
+        self.shards[shard].submissions.push_back((id, value));
+        *self.ring_got.entry(id).or_insert(0) += 1;
+        Ok(Ticket { id, shard })
+    }
+
+    /// Where instance `id` stands. Counts not-yet-drained ring
+    /// submissions, answers evicted ids from the journal index, and —
+    /// being `&self` — never refreshes LRU recency (that is
+    /// [`NcService::poll`]'s job).
     pub fn status(&self, id: u64) -> InstanceStatus {
-        self.table
-            .get(&id)
-            .copied()
-            .unwrap_or(InstanceStatus::Unknown)
+        let need = self.cfg.procs;
+        let ring = self.ring_got.get(&id).copied().unwrap_or(0);
+        match self.table.get(&id) {
+            Some(InstanceStatus::Accepting { got, .. }) => {
+                let got = got + ring;
+                if got >= need {
+                    InstanceStatus::Queued
+                } else {
+                    InstanceStatus::Accepting { got, need }
+                }
+            }
+            Some(status) => *status,
+            None => {
+                if let Some(&(decided, round)) = self.evicted.get(&id) {
+                    InstanceStatus::Evicted { decided, round }
+                } else if ring > 0 {
+                    if ring >= need {
+                        InstanceStatus::Queued
+                    } else {
+                        InstanceStatus::Accepting { got: ring, need }
+                    }
+                } else {
+                    InstanceStatus::Unknown
+                }
+            }
+        }
+    }
+
+    /// Where the ticket's instance stands; additionally refreshes the
+    /// instance's LRU recency under [`Retention::Lru`] (the reason
+    /// `poll` takes `&mut self` while [`NcService::status`] stays
+    /// `&self`).
+    pub fn poll(&mut self, ticket: Ticket) -> InstanceStatus {
+        let status = self.status(ticket.id);
+        if matches!(status, InstanceStatus::Decided(_)) {
+            self.tracker.touch(ticket.id);
+        }
+        status
+    }
+
+    /// Every commit fact decided since the last drain (or since the
+    /// service opened), in decide order. The non-blocking counterpart
+    /// to capturing [`NcService::run_ready`]'s return value.
+    pub fn drain_completions(&mut self) -> Vec<CommitFact> {
+        std::mem::take(&mut self.completions)
+    }
+
+    /// Publishes one fact: table entry, completion buffer, retention
+    /// bookkeeping, and any eviction it forces.
+    fn publish(&mut self, fact: CommitFact) {
+        self.table.insert(fact.id, InstanceStatus::Decided(fact));
+        self.completions.push(fact);
+        let mut evict = VecDeque::new();
+        self.tracker.admit(fact.id, &mut evict);
+        while let Some(victim) = evict.pop_front() {
+            let Some(InstanceStatus::Decided(f)) = self.table.remove(&victim) else {
+                unreachable!("tracker admits only decided instances");
+            };
+            self.evicted.insert(victim, (f.value, f.round as u32));
+        }
     }
 
     /// Decides every ready instance, fanning independent shards over up
-    /// to `threads` workers (`0` and `1` both mean serial). Returns the
+    /// to `threads` workers (`0` and `1` both mean serial). Submission
+    /// rings are drained first, in deterministic id order. Returns the
     /// newly appended commit facts in canonical order (by shard, then
     /// ready-queue order) — the same facts regardless of `threads`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a configured on-disk journal fails to append (the
+    /// fact was not published; the service is not usable past a
+    /// half-written batch).
     pub fn run_ready(&mut self, threads: usize) -> Vec<CommitFact> {
+        // Drain the submission rings in id order (stable, so multiple
+        // proposals for one instance keep their submission order) —
+        // the batch an instance runs in is then a pure function of the
+        // submitted set, not of ring interleaving.
+        let mut pending: Vec<(u64, Bit)> = Vec::new();
+        for shard in self.shards.iter_mut() {
+            pending.extend(shard.submissions.drain(..));
+        }
+        pending.sort_by_key(|&(id, _)| id);
+        for (id, value) in pending {
+            match self.ring_got.get_mut(&id) {
+                Some(n) if *n > 1 => *n -= 1,
+                _ => {
+                    self.ring_got.remove(&id);
+                }
+            }
+            self.propose(id, value)
+                .expect("ring entries are validated at submit time");
+        }
+
         let workers = threads.max(1).min(self.shards.len());
         if workers <= 1 {
             for shard in self.shards.iter_mut() {
@@ -362,21 +794,73 @@ impl NcService {
                 }
             });
         }
-        // Serial post-pass: publish the new facts into the table.
-        let mut fresh = Vec::new();
-        for shard in self.shards.iter_mut() {
-            for fact in &shard.journal[shard.synced..] {
-                self.table.insert(fact.id, InstanceStatus::Decided(*fact));
-                fresh.push(*fact);
+        // Serial post-pass: surface journal failures, then publish the
+        // new facts into the table (evicting under the retention
+        // policy — facts are durable by now).
+        for (s, shard) in self.shards.iter_mut().enumerate() {
+            if let Some(e) = shard.io_error.take() {
+                panic!("shard {s} journal append failed: {e}");
             }
-            shard.synced = shard.journal.len();
+        }
+        let mut fresh = Vec::new();
+        for s in 0..self.shards.len() {
+            let start = self.shards[s].synced;
+            let end = self.shards[s].journal.len();
+            for i in start..end {
+                fresh.push(self.shards[s].journal[i]);
+            }
+            self.shards[s].synced = end;
+        }
+        for fact in &fresh {
+            self.publish(*fact);
         }
         fresh
     }
 
-    /// Instances queued and not yet decided, across all shards.
+    /// Instances queued and not yet decided, across all shards
+    /// (not-yet-drained ring submissions are not counted).
     pub fn queued(&self) -> usize {
         self.shards.iter().map(|s| s.ready.len()).sum()
+    }
+
+    /// Proposals sitting in submission rings, across all shards.
+    pub fn submitted_pending(&self) -> usize {
+        self.shards.iter().map(|s| s.submissions.len()).sum()
+    }
+
+    /// Decided instances currently resident in the table (equals
+    /// [`NcService::decided`] under [`Retention::KeepAll`]).
+    pub fn resident_decided(&self) -> usize {
+        match self.cfg.retention {
+            Retention::KeepAll => self
+                .table
+                .values()
+                .filter(|s| matches!(s, InstanceStatus::Decided(_)))
+                .count(),
+            _ => self.tracker.resident(),
+        }
+    }
+
+    /// Instances evicted from the resident table so far.
+    pub fn evicted_count(&self) -> usize {
+        self.evicted.len()
+    }
+
+    /// `(segments, bytes)` across all shard journals on disk, or
+    /// `None` when the service journals in memory only. Byte counts
+    /// are derived from the fixed-width format, so they are
+    /// deterministic for a given request stream.
+    pub fn journal_footprint(&self) -> Option<(u64, u64)> {
+        self.cfg.journal.as_ref()?;
+        let mut segments = 0u64;
+        let mut bytes = 0u64;
+        for shard in &self.shards {
+            let writer = shard.writer.as_ref()?;
+            segments += writer.segments();
+            bytes += writer.segments() * journal::HEADER_LEN as u64
+                + writer.len() * journal::RECORD_LEN as u64;
+        }
+        Some((segments, bytes))
     }
 
     /// Shard `s`'s append-only commit-fact journal.
@@ -391,8 +875,9 @@ impl NcService {
 
     /// The canonical reduced commit log: all shard journals merged and
     /// sorted by instance id, serialized. Byte-identical for the same
-    /// request stream regardless of shard count or worker threads —
-    /// facts are immutable and the id-sorted union is their join.
+    /// request stream regardless of shard count, worker threads, or a
+    /// kill-and-reopen through the on-disk journal — facts are
+    /// immutable and the id-sorted union is their join.
     pub fn reduced_log(&self) -> String {
         let mut facts: Vec<CommitFact> = self
             .shards
@@ -413,6 +898,15 @@ impl NcService {
 mod tests {
     use super::*;
 
+    fn cfg(procs: usize, shards: usize, seed: u64) -> ServiceConfig {
+        ServiceConfig::builder()
+            .procs(procs)
+            .shards(shards)
+            .seed(seed)
+            .build()
+            .unwrap()
+    }
+
     fn fill(svc: &mut NcService, id: u64) {
         let procs = svc.config().procs;
         for p in 0..procs {
@@ -422,8 +916,57 @@ mod tests {
     }
 
     #[test]
+    fn builder_validates() {
+        assert!(matches!(
+            ServiceConfig::builder().shards(2).build(),
+            Err(ServiceConfigError::ZeroProcs)
+        ));
+        assert!(matches!(
+            ServiceConfig::builder().procs(3).shards(0).build(),
+            Err(ServiceConfigError::ZeroShards)
+        ));
+        assert!(matches!(
+            ServiceConfig::builder()
+                .procs(3)
+                .retention(Retention::Lru(0))
+                .build(),
+            Err(ServiceConfigError::ZeroRetentionCap)
+        ));
+        assert!(matches!(
+            ServiceConfig::builder()
+                .procs(3)
+                .journal_dir("/tmp/unused")
+                .segment_records(0)
+                .build(),
+            Err(ServiceConfigError::ZeroSegmentRecords)
+        ));
+        let built = ServiceConfig::builder()
+            .procs(3)
+            .shards(4)
+            .seed(9)
+            .retention(Retention::DecidedCap(2))
+            .build()
+            .unwrap();
+        assert_eq!((built.procs, built.shards, built.seed), (3, 4, 9));
+        assert_eq!(built.retention, Retention::DecidedCap(2));
+        assert!(built.journal.is_none());
+    }
+
+    #[test]
+    fn legacy_new_matches_builder_defaults() {
+        #[allow(deprecated)]
+        let legacy = ServiceConfig::new(3, 2).with_seed(7);
+        let built = cfg(3, 2, 7);
+        assert_eq!(legacy.procs, built.procs);
+        assert_eq!(legacy.shards, built.shards);
+        assert_eq!(legacy.seed, built.seed);
+        assert_eq!(legacy.retention, built.retention);
+        assert!(legacy.journal.is_none());
+    }
+
+    #[test]
     fn front_door_lifecycle() {
-        let mut svc = NcService::new(ServiceConfig::new(3, 2).with_seed(5));
+        let mut svc = NcService::new(cfg(3, 2, 5));
         assert_eq!(svc.status(9), InstanceStatus::Unknown);
         assert_eq!(
             svc.propose(9, Bit::One),
@@ -457,26 +1000,79 @@ mod tests {
     }
 
     #[test]
+    fn submit_poll_drain_lifecycle() {
+        let mut svc = NcService::new(cfg(3, 2, 5));
+        let t = svc.submit(4, Bit::One).unwrap();
+        assert_eq!((t.id(), t.shard()), (4, 0));
+        assert_eq!(svc.poll(t), InstanceStatus::Accepting { got: 1, need: 3 });
+        svc.submit(4, Bit::Zero).unwrap();
+        let t3 = svc.submit(4, Bit::One).unwrap();
+        // Ring entries count: the instance is effectively closed now.
+        assert_eq!(svc.poll(t3), InstanceStatus::Queued);
+        assert_eq!(
+            svc.submit(4, Bit::One),
+            Err(ServiceError::InstanceClosed { id: 4 })
+        );
+        assert_eq!(
+            svc.propose(4, Bit::One),
+            Err(ServiceError::InstanceClosed { id: 4 })
+        );
+        assert_eq!(svc.submitted_pending(), 3);
+        let fresh = svc.run_ready(1);
+        assert_eq!(fresh.len(), 1);
+        assert_eq!(svc.submitted_pending(), 0);
+        assert!(matches!(svc.poll(t), InstanceStatus::Decided(_)));
+        let completions = svc.drain_completions();
+        assert_eq!(completions, fresh);
+        assert!(svc.drain_completions().is_empty(), "drain is destructive");
+    }
+
+    #[test]
+    fn submit_and_propose_agree_on_the_facts() {
+        // The same request stream through the synchronous and the
+        // ring front door must produce the identical reduced log.
+        let mut a = NcService::new(cfg(3, 2, 8));
+        let mut b = NcService::new(cfg(3, 2, 8));
+        for id in 0..6u64 {
+            for p in 0..3 {
+                let v = Bit::from((id + p) % 2 == 0);
+                a.propose(id, v).unwrap();
+                b.submit(id, v).unwrap();
+            }
+        }
+        a.run_ready(1);
+        b.run_ready(1);
+        assert_eq!(a.reduced_log(), b.reduced_log());
+    }
+
+    #[test]
+    fn ring_drain_order_is_id_sorted_within_a_batch() {
+        // Submit in reverse id order: the per-shard journals must
+        // still come out id-sorted, because the ring drain sorts.
+        let mut svc = NcService::new(cfg(2, 1, 3));
+        for id in (0..5u64).rev() {
+            svc.submit(id, Bit::One).unwrap();
+            svc.submit(id, Bit::Zero).unwrap();
+        }
+        svc.run_ready(1);
+        let ids: Vec<u64> = svc.commit_log(0).iter().map(|f| f.id).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
     fn unanimous_instances_decide_their_input() {
         // Validity survives the service plumbing: an all-ones instance
         // must commit 1, an all-zeros instance 0.
-        let mut svc = NcService::new(ServiceConfig::new(4, 2).with_seed(3));
+        let mut svc = NcService::new(cfg(4, 2, 3));
         for _ in 0..4 {
             svc.propose(0, Bit::Zero).unwrap();
             svc.propose(1, Bit::One).unwrap();
         }
         svc.run_ready(1);
-        let facts: Vec<CommitFact> = svc
-            .run_ready(1)
-            .is_empty()
-            .then(|| {
-                let mut all: Vec<CommitFact> = (0..2)
-                    .flat_map(|s| svc.commit_log(s).iter().copied())
-                    .collect();
-                all.sort_unstable_by_key(|f| f.id);
-                all
-            })
-            .unwrap();
+        let mut facts: Vec<CommitFact> = (0..2)
+            .flat_map(|s| svc.commit_log(s).iter().copied())
+            .collect();
+        facts.sort_unstable_by_key(|f| f.id);
         assert_eq!(facts[0].value, Some(Bit::Zero));
         assert_eq!(facts[1].value, Some(Bit::One));
         // The reduced log is exactly these facts in id order.
@@ -485,7 +1081,7 @@ mod tests {
 
     #[test]
     fn instance_seeds_use_the_required_derivation() {
-        let svc = NcService::new(ServiceConfig::new(3, 4).with_seed(77));
+        let svc = NcService::new(cfg(3, 4, 77));
         assert_eq!(
             svc.instance_seed(12),
             nc_sched::rng::trial_seed(77, 12, nc_sched::rng::salts::SERVICE)
@@ -515,7 +1111,7 @@ mod tests {
 
     #[test]
     fn journals_are_append_only_across_batches() {
-        let mut svc = NcService::new(ServiceConfig::new(3, 1).with_seed(1));
+        let mut svc = NcService::new(cfg(3, 1, 1));
         fill(&mut svc, 0);
         svc.run_ready(1);
         let after_first = svc.commit_log_bytes(0);
@@ -533,9 +1129,13 @@ mod tests {
     fn op_budget_exhaustion_closes_the_instance_undecided() {
         // A starvation-tight budget cannot decide; the instance must
         // still close with a `value: None` fact instead of wedging.
-        let cfg = ServiceConfig::new(4, 1)
-            .with_seed(2)
-            .with_limits(Limits::run_to_completion().with_max_ops(4));
+        let cfg = ServiceConfig::builder()
+            .procs(4)
+            .shards(1)
+            .seed(2)
+            .limits(Limits::run_to_completion().with_max_ops(4))
+            .build()
+            .unwrap();
         let mut svc = NcService::new(cfg);
         fill(&mut svc, 0);
         let fresh = svc.run_ready(1);
@@ -543,5 +1143,97 @@ mod tests {
         assert_eq!(fresh[0].value, None);
         assert_eq!(fresh[0].round, 0);
         assert!(matches!(svc.status(0), InstanceStatus::Decided(_)));
+    }
+
+    #[test]
+    fn decided_cap_evicts_and_status_answers_from_the_index() {
+        let cfg = ServiceConfig::builder()
+            .procs(3)
+            .shards(2)
+            .seed(6)
+            .retention(Retention::DecidedCap(2))
+            .build()
+            .unwrap();
+        let mut svc = NcService::new(cfg);
+        for id in 0..5u64 {
+            fill(&mut svc, id);
+        }
+        svc.run_ready(1);
+        assert_eq!(svc.decided(), 5);
+        assert_eq!(svc.resident_decided(), 2);
+        assert_eq!(svc.evicted_count(), 3);
+        let mut evicted_seen = 0;
+        for id in 0..5u64 {
+            match svc.status(id) {
+                InstanceStatus::Decided(_) => {}
+                InstanceStatus::Evicted { decided, round } => {
+                    evicted_seen += 1;
+                    // The index must agree with the journal fact.
+                    let fact = svc
+                        .commit_log(svc.shard_of(id))
+                        .iter()
+                        .find(|f| f.id == id)
+                        .copied()
+                        .unwrap();
+                    assert_eq!(decided, fact.value);
+                    assert_eq!(round as usize, fact.round);
+                    // Evicted is closed for proposals, like Decided.
+                    assert_eq!(
+                        svc.propose(id, Bit::One),
+                        Err(ServiceError::InstanceClosed { id })
+                    );
+                    assert_eq!(
+                        svc.submit(id, Bit::One),
+                        Err(ServiceError::InstanceClosed { id })
+                    );
+                }
+                other => panic!("instance {id}: unexpected status {other:?}"),
+            }
+        }
+        assert_eq!(evicted_seen, 3);
+        // The journals and reduced log keep every fact.
+        assert_eq!(svc.reduced_log().lines().count(), 5);
+    }
+
+    #[test]
+    fn lru_poll_refreshes_recency() {
+        let cfg = ServiceConfig::builder()
+            .procs(2)
+            .shards(1)
+            .seed(4)
+            .retention(Retention::Lru(2))
+            .build()
+            .unwrap();
+        let mut svc = NcService::new(cfg);
+        let mut tickets = HashMap::new();
+        for id in 0..2u64 {
+            tickets.insert(id, svc.submit(id, Bit::One).unwrap());
+            svc.submit(id, Bit::Zero).unwrap();
+        }
+        svc.run_ready(1);
+        // Poll id 0: id 1 becomes the LRU victim when 2 arrives.
+        assert!(matches!(svc.poll(tickets[&0]), InstanceStatus::Decided(_)));
+        fill(&mut svc, 2);
+        svc.run_ready(1);
+        assert!(matches!(svc.status(0), InstanceStatus::Decided(_)));
+        assert!(matches!(svc.status(1), InstanceStatus::Evicted { .. }));
+        assert!(matches!(svc.status(2), InstanceStatus::Decided(_)));
+    }
+
+    #[test]
+    fn unknown_and_evicted_are_distinct() {
+        let cfg = ServiceConfig::builder()
+            .procs(2)
+            .shards(1)
+            .retention(Retention::DecidedCap(1))
+            .build()
+            .unwrap();
+        let mut svc = NcService::new(cfg);
+        fill(&mut svc, 0);
+        fill(&mut svc, 1);
+        svc.run_ready(1);
+        assert!(matches!(svc.status(0), InstanceStatus::Evicted { .. }));
+        assert_eq!(svc.status(99), InstanceStatus::Unknown);
+        assert!(svc.propose(99, Bit::One).is_ok(), "unknown ids stay open");
     }
 }

@@ -82,9 +82,12 @@ pub fn proposals_for(id: u64, procs: usize) -> Vec<Bit> {
         .collect()
 }
 
-/// Drives `spec` through the service front door to completion, batching
-/// [`NcService::run_ready`] calls over `threads` workers. Panics if the
-/// service already holds instances whose ids collide with `0..instances`.
+/// Drives `spec` through the non-blocking front door to completion:
+/// arrivals go through [`NcService::submit`] into the submission rings,
+/// [`NcService::run_ready`] batches over `threads` workers, and decided
+/// facts come back through [`NcService::drain_completions`]. Panics if
+/// the service already holds instances whose ids collide with
+/// `0..instances`.
 pub fn drive_open_loop(service: &mut NcService, spec: &LoadSpec, threads: usize) -> LoadReport {
     let procs = service.config().procs;
     let start = Instant::now();
@@ -103,13 +106,14 @@ pub fn drive_open_loop(service: &mut NcService, spec: &LoadSpec, threads: usize)
         while submitted < due {
             for value in proposals_for(submitted, procs) {
                 service
-                    .propose(submitted, value)
+                    .submit(submitted, value)
                     .expect("load generator ids are fresh");
             }
             submitted += 1;
         }
 
-        let fresh = service.run_ready(threads);
+        service.run_ready(threads);
+        let fresh = service.drain_completions();
         if fresh.is_empty() {
             // Nothing ready: the next arrival is in the future. Yield
             // briefly instead of spinning the admission check.
@@ -171,9 +175,18 @@ mod tests {
         assert_eq!(percentile(&[], 0.99), 0.0);
     }
 
+    fn cfg(procs: usize, shards: usize, seed: u64) -> ServiceConfig {
+        ServiceConfig::builder()
+            .procs(procs)
+            .shards(shards)
+            .seed(seed)
+            .build()
+            .unwrap()
+    }
+
     #[test]
     fn saturating_drive_decides_everything() {
-        let mut svc = NcService::new(ServiceConfig::new(3, 2).with_seed(11));
+        let mut svc = NcService::new(cfg(3, 2, 11));
         let report = drive_open_loop(&mut svc, &LoadSpec::saturating(20), 1);
         assert_eq!(report.decided, 20);
         assert_eq!(svc.decided(), 20);
@@ -184,7 +197,7 @@ mod tests {
 
     #[test]
     fn open_loop_drive_decides_everything() {
-        let mut svc = NcService::new(ServiceConfig::new(3, 1).with_seed(12));
+        let mut svc = NcService::new(cfg(3, 1, 12));
         // High rate so the test finishes quickly; correctness does not
         // depend on the rate.
         let report = drive_open_loop(&mut svc, &LoadSpec::open_loop(10, 1e6), 1);

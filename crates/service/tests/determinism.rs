@@ -21,7 +21,13 @@ const PROCS: usize = 5;
 /// stream, and decides everything with `threads` workers, batching
 /// `batch` instances between `run_ready` calls.
 fn run_service(shards: usize, threads: usize, batch: u64) -> NcService {
-    let mut svc = NcService::new(ServiceConfig::new(PROCS, shards).with_seed(SEED));
+    let cfg = ServiceConfig::builder()
+        .procs(PROCS)
+        .shards(shards)
+        .seed(SEED)
+        .build()
+        .unwrap();
+    let mut svc = NcService::new(cfg);
     let mut submitted = 0u64;
     while submitted < INSTANCES {
         let until = (submitted + batch).min(INSTANCES);
@@ -110,7 +116,12 @@ proptest! {
         // And the service answers the same derivation per shard count.
         for shards in [1usize, 2, 4] {
             let svc = NcService::new(
-                ServiceConfig::new(2, shards).with_seed(service_seed),
+                ServiceConfig::builder()
+                    .procs(2)
+                    .shards(shards)
+                    .seed(service_seed)
+                    .build()
+                    .unwrap(),
             );
             for &id in ids.iter().take(4) {
                 prop_assert_eq!(

@@ -1,0 +1,282 @@
+//! The crash-recovery determinism contract of the durable service
+//! plane:
+//!
+//! * a service killed mid-run and reopened from its `journal_dir`
+//!   continues to a reduced commit log — and to on-disk segment files —
+//!   **byte-identical** to an uninterrupted run, across shard counts
+//!   (1/2/4) and worker-thread counts (1 vs 4),
+//! * a torn final record (a crash mid-append) is truncated away on
+//!   reopen, its instance becomes re-runnable, and re-running it
+//!   restores the identical bytes,
+//! * replay repopulates `status()` for every durable fact, and the
+//!   retention policy applies across the reopen.
+//!
+//! Proptests sweep the segment capacity (so kill points land on and
+//! around segment boundaries) and the torn-tail cut length.
+
+use std::path::{Path, PathBuf};
+
+use nc_service::{loadgen, InstanceStatus, NcService, Retention, ServiceConfig};
+use proptest::prelude::*;
+
+const SEED: u64 = 41;
+const PROCS: usize = 5;
+const INSTANCES: u64 = 24;
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let path = std::env::temp_dir().join(format!(
+            "nc-persist-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&path);
+        std::fs::create_dir_all(&path).unwrap();
+        TempDir(path)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn cfg(shards: usize, dir: &Path, segment_records: usize) -> ServiceConfig {
+    ServiceConfig::builder()
+        .procs(PROCS)
+        .shards(shards)
+        .seed(SEED)
+        .journal_dir(dir)
+        .segment_records(segment_records)
+        .build()
+        .unwrap()
+}
+
+/// Submits the deterministic loadgen stream for `ids` and decides it.
+fn feed(svc: &mut NcService, ids: std::ops::Range<u64>, threads: usize) {
+    for id in ids {
+        for value in loadgen::proposals_for(id, PROCS) {
+            svc.submit(id, value).unwrap();
+        }
+    }
+    svc.run_ready(threads);
+}
+
+/// Every journal file under `dir`, relative path -> bytes, so two
+/// journal trees can be compared for byte-identity.
+fn journal_bytes(dir: &Path) -> Vec<(String, Vec<u8>)> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        for entry in std::fs::read_dir(&d).unwrap() {
+            let path = entry.unwrap().path();
+            if path.is_dir() {
+                stack.push(path);
+            } else {
+                let rel = path.strip_prefix(dir).unwrap().display().to_string();
+                out.push((rel, std::fs::read(&path).unwrap()));
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// The uninterrupted reference: all instances decided in batches of 6.
+fn uninterrupted(shards: usize, threads: usize, dir: &Path, segment_records: usize) -> String {
+    let mut svc = NcService::new(cfg(shards, dir, segment_records));
+    for batch in 0..INSTANCES / 6 {
+        feed(&mut svc, batch * 6..(batch + 1) * 6, threads);
+    }
+    assert_eq!(svc.decided() as u64, INSTANCES);
+    svc.reduced_log()
+}
+
+/// Kill-and-reopen: decide `kill_after` instances, drop the service
+/// (in-flight ring submissions die with it, as in a real crash),
+/// reopen from the same dir, re-submit everything not yet durable, and
+/// finish. Returns the final reduced log.
+fn killed_and_reopened(
+    shards: usize,
+    threads: usize,
+    dir: &Path,
+    segment_records: usize,
+    kill_after: u64,
+) -> String {
+    {
+        let mut svc = NcService::new(cfg(shards, dir, segment_records));
+        feed(&mut svc, 0..kill_after, threads);
+        // Submissions that never reached run_ready are not durable;
+        // they vanish with the process.
+        for value in loadgen::proposals_for(kill_after, PROCS) {
+            let _ = svc.submit(kill_after, value);
+        }
+        // svc dropped here: the "kill". No flush, no shutdown hook.
+    }
+    let mut svc = NcService::new(cfg(shards, dir, segment_records));
+    assert_eq!(
+        svc.decided() as u64,
+        kill_after,
+        "replay lost or invented facts"
+    );
+    for id in 0..INSTANCES {
+        match svc.status(id) {
+            InstanceStatus::Decided(_) | InstanceStatus::Evicted { .. } => {}
+            InstanceStatus::Unknown => feed(&mut svc, id..id + 1, threads),
+            other => panic!("instance {id} replayed to {other:?}"),
+        }
+    }
+    assert_eq!(svc.decided() as u64, INSTANCES);
+    svc.reduced_log()
+}
+
+#[test]
+fn kill_and_reopen_is_byte_identical_across_shards_and_threads() {
+    for shards in [1usize, 2, 4] {
+        for threads in [1usize, 4] {
+            let straight = TempDir::new(&format!("straight-{shards}-{threads}"));
+            let killed = TempDir::new(&format!("killed-{shards}-{threads}"));
+            let want = uninterrupted(shards, threads, &straight.0, 4);
+            let got = killed_and_reopened(shards, threads, &killed.0, 4, 13);
+            assert_eq!(
+                want, got,
+                "reduced log diverged (shards={shards}, threads={threads})"
+            );
+            assert_eq!(
+                journal_bytes(&straight.0),
+                journal_bytes(&killed.0),
+                "on-disk segments diverged (shards={shards}, threads={threads})"
+            );
+        }
+    }
+}
+
+#[test]
+fn reduced_log_is_invariant_to_segment_capacity() {
+    // The reduced log is a pure function of the request stream; the
+    // segment capacity only changes how the same records are filed.
+    let a = TempDir::new("cap-1");
+    let b = TempDir::new("cap-7");
+    let c = TempDir::new("cap-big");
+    let log = uninterrupted(2, 1, &a.0, 1);
+    assert_eq!(log, uninterrupted(2, 1, &b.0, 7));
+    assert_eq!(log, uninterrupted(2, 1, &c.0, 1024));
+}
+
+#[test]
+fn replay_restores_statuses_and_journal_matches_memory() {
+    let dir = TempDir::new("statuses");
+    let want_log = {
+        let mut svc = NcService::new(cfg(3, &dir.0, 5));
+        feed(&mut svc, 0..INSTANCES, 1);
+        svc.reduced_log()
+    };
+    let mut svc = NcService::new(cfg(3, &dir.0, 5));
+    assert_eq!(svc.reduced_log(), want_log);
+    for id in 0..INSTANCES {
+        let InstanceStatus::Decided(fact) = svc.status(id) else {
+            panic!("instance {id} not restored");
+        };
+        assert_eq!(fact.id, id);
+        // Closed across the reopen, too.
+        assert!(svc.submit(id, nc_memory::Bit::One).is_err());
+    }
+    // Replayed facts are re-announced through the completion drain
+    // (at-least-once delivery across restarts).
+    assert_eq!(svc.drain_completions().len() as u64, INSTANCES);
+}
+
+#[test]
+fn retention_applies_across_reopen() {
+    let dir = TempDir::new("retention");
+    let base = cfg(2, &dir.0, 4);
+    {
+        let mut svc = NcService::new(base.clone());
+        feed(&mut svc, 0..10, 1);
+    }
+    let capped = ServiceConfig::builder()
+        .procs(PROCS)
+        .shards(2)
+        .seed(SEED)
+        .journal_dir(&dir.0)
+        .segment_records(4)
+        .retention(Retention::DecidedCap(3))
+        .build()
+        .unwrap();
+    let svc = NcService::new(capped);
+    assert_eq!(svc.decided(), 10, "eviction must not lose journal facts");
+    assert_eq!(svc.resident_decided(), 3);
+    assert_eq!(svc.evicted_count(), 7);
+    // Replay publishes in canonical id order: the cap keeps the
+    // highest ids resident.
+    for id in 0..7u64 {
+        assert!(matches!(svc.status(id), InstanceStatus::Evicted { .. }));
+    }
+    for id in 7..10u64 {
+        assert!(matches!(svc.status(id), InstanceStatus::Decided(_)));
+    }
+}
+
+/// The final (highest-index) segment file under `shard_dir`.
+fn last_segment(shard_dir: &Path) -> PathBuf {
+    let mut segs: Vec<PathBuf> = std::fs::read_dir(shard_dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    segs.sort();
+    segs.pop().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Kill points landing anywhere — including exactly on segment
+    /// boundaries — replay to the identical bytes, for any small
+    /// segment capacity.
+    #[test]
+    fn kill_point_and_segment_capacity_never_change_the_bytes(
+        segment_records in 1usize..8,
+        kill_after in 0u64..INSTANCES,
+        shards in 1usize..4,
+    ) {
+        let straight = TempDir::new("prop-straight");
+        let killed = TempDir::new("prop-killed");
+        let want = uninterrupted(shards, 1, &straight.0, segment_records);
+        let got = killed_and_reopened(shards, 1, &killed.0, segment_records, kill_after);
+        prop_assert_eq!(want, got);
+        prop_assert_eq!(journal_bytes(&straight.0), journal_bytes(&killed.0));
+    }
+
+    /// A torn final record — any cut strictly inside the last record's
+    /// 32 bytes — is dropped on reopen; the torn instance re-runs and
+    /// the final journal tree is byte-identical to the untorn one.
+    #[test]
+    fn torn_tails_heal_to_identical_bytes(cut in 1u64..32) {
+        let dir = TempDir::new("prop-torn");
+        let decided = 9u64;
+        {
+            let mut svc = NcService::new(cfg(2, &dir.0, 3));
+            feed(&mut svc, 0..decided, 1);
+        }
+        let untorn = journal_bytes(&dir.0);
+        // Tear the tail of shard 0's last segment.
+        let seg = last_segment(&dir.0.join("shard-0"));
+        let len = std::fs::metadata(&seg).unwrap().len();
+        let file = std::fs::OpenOptions::new().write(true).open(&seg).unwrap();
+        file.set_len(len - cut).unwrap();
+        drop(file);
+
+        let mut svc = NcService::new(cfg(2, &dir.0, 3));
+        prop_assert_eq!(svc.decided() as u64, decided - 1, "exactly one fact torn");
+        let torn_id = (0..decided)
+            .find(|&id| matches!(svc.status(id), InstanceStatus::Unknown))
+            .expect("the torn instance must look fresh");
+        feed(&mut svc, torn_id..torn_id + 1, 1);
+        prop_assert_eq!(svc.decided() as u64, decided);
+        drop(svc);
+        prop_assert_eq!(journal_bytes(&dir.0), untorn);
+    }
+}
