@@ -1,0 +1,492 @@
+//! Budget-limited adaptive adversaries.
+//!
+//! Each adversary here follows the engine's oblivious uniform-random
+//! base schedule (the same stream [`RandomInterleave`] would draw from
+//! `stream_rng(run_seed, 0, salts::ADVERSARY)`) and may *override* a
+//! base pick — always redirecting to the most-behind enabled process —
+//! by spending one budget token per override. With zero budget the
+//! pick sequence is identical to the oblivious schedule, which anchors
+//! every tournament comparison.
+//!
+//! [`RandomInterleave`]: nc_sched::adversary::RandomInterleave
+
+use rand::rngs::SmallRng;
+use rand::RngExt;
+
+use nc_sched::adversary::{Adversary, CrashAdversary, ProcView};
+use nc_sched::rng::salts;
+use nc_sched::stream_rng;
+
+use crate::strategy::{BudgetSchedule, StrategyPoint, TargetRule};
+
+/// Operations per lean-consensus round; a process's round ends with its
+/// decisive `ReadPrevRival` (the only operation that can decide).
+const OPS_PER_ROUND: u64 = 4;
+
+/// The core budget-limited adaptive adversary: one [`StrategyPoint`]
+/// made executable.
+///
+/// Before every operation the engine offers the current
+/// [`ProcView`]; the adversary draws the oblivious base pick, accrues
+/// budget per its schedule, and — if its target rule fires and a token
+/// is available — redirects the step to the most-behind enabled
+/// process. [`Self::spent`] never exceeds [`Self::granted`], a contract
+/// the property suite pins for every point of every family.
+#[derive(Clone, Debug)]
+pub struct BudgetedAdversary {
+    point: StrategyPoint,
+    base: SmallRng,
+    tokens: u64,
+    granted: u64,
+    spent: u64,
+    primed: bool,
+    last_round: usize,
+}
+
+impl BudgetedAdversary {
+    /// Builds the adversary for one run. The base schedule derives from
+    /// `stream_rng(run_seed, 0, salts::ADVERSARY)`, so the oblivious
+    /// point reproduces [`nc_sched::adversary::RandomInterleave`] on
+    /// the same stream pick-for-pick.
+    pub fn new(point: StrategyPoint, run_seed: u64) -> Self {
+        BudgetedAdversary {
+            point,
+            base: stream_rng(run_seed, 0, salts::ADVERSARY),
+            tokens: 0,
+            granted: 0,
+            spent: 0,
+            primed: false,
+            last_round: 0,
+        }
+    }
+
+    /// The strategy point this adversary executes.
+    pub fn point(&self) -> &StrategyPoint {
+        &self.point
+    }
+
+    /// Total tokens granted by the budget schedule so far.
+    pub fn granted(&self) -> u64 {
+        self.granted
+    }
+
+    /// Tokens spent on overrides so far (≤ [`Self::granted`]).
+    pub fn spent(&self) -> u64 {
+        self.spent
+    }
+
+    fn accrue(&mut self, view: &ProcView<'_>) {
+        let Some(schedule) = self.point.budget else {
+            return;
+        };
+        let frontier = view.max_round().unwrap_or(0);
+        if !self.primed {
+            self.primed = true;
+            self.last_round = frontier;
+            let initial = match schedule {
+                BudgetSchedule::Constant(b) => b,
+                BudgetSchedule::PerRound(m) => m,
+            };
+            self.tokens += initial;
+            self.granted += initial;
+            return;
+        }
+        if let BudgetSchedule::PerRound(m) = schedule {
+            if frontier > self.last_round {
+                let earned = m * (frontier - self.last_round) as u64;
+                self.tokens += earned;
+                self.granted += earned;
+                self.last_round = frontier;
+            }
+        }
+    }
+
+    /// Whether the rule fires on this view/pick; returns the redirect
+    /// target if so.
+    fn intervene(&self, view: &ProcView<'_>, pick: usize) -> Option<usize> {
+        let leader = view.leader()?;
+        let lead = view.lead();
+        let trigger = self.point.trigger;
+        let fires = match self.point.rule {
+            TargetRule::StallLeader => pick == leader && lead >= trigger as usize,
+            TargetRule::NearDecision => {
+                // `steps % 4 == 3` means the next operation is the
+                // round's decisive ReadPrevRival; the window counts
+                // operations until that point.
+                let to_decisive = OPS_PER_ROUND - view.steps[leader] % OPS_PER_ROUND;
+                pick == leader && lead >= 1 && to_decisive <= u64::from(trigger.max(1))
+            }
+            TargetRule::RoundBoundary => {
+                pick == leader && view.steps[leader] % OPS_PER_ROUND < u64::from(trigger.max(1))
+            }
+            TargetRule::CatchUp => lead >= trigger.max(1) as usize,
+        };
+        if fires {
+            view.most_behind()
+        } else {
+            None
+        }
+    }
+}
+
+impl Adversary for BudgetedAdversary {
+    fn next(&mut self, view: ProcView<'_>) -> Option<usize> {
+        let enabled: Vec<usize> = view.enabled_ids().collect();
+        if enabled.is_empty() {
+            return None;
+        }
+        self.accrue(&view);
+        // The base draw happens unconditionally, so the oblivious
+        // stream is identical whether or not any override fires.
+        let pick = enabled[self.base.random_range(0..enabled.len())];
+        if self.tokens > 0 {
+            if let Some(target) = self.intervene(&view, pick) {
+                if target != pick {
+                    self.tokens -= 1;
+                    self.spent += 1;
+                    return Some(target);
+                }
+            }
+        }
+        Some(pick)
+    }
+}
+
+/// Leader-lane targeting: earns `per_round` tokens per frontier round
+/// and spends them stalling the leader whenever its lead reaches
+/// `trigger_lead` rounds.
+#[derive(Clone, Debug)]
+pub struct LeaderLaneStaller {
+    inner: BudgetedAdversary,
+}
+
+impl LeaderLaneStaller {
+    /// Creates the staller for one run.
+    pub fn new(run_seed: u64, per_round: u64, trigger_lead: u32) -> Self {
+        LeaderLaneStaller {
+            inner: BudgetedAdversary::new(
+                StrategyPoint {
+                    budget: Some(BudgetSchedule::PerRound(per_round)),
+                    rule: TargetRule::StallLeader,
+                    trigger: trigger_lead,
+                },
+                run_seed,
+            ),
+        }
+    }
+
+    /// Tokens spent so far.
+    pub fn spent(&self) -> u64 {
+        self.inner.spent()
+    }
+}
+
+impl Adversary for LeaderLaneStaller {
+    fn next(&mut self, view: ProcView<'_>) -> Option<usize> {
+        self.inner.next(view)
+    }
+}
+
+/// Near-decision spending: hoards a one-time budget of `budget` tokens
+/// and dumps them only when the race leader is within `window`
+/// operations of its round's decisive read.
+#[derive(Clone, Debug)]
+pub struct NearDecisionSpender {
+    inner: BudgetedAdversary,
+}
+
+impl NearDecisionSpender {
+    /// Creates the spender for one run.
+    pub fn new(run_seed: u64, budget: u64, window: u32) -> Self {
+        NearDecisionSpender {
+            inner: BudgetedAdversary::new(
+                StrategyPoint {
+                    budget: Some(BudgetSchedule::Constant(budget)),
+                    rule: TargetRule::NearDecision,
+                    trigger: window,
+                },
+                run_seed,
+            ),
+        }
+    }
+
+    /// Tokens spent so far.
+    pub fn spent(&self) -> u64 {
+        self.inner.spent()
+    }
+}
+
+impl Adversary for NearDecisionSpender {
+    fn next(&mut self, view: ProcView<'_>) -> Option<usize> {
+        self.inner.next(view)
+    }
+}
+
+/// Round-boundary ambush: earns `per_round` tokens per frontier round
+/// and spends them stalling the leader during the first `window`
+/// operations of each of its rounds — interference concentrated on
+/// phase transitions.
+#[derive(Clone, Debug)]
+pub struct RoundBoundaryAmbush {
+    inner: BudgetedAdversary,
+}
+
+impl RoundBoundaryAmbush {
+    /// Creates the ambusher for one run.
+    pub fn new(run_seed: u64, per_round: u64, window: u32) -> Self {
+        RoundBoundaryAmbush {
+            inner: BudgetedAdversary::new(
+                StrategyPoint {
+                    budget: Some(BudgetSchedule::PerRound(per_round)),
+                    rule: TargetRule::RoundBoundary,
+                    trigger: window,
+                },
+                run_seed,
+            ),
+        }
+    }
+
+    /// Tokens spent so far.
+    pub fn spent(&self) -> u64 {
+        self.inner.spent()
+    }
+}
+
+impl Adversary for RoundBoundaryAmbush {
+    fn next(&mut self, view: ProcView<'_>) -> Option<usize> {
+        self.inner.next(view)
+    }
+}
+
+/// The adaptive crash adversary: kills the current front-runner at
+/// phase transitions — each time the race frontier advances to a round
+/// nobody had reached before, the process that got there first is
+/// crashed, up to a budget of `f` crashes.
+///
+/// This is [`nc_sched::adversary::LeaderKiller`]'s §10 strategy keyed
+/// to round *transitions* rather than a standing lead: the crash lands
+/// exactly when a new phase begins, before the leader can bank progress
+/// in it.
+#[derive(Clone, Debug)]
+pub struct FrontRunnerCrasher {
+    budget: usize,
+    seen_frontier: usize,
+    crashed: Vec<usize>,
+}
+
+impl FrontRunnerCrasher {
+    /// Creates a crasher allowed `budget` kills.
+    pub fn new(budget: usize) -> Self {
+        FrontRunnerCrasher {
+            budget,
+            seen_frontier: 0,
+            crashed: Vec::new(),
+        }
+    }
+
+    /// Ids crashed so far, in crash order.
+    pub fn crashed(&self) -> &[usize] {
+        &self.crashed
+    }
+}
+
+impl CrashAdversary for FrontRunnerCrasher {
+    fn crash_now(&mut self, view: ProcView<'_>) -> Vec<usize> {
+        let Some(leader) = view.leader() else {
+            return Vec::new();
+        };
+        let round = view.round[leader];
+        if round <= self.seen_frontier {
+            return Vec::new();
+        }
+        // A new frontier round: record it even when out of budget, so a
+        // later refill semantics change couldn't double-kill one round.
+        self.seen_frontier = round;
+        if self.budget == 0 || view.lead() == 0 {
+            return Vec::new();
+        }
+        self.budget -= 1;
+        self.crashed.push(leader);
+        vec![leader]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nc_sched::adversary::RandomInterleave;
+
+    fn view<'a>(enabled: &'a [bool], round: &'a [usize], steps: &'a [u64]) -> ProcView<'a> {
+        ProcView {
+            enabled,
+            round,
+            steps,
+        }
+    }
+
+    #[test]
+    fn oblivious_point_matches_random_interleave() {
+        let seed = 42;
+        let mut adaptive = BudgetedAdversary::new(StrategyPoint::oblivious(), seed);
+        let mut oblivious = RandomInterleave::new(stream_rng(seed, 0, salts::ADVERSARY));
+        let enabled = [true, true, false, true, true];
+        let round = [1, 2, 9, 1, 3];
+        let steps = [4, 8, 36, 5, 12];
+        for _ in 0..200 {
+            let v = view(&enabled, &round, &steps);
+            assert_eq!(adaptive.next(v), oblivious.next(v));
+        }
+        assert_eq!(adaptive.spent(), 0);
+        assert_eq!(adaptive.granted(), 0);
+    }
+
+    #[test]
+    fn stall_leader_redirects_to_most_behind() {
+        // Constant budget, trigger lead 1: the first time the base pick
+        // lands on the leader, the step goes to the most-behind process.
+        let point = StrategyPoint {
+            budget: Some(BudgetSchedule::Constant(100)),
+            rule: TargetRule::StallLeader,
+            trigger: 1,
+        };
+        let mut adv = BudgetedAdversary::new(point, 7);
+        let enabled = [true, true, true];
+        let round = [3, 1, 2];
+        let steps = [12, 4, 8];
+        let mut redirected = false;
+        for _ in 0..50 {
+            let pick = adv.next(view(&enabled, &round, &steps)).unwrap();
+            assert_ne!(
+                pick, 0,
+                "leader picks must be redirected while budget lasts"
+            );
+            if adv.spent() > 0 {
+                redirected = true;
+            }
+        }
+        assert!(
+            redirected,
+            "base schedule never picked the leader in 50 draws?"
+        );
+        // Every redirect went to the most-behind process (id 1), and
+        // each one cost exactly one token.
+        assert!(adv.spent() <= adv.granted());
+    }
+
+    #[test]
+    fn constant_budget_exhausts() {
+        let point = StrategyPoint {
+            budget: Some(BudgetSchedule::Constant(2)),
+            rule: TargetRule::CatchUp,
+            trigger: 1,
+        };
+        let mut adv = BudgetedAdversary::new(point, 9);
+        let enabled = [true, true];
+        let round = [5, 1];
+        let steps = [20, 4];
+        // CatchUp with lead 4 fires on every pick until tokens run out;
+        // redirect target is id 1, so picks of 1 cost nothing only when
+        // the base already chose 1... the redirect-to-self case spends
+        // nothing, hence spent counts only actual overrides.
+        for _ in 0..100 {
+            adv.next(view(&enabled, &round, &steps)).unwrap();
+        }
+        assert_eq!(adv.granted(), 2);
+        assert!(adv.spent() <= 2);
+    }
+
+    #[test]
+    fn per_round_budget_accrues_with_frontier() {
+        let point = StrategyPoint {
+            budget: Some(BudgetSchedule::PerRound(3)),
+            rule: TargetRule::StallLeader,
+            trigger: 0,
+        };
+        let mut adv = BudgetedAdversary::new(point, 11);
+        let enabled = [true, true];
+        let steps = [4, 4];
+        let r1 = [1, 1];
+        adv.next(view(&enabled, &r1, &steps)).unwrap();
+        assert_eq!(adv.granted(), 3);
+        let r2 = [3, 1]; // frontier jumped 2 rounds
+        adv.next(view(&enabled, &r2, &steps)).unwrap();
+        assert_eq!(adv.granted(), 9);
+        // Frontier regressing (leader crashed) earns nothing.
+        let r3 = [3, 2];
+        adv.next(view(&enabled, &r3, &steps)).unwrap();
+        assert_eq!(adv.granted(), 9);
+    }
+
+    #[test]
+    fn near_decision_fires_only_in_window() {
+        let point = StrategyPoint {
+            budget: Some(BudgetSchedule::Constant(100)),
+            rule: TargetRule::NearDecision,
+            trigger: 1,
+        };
+        let adv = BudgetedAdversary::new(point, 13);
+        let enabled = [true, true];
+        let round = [3, 1];
+        // Leader at steps 11: 11 % 4 == 3, next op is the decisive
+        // fourth — inside a window of 1.
+        let steps_hot = [11, 4];
+        let v = view(&enabled, &round, &steps_hot);
+        assert_eq!(adv.intervene(&v, 0), Some(1));
+        // Leader at steps 9: two ops from the decisive read — outside.
+        let steps_cold = [9, 4];
+        let v = view(&enabled, &round, &steps_cold);
+        assert_eq!(adv.intervene(&v, 0), None);
+        // No lead → a decision is not plausible → hoard.
+        let round_tied = [3, 3];
+        let v = view(&enabled, &round_tied, &steps_hot);
+        assert_eq!(adv.intervene(&v, 0), None);
+    }
+
+    #[test]
+    fn round_boundary_fires_at_phase_start() {
+        let point = StrategyPoint {
+            budget: Some(BudgetSchedule::PerRound(4)),
+            rule: TargetRule::RoundBoundary,
+            trigger: 1,
+        };
+        let adv = BudgetedAdversary::new(point, 17);
+        let enabled = [true, true];
+        let round = [3, 1];
+        // steps % 4 == 0: the leader just crossed a round boundary.
+        let at_boundary = [12, 4];
+        let v = view(&enabled, &round, &at_boundary);
+        assert_eq!(adv.intervene(&v, 0), Some(1));
+        let mid_round = [14, 4];
+        let v = view(&enabled, &round, &mid_round);
+        assert_eq!(adv.intervene(&v, 0), None);
+    }
+
+    #[test]
+    fn front_runner_crasher_kills_at_phase_transition() {
+        let mut adv = FrontRunnerCrasher::new(1);
+        let enabled = [true, true, true];
+        let steps = [4, 4, 4];
+        // Everyone in round 1: the initial frontier is recorded, nobody
+        // leads, nobody dies.
+        let r1 = [1, 1, 1];
+        assert!(adv.crash_now(view(&enabled, &r1, &steps)).is_empty());
+        // Process 2 enters round 2 first: crash it.
+        let r2 = [1, 1, 2];
+        assert_eq!(adv.crash_now(view(&enabled, &r2, &steps)), vec![2]);
+        assert_eq!(adv.crashed(), &[2]);
+        // Budget exhausted: the next transition is free.
+        let r3 = [3, 1, 2];
+        assert!(adv.crash_now(view(&enabled, &r3, &steps)).is_empty());
+    }
+
+    #[test]
+    fn front_runner_crasher_one_kill_per_frontier_round() {
+        let mut adv = FrontRunnerCrasher::new(10);
+        let enabled = [true, true];
+        let steps = [8, 4];
+        let r2 = [2, 1];
+        assert_eq!(adv.crash_now(view(&enabled, &r2, &steps)), vec![0]);
+        // Same frontier re-observed: no second kill.
+        assert!(adv.crash_now(view(&enabled, &r2, &steps)).is_empty());
+    }
+}

@@ -18,11 +18,13 @@
 //! | [`msgpass`] | E13 | §10 message-passing extension (ABD) |
 //! | [`statistical`] | E14 | §10 statistical adversary |
 //! | [`value_faults`] | E15 | related-work value faults (ε-noise, stuck registers) |
+//! | [`adversary_search`] | E16 | Theorem 12 / §10: searched adaptive adversaries |
 //! | [`partitions`] | E17 | §10 extension: network faults, partitions, gossip recovery |
 //! | [`service`] | E19 | multi-instance deployment: the `nc_service` sharded instance manager |
 //! | [`durability`] | E20 | durable service plane: commit journals, eviction, crash recovery |
 
 pub mod ablation;
+pub mod adversary_search;
 pub mod baseline;
 pub mod bounded;
 pub mod crashes;

@@ -23,8 +23,8 @@
 use std::path::PathBuf;
 
 use crate::experiments::{
-    ablation, baseline, bounded, crashes, durability, fig1, hybrid, lower, msgpass, partitions,
-    race, scaling, service, statistical, unfair, validity, value_faults,
+    ablation, adversary_search, baseline, bounded, crashes, durability, fig1, hybrid, lower,
+    msgpass, partitions, race, scaling, service, statistical, unfair, validity, value_faults,
 };
 use crate::table::Table;
 
@@ -141,9 +141,9 @@ pub trait Scenario: Sync {
 }
 
 /// Every registered scenario, in experiment-id order. (E12 was folded
-/// into E8's failure variant in DESIGN.md, and E16/E18 — the
-/// adversary-strategy search and rumor-spreading consensus — are still
-/// open in ROADMAP.md, hence 17 entries for E1–E20.)
+/// into E8's failure variant in DESIGN.md, and E18 — rumor-spreading
+/// consensus — is still open in ROADMAP.md, hence 18 entries for
+/// E1–E20.)
 pub const REGISTRY: &[&dyn Scenario] = &[
     &fig1::Fig1,
     &validity::ValidityCost,
@@ -159,6 +159,7 @@ pub const REGISTRY: &[&dyn Scenario] = &[
     &msgpass::MessagePassing,
     &statistical::StatisticalAdversary,
     &value_faults::ValueFaults,
+    &adversary_search::AdversarySearch,
     &partitions::Partitions,
     &service::ServiceLayer,
     &durability::Durability,
@@ -355,7 +356,7 @@ mod tests {
         let mut sorted = nums.clone();
         sorted.sort_unstable();
         assert_eq!(nums, sorted, "registry must stay in E-number order");
-        assert_eq!(ids.len(), 17);
+        assert_eq!(ids.len(), 18);
     }
 
     #[test]
@@ -366,7 +367,7 @@ mod tests {
                 assert!(seen.insert(*out), "output {out} declared twice");
             }
         }
-        assert_eq!(seen.len(), 24, "24 CSV artifacts across the suite");
+        assert_eq!(seen.len(), 25, "25 CSV artifacts across the suite");
     }
 
     #[test]

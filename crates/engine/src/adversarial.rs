@@ -124,6 +124,7 @@ pub fn drive_adversarial<M: MemStore, P: Protocol<M>>(
         first_decision_time: None,
         total_ops,
         sim_time: 0.0,
+        max_round: inst.procs.iter().map(|p| p.round()).max().unwrap_or(0),
     }
 }
 

@@ -683,6 +683,7 @@ fn assemble_report<M: MemStore, P: Protocol<M>>(
         first_decision_time: out.first_decision_time,
         total_ops: out.total_ops,
         sim_time: out.sim_time,
+        max_round: inst.procs.iter().map(|p| p.round()).max().unwrap_or(0),
     }
 }
 

@@ -199,6 +199,7 @@ pub fn run_noisy_with_baseline(
         first_decision_time,
         total_ops,
         sim_time,
+        max_round: inst.procs.iter().map(|p| p.round()).max().unwrap_or(0),
     }
 }
 

@@ -116,6 +116,12 @@ pub struct RunReport {
     pub total_ops: u64,
     /// Final simulated time (timed driver; 0 for untimed drivers).
     pub sim_time: f64,
+    /// Highest protocol round any process (decided or not) had reached
+    /// when the run ended. For decided runs this matches the last
+    /// decision round; for capped runs it is the progress measure the
+    /// adversary tournament scores, since undecided processes have no
+    /// entry in `decision_rounds`.
+    pub max_round: usize,
 }
 
 impl RunReport {
@@ -190,6 +196,7 @@ mod tests {
             first_decision_time: Some(10.0),
             total_ops: 40,
             sim_time: 12.5,
+            max_round: 4,
         }
     }
 

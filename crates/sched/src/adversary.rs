@@ -44,6 +44,50 @@ impl ProcView<'_> {
     pub fn max_round(&self) -> Option<usize> {
         self.enabled_ids().map(|i| self.round[i]).max()
     }
+
+    /// The enabled process furthest ahead in the race, by `(round,
+    /// steps)` with ties broken toward the lower id; `None` if no
+    /// process is enabled.
+    ///
+    /// Adaptive adversaries key their interventions off this process —
+    /// it is the one whose race lane is closest to producing a decision.
+    pub fn leader(&self) -> Option<usize> {
+        self.enabled_ids().max_by(|&a, &b| {
+            (self.round[a], self.steps[a], std::cmp::Reverse(a)).cmp(&(
+                self.round[b],
+                self.steps[b],
+                std::cmp::Reverse(b),
+            ))
+        })
+    }
+
+    /// How many rounds the leader is ahead of the best *other* enabled
+    /// process (0 when tied or when fewer than one process is enabled).
+    /// A solo enabled process's lead is its full round count, matching
+    /// [`LeaderKiller`]'s runner-up-of-zero convention.
+    pub fn lead(&self) -> usize {
+        let Some(leader) = self.leader() else {
+            return 0;
+        };
+        let runner_up = self
+            .enabled_ids()
+            .filter(|&i| i != leader)
+            .map(|i| self.round[i])
+            .max()
+            .unwrap_or(0);
+        self.round[leader].saturating_sub(runner_up)
+    }
+
+    /// The enabled process furthest behind, by `(round, steps)` with
+    /// ties broken toward the lower id; `None` if no process is enabled.
+    ///
+    /// The canonical redirect target for budgeted adversaries: stepping
+    /// the most-behind process keeps the race close, which is exactly
+    /// what delays a lean-consensus decision.
+    pub fn most_behind(&self) -> Option<usize> {
+        self.enabled_ids()
+            .min_by_key(|&i| (self.round[i], self.steps[i], i))
+    }
 }
 
 /// Chooses which process performs the next operation.
@@ -552,5 +596,48 @@ mod tests {
         let none_enabled = [false; 3];
         let v = view(&none_enabled, &round, &steps);
         assert_eq!(v.max_round(), None);
+    }
+
+    #[test]
+    fn proc_view_leader_and_most_behind() {
+        let enabled = [true, false, true, true];
+        let round = [2, 9, 3, 3];
+        let steps = [8, 36, 11, 12];
+        let v = view(&enabled, &round, &steps);
+        // 1 is disabled; 2 and 3 share the top round, 3 has more steps.
+        assert_eq!(v.leader(), Some(3));
+        assert_eq!(v.most_behind(), Some(0));
+        assert_eq!(v.lead(), 0); // runner-up 2 is in the same round
+
+        let round = [2, 9, 1, 5];
+        let v = view(&enabled, &round, &steps);
+        assert_eq!(v.leader(), Some(3));
+        assert_eq!(v.lead(), 3); // 5 - max(2, 1)
+    }
+
+    #[test]
+    fn proc_view_leader_ties_break_low_id() {
+        let enabled = [true, true, true];
+        let round = [4, 4, 4];
+        let steps = [16, 16, 16];
+        let v = view(&enabled, &round, &steps);
+        assert_eq!(v.leader(), Some(0));
+        assert_eq!(v.most_behind(), Some(0));
+        assert_eq!(v.lead(), 0);
+    }
+
+    #[test]
+    fn proc_view_solo_lead_is_full_round_count() {
+        let enabled = [false, true];
+        let round = [7, 4];
+        let steps = [28, 16];
+        let v = view(&enabled, &round, &steps);
+        assert_eq!(v.leader(), Some(1));
+        assert_eq!(v.lead(), 4);
+        let none = [false, false];
+        let v = view(&none, &round, &steps);
+        assert_eq!(v.leader(), None);
+        assert_eq!(v.lead(), 0);
+        assert_eq!(v.most_behind(), None);
     }
 }

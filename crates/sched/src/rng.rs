@@ -107,6 +107,13 @@ pub mod salts {
     /// service and a `TrialSet` sweep sharing a base seed never share a
     /// per-run stream.
     pub const SERVICE: u64 = 9;
+    /// Adversary-strategy seed derivation in `nc_adversary`: each
+    /// strategy point in a tournament draws its seed via
+    /// `trial_seed(tournament_seed, point_index, STRATEGY)`, and each
+    /// trial under that point via `trial_seed(point_seed, t, STRATEGY)`,
+    /// so two tournaments sharing a base seed — or a tournament and a
+    /// plain `TrialSet` sweep — never share a per-run stream.
+    pub const STRATEGY: u64 = 10;
 }
 
 #[cfg(test)]

@@ -270,22 +270,6 @@ impl ServiceConfig {
         }
     }
 
-    /// A `procs`-process, `shards`-shard service with exponential(1)
-    /// noise, seed 0, and the default op budget.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `procs == 0` or `shards == 0` (the builder reports
-    /// these as typed errors instead).
-    #[deprecated(note = "use the validating `ServiceConfig::builder()` instead")]
-    pub fn new(procs: usize, shards: usize) -> Self {
-        ServiceConfig::builder()
-            .procs(procs)
-            .shards(shards)
-            .build()
-            .expect("invalid legacy ServiceConfig::new arguments")
-    }
-
     /// Replaces the service seed (builder-style).
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
@@ -950,18 +934,6 @@ mod tests {
         assert_eq!((built.procs, built.shards, built.seed), (3, 4, 9));
         assert_eq!(built.retention, Retention::DecidedCap(2));
         assert!(built.journal.is_none());
-    }
-
-    #[test]
-    fn legacy_new_matches_builder_defaults() {
-        #[allow(deprecated)]
-        let legacy = ServiceConfig::new(3, 2).with_seed(7);
-        let built = cfg(3, 2, 7);
-        assert_eq!(legacy.procs, built.procs);
-        assert_eq!(legacy.shards, built.shards);
-        assert_eq!(legacy.seed, built.seed);
-        assert_eq!(legacy.retention, built.retention);
-        assert!(legacy.journal.is_none());
     }
 
     #[test]

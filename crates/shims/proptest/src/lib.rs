@@ -8,7 +8,8 @@
 //! * the [`proptest!`] macro (with optional
 //!   `#![proptest_config(ProptestConfig::with_cases(n))]` header);
 //! * [`Strategy`] implementations for numeric ranges, `any::<T>()`,
-//!   tuples, and [`collection::vec`];
+//!   tuples, and [`collection::vec`], plus [`Just`],
+//!   [`Strategy::prop_map`], and the unweighted [`prop_oneof!`];
 //! * [`prop_assert!`] / [`prop_assert_eq!`];
 //! * **bounded shrinking**: when a case fails, the runner retries with
 //!   smaller inputs — vectors truncated to their minimum length, half,
@@ -79,6 +80,93 @@ pub trait Strategy {
     fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
         Vec::new()
     }
+
+    /// Maps generated values through `f` (real proptest's
+    /// `Strategy::prop_map`). Mapped strategies don't shrink — the shim
+    /// has no value-to-source inverse — so failures report the mapped
+    /// counterexample as generated.
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        T: Clone + std::fmt::Debug,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { source: self, f }
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, T, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    T: Clone + std::fmt::Debug,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+/// Strategy that always produces the same value (real proptest's
+/// `Just`).
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T: Clone + std::fmt::Debug>(pub T);
+
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut SmallRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among boxed strategies of one value type — the shape
+/// behind [`prop_oneof!`]. Unweighted (the workspace doesn't use the
+/// real macro's `weight => strategy` arms). Atomic under shrinking: a
+/// failing value can't be attributed back to the option that produced
+/// it.
+pub struct OneOf<V> {
+    options: Vec<Box<dyn Strategy<Value = V>>>,
+}
+
+impl<V: Clone + std::fmt::Debug> OneOf<V> {
+    /// Builds a choice over `options` (non-empty).
+    pub fn new(options: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        OneOf { options }
+    }
+}
+
+impl<V: Clone + std::fmt::Debug> Strategy for OneOf<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut SmallRng) -> V {
+        let k = rng.random_range(0..self.options.len());
+        self.options[k].generate(rng)
+    }
+}
+
+/// Boxes a strategy for [`OneOf`], unifying option types. Used by the
+/// [`prop_oneof!`] expansion; not part of the real proptest API.
+pub fn boxed_strategy<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+where
+    S: Strategy + 'static,
+{
+    Box::new(s)
+}
+
+/// Picks uniformly among the given strategies (real proptest's macro,
+/// minus per-arm weights).
+#[macro_export]
+macro_rules! prop_oneof {
+    ( $( $s:expr ),+ $(,)? ) => {
+        $crate::OneOf::new(vec![ $( $crate::boxed_strategy($s) ),+ ])
+    };
 }
 
 macro_rules! impl_strategy_int_range {
@@ -433,7 +521,8 @@ macro_rules! proptest {
 pub mod prelude {
     pub use crate::collection;
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Any, ProptestConfig, Strategy,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Any, Just,
+        ProptestConfig, Strategy,
     };
 }
 
@@ -540,6 +629,29 @@ mod tests {
         let (min, steps) = crate::shrink_failure(&strat, failing, |_: &Vec<usize>| false);
         assert!(steps <= crate::MAX_SHRINK_STEPS);
         assert!(min.is_empty(), "always-failing vec shrinks to its min len");
+    }
+
+    #[test]
+    fn just_map_and_oneof_compose() {
+        let mut rng = crate::test_rng("oneof", 0);
+        let strat = prop_oneof![
+            Just(0u64),
+            (1u64..5).prop_map(|x| x * 100),
+            (5u64..10).prop_map(|x| x * 1000),
+        ];
+        let mut saw_just = false;
+        let mut saw_map = false;
+        for _ in 0..200 {
+            match strat.generate(&mut rng) {
+                0 => saw_just = true,
+                v if (100..500).contains(&v) && v % 100 == 0 => saw_map = true,
+                v if (5000..10_000).contains(&v) && v % 1000 == 0 => {}
+                v => panic!("value {v} outside every option's range"),
+            }
+        }
+        assert!(saw_just && saw_map, "uniform choice missed an option");
+        // Mapped and oneof strategies are atomic under shrinking.
+        assert!(Strategy::shrink(&strat, &200).is_empty());
     }
 
     proptest! {

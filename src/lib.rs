@@ -22,6 +22,7 @@
 //! | [`theory`] | `nc-theory` | renewal races (Theorem 10), Lemma 5, statistics |
 //! | [`msg`] | `nc-msg` | §10 extension: ABD register emulation over noisy channels |
 //! | [`service`] | `nc-service` | consensus as a service: sharded multi-shot instance manager |
+//! | [`adversary`] | `nc-adversary` | adaptive budget-limited adversaries, strategy-search tournament |
 //!
 //! The most common items are re-exported at the crate root.
 //!
@@ -79,6 +80,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub use nc_adversary as adversary;
 pub use nc_backup as backup;
 pub use nc_core as core;
 pub use nc_engine as engine;
@@ -88,6 +90,7 @@ pub use nc_sched as sched;
 pub use nc_service as service;
 pub use nc_theory as theory;
 
+pub use nc_adversary::{BudgetedAdversary, StrategyFamily, StrategyPoint, Tournament};
 pub use nc_core::{
     Bit, BoundedLean, Decision, LeanConsensus, NativeConsensus, Protocol, ProtocolCore,
     RandomizedLean, RoundLimitError, SkippingLean, Status,
