@@ -10,29 +10,157 @@
 //! slow processes and hurts fast ones, *slowing* termination. This module
 //! implements the unoptimized algorithm; [`crate::skipping`] implements
 //! the warned-against variant for the ablation experiment.
+//!
+//! Internally the state machine is a packed, table-driven [`LeanHot`]:
+//! the four-operation round is encoded as two four-entry offset tables
+//! (address = `base + 2·round + bias[phase] + pref_weight[phase]·pref`)
+//! and a branchless phase/preference/round update, so the per-operation
+//! step compiles to straight-line arithmetic with no `Option` plumbing
+//! and no unpredictable phase match. The engine's batched executor
+//! borrows this representation wholesale via
+//! [`ProtocolCore::lean_hot`] to keep K in-flight processes' hot state
+//! in one contiguous array.
 
 use std::fmt;
 
-use nc_memory::{Bit, MemStore, Op, RaceLayout, Word};
+use nc_memory::{Addr, Bit, MemStore, Op, RaceLayout, Word};
 
 use crate::protocol::{Protocol, ProtocolCore, Status};
 
-/// Where a process is inside its four-operation round.
+/// Phase indices for [`LeanHot`]: where a process is inside its
+/// four-operation round.
+const PH_READ_A0: u8 = 0;
+const PH_READ_A1: u8 = 1;
+const PH_WRITE: u8 = 2;
+const PH_READ_PREV_RIVAL: u8 = 3;
+const PH_DONE: u8 = 4;
+
+/// Address offset of each phase's operation relative to `2·round`, as
+/// `ADDR_BIAS[phase] + ADDR_PREF[phase] · pref`:
+///
+/// | phase | operation          | offset            |
+/// |-------|--------------------|-------------------|
+/// | 0     | read `a0[r]`       | `0`               |
+/// | 1     | read `a1[r]`       | `1`               |
+/// | 2     | write `a_p[r]`     | `p`               |
+/// | 3     | read `a_{1-p}[r-1]`| `-2 + (1 - p)`    |
+const ADDR_BIAS: [i64; 4] = [0, 1, 0, -1];
+const ADDR_PREF: [i64; 4] = [0, 0, 1, -1];
+
+/// The round's phase cycle `0 → 1 → 2 → 3 → 0` (decision diverts to
+/// [`PH_DONE`] instead of wrapping).
+const NEXT_PHASE: [u8; 4] = [PH_READ_A1, PH_WRITE, PH_READ_PREV_RIVAL, PH_READ_A0];
+
+/// Packed hot-path state of one lean-consensus process: the entire
+/// per-operation step as table lookups and conditional moves.
+///
+/// This is the representation [`LeanConsensus`] runs on, and the one the
+/// engine's batched executor checks out via [`ProtocolCore::lean_hot`] /
+/// [`ProtocolCore::lean_hot_restore`] so K processes' state lives in one
+/// dense array while a micro-batch is in flight. Invariants the packed
+/// form maintains (and callers must not break, which is why the fields
+/// are private): `phase ≤ 4`, `pref ∈ {0, 1}`, `round ≥ 1`, and the
+/// address of every pending operation is `≥ base` (the phase-3 read of
+/// round `r` targets `2(r-1) + (1-p) ≥ 0`).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
-enum Phase {
-    /// About to read `a0[r]` (operation 1).
-    ReadA0,
-    /// About to read `a1[r]` (operation 2); remembers what `a0[r]` held.
-    ReadA1 {
-        /// Value observed in `a0[r]`.
-        a0_set: bool,
-    },
-    /// About to write `1` to `a_p[r]` (operation 3).
-    Write,
-    /// About to read `a_{1-p}[r-1]` (operation 4).
-    ReadPrevRival,
-    /// Decided.
-    Done(Bit),
+pub struct LeanHot {
+    /// Shared-memory operations completed so far.
+    ops: u64,
+    /// Current round `r ≥ 1`.
+    round: u64,
+    /// First word of the interleaved `a0`/`a1` plane (the
+    /// [`RaceLayout`] base offset).
+    base: usize,
+    /// `PH_*` phase index; `4` means decided.
+    phase: u8,
+    /// Value observed in `a0[r]` by phase 0, consulted by phase 1.
+    a0_set: u8,
+    /// Current preference bit as `0`/`1`.
+    pref: u8,
+}
+
+impl LeanHot {
+    /// Fresh state at round 1 for a process with the given input,
+    /// addressing a race plane rooted at word offset `base`.
+    fn fresh(base: usize, input: Bit) -> Self {
+        LeanHot {
+            ops: 0,
+            round: 1,
+            base,
+            phase: PH_READ_A0,
+            a0_set: 0,
+            pref: input.index() as u8,
+        }
+    }
+
+    /// The pending operation as `(word offset, is_write)`.
+    ///
+    /// Writes always store `1` ([`Bit::One`] as a word) — the protocol
+    /// never writes anything else. Must not be called on a decided
+    /// process.
+    #[inline(always)]
+    pub fn op_addr(&self) -> (usize, bool) {
+        let p = self.phase as usize;
+        debug_assert!(p < PH_DONE as usize, "op_addr on a decided process");
+        let off = 2 * self.round as i64 + ADDR_BIAS[p] + ADDR_PREF[p] * i64::from(self.pref);
+        ((self.base as i64 + off) as usize, self.phase == PH_WRITE)
+    }
+
+    /// Consumes the result of the pending operation (`0` for the write)
+    /// and advances one phase. Returns `true` exactly when this step
+    /// decided; the decision value is [`Self::preference`].
+    ///
+    /// Branchless by construction: every update is a table lookup or a
+    /// conditional move keyed on the phase index, so the engine's hot
+    /// loop carries no unpredictable phase branch.
+    #[inline(always)]
+    pub fn advance(&mut self, read_value: Word) -> bool {
+        debug_assert!(self.phase < PH_DONE, "advance called on a decided process");
+        let p = self.phase;
+        let set = (read_value != 0) as u8;
+        self.ops += 1;
+        // Phase 0 latches a0[r]; phase 1 compares a1[r] against it and
+        // applies §4 step 1: if exactly one of a_b[r] is set, prefer b
+        // (which equals a1's value precisely when the two differ).
+        self.a0_set = if p == PH_READ_A0 { set } else { self.a0_set };
+        let repref = (p == PH_READ_A1) & (self.a0_set != set);
+        self.pref = if repref { set } else { self.pref };
+        // Phase 3 (§4 step 3): rival frontier at r-1 empty → decide;
+        // otherwise enter round r+1.
+        let final_read = p == PH_READ_PREV_RIVAL;
+        let decided = final_read & (set == 0);
+        self.round += u64::from(final_read & (set != 0));
+        self.phase = if decided {
+            PH_DONE
+        } else {
+            NEXT_PHASE[p as usize]
+        };
+        decided
+    }
+
+    /// Whether this process has decided.
+    #[inline(always)]
+    pub fn is_decided(&self) -> bool {
+        self.phase == PH_DONE
+    }
+
+    /// Current round (the decision round once decided).
+    #[inline(always)]
+    pub fn round(&self) -> usize {
+        self.round as usize
+    }
+
+    /// Current preference (the decision value once decided).
+    #[inline(always)]
+    pub fn preference(&self) -> Bit {
+        Bit::from_word(Word::from(self.pref))
+    }
+
+    /// Shared-memory operations completed so far.
+    #[inline(always)]
+    pub fn ops_completed(&self) -> u64 {
+        self.ops
+    }
 }
 
 /// One process's lean-consensus state machine.
@@ -65,10 +193,7 @@ enum Phase {
 pub struct LeanConsensus {
     layout: RaceLayout,
     input: Bit,
-    preference: Bit,
-    round: usize,
-    phase: Phase,
-    ops: u64,
+    hot: LeanHot,
 }
 
 impl LeanConsensus {
@@ -78,10 +203,7 @@ impl LeanConsensus {
         LeanConsensus {
             layout,
             input,
-            preference: input,
-            round: 1,
-            phase: Phase::ReadA0,
-            ops: 0,
+            hot: LeanHot::fresh(layout.slot(Bit::Zero, 0).offset(), input),
         }
     }
 
@@ -95,7 +217,7 @@ impl LeanConsensus {
     /// A process decides during its current round, so this equals
     /// [`ProtocolCore::round`] after decision.
     pub fn decision_round(&self) -> Option<usize> {
-        matches!(self.phase, Phase::Done(_)).then_some(self.round)
+        self.hot.is_decided().then_some(self.hot.round())
     }
 
     /// The shared-memory layout this instance runs against.
@@ -106,144 +228,86 @@ impl LeanConsensus {
 
 impl ProtocolCore for LeanConsensus {
     fn status(&self) -> Status {
-        let one: Word = Bit::One.word();
-        match self.phase {
-            Phase::ReadA0 => Status::Pending(Op::Read(self.layout.slot(Bit::Zero, self.round))),
-            Phase::ReadA1 { .. } => {
-                Status::Pending(Op::Read(self.layout.slot(Bit::One, self.round)))
-            }
-            Phase::Write => Status::Pending(Op::Write(
-                self.layout.slot(self.preference, self.round),
-                one,
-            )),
-            Phase::ReadPrevRival => Status::Pending(Op::Read(
-                self.layout.slot(self.preference.rival(), self.round - 1),
-            )),
-            Phase::Done(b) => Status::Decided(b),
+        if self.hot.is_decided() {
+            return Status::Decided(self.hot.preference());
         }
+        let (offset, is_write) = self.hot.op_addr();
+        let addr = Addr::new(offset);
+        Status::Pending(if is_write {
+            Op::Write(addr, Bit::One.word())
+        } else {
+            Op::Read(addr)
+        })
     }
 
     fn advance(&mut self, read_value: Option<Word>) {
-        self.ops += 1;
-        match self.phase {
-            Phase::ReadA0 => {
-                let v = read_value.expect("pending read of a0[r] requires a value");
-                self.phase = Phase::ReadA1 { a0_set: v != 0 };
-            }
-            Phase::ReadA1 { a0_set } => {
-                let a1_set = read_value.expect("pending read of a1[r] requires a value") != 0;
-                // §4 step 1: "If for some b, a_b[r] is 1 and a_{1-b}[r] is
-                // 0, set p to b." If both or neither are set, the
-                // preference is unchanged.
-                match (a0_set, a1_set) {
-                    (true, false) => self.preference = Bit::Zero,
-                    (false, true) => self.preference = Bit::One,
-                    _ => {}
-                }
-                self.phase = Phase::Write;
-            }
-            Phase::Write => {
+        let v = match self.hot.phase {
+            PH_READ_A0 => read_value.expect("pending read of a0[r] requires a value"),
+            PH_READ_A1 => read_value.expect("pending read of a1[r] requires a value"),
+            PH_WRITE => {
                 assert!(
                     read_value.is_none(),
                     "pending write must not receive a read value"
                 );
-                self.phase = Phase::ReadPrevRival;
+                0
             }
-            Phase::ReadPrevRival => {
-                let v = read_value.expect("pending read of a_(1-p)[r-1] requires a value");
-                if v == 0 {
-                    // §4 step 3: rival team hasn't reached round r-1 —
-                    // they will adopt our preference before catching up.
-                    self.phase = Phase::Done(self.preference);
-                } else {
-                    self.round += 1;
-                    self.phase = Phase::ReadA0;
-                }
+            PH_READ_PREV_RIVAL => {
+                read_value.expect("pending read of a_(1-p)[r-1] requires a value")
             }
-            Phase::Done(_) => panic!("advance called on a decided process"),
-        }
+            _ => panic!("advance called on a decided process"),
+        };
+        self.hot.advance(v);
     }
 
     fn round(&self) -> usize {
-        self.round
+        self.hot.round()
     }
 
     fn preference(&self) -> Bit {
-        self.preference
+        self.hot.preference()
     }
 
     fn ops_completed(&self) -> u64 {
-        self.ops
+        self.hot.ops_completed()
+    }
+
+    fn lean_hot(&self) -> Option<LeanHot> {
+        Some(self.hot)
+    }
+
+    fn lean_hot_restore(&mut self, hot: LeanHot) {
+        debug_assert_eq!(hot.base, self.hot.base, "lean_hot_restore layout mismatch");
+        self.hot = hot;
     }
 }
 
 impl<M: MemStore> Protocol<M> for LeanConsensus {
-    /// The fused fast path: one phase match performs the pending
-    /// operation and surfaces the next status, instead of the
-    /// `status()` → `exec` → `advance` → `status()` round-trip (three
-    /// phase matches and an `Op` encode/decode). Generic over the
-    /// word-store plane, so the memory's concrete `read`/`write`
-    /// inline straight into the match arms. Bit-identical behavior
-    /// by construction: each arm performs exactly the operation
-    /// `status()` would have surfaced and returns exactly the status
-    /// `advance` would have produced (pinned by the protocol tests and
-    /// the engine's baseline-equivalence suite).
+    /// The fused fast path: decode the pending operation from the packed
+    /// tables, perform it directly against the word store, and advance in
+    /// one branchless step — instead of the `status()` → `exec` →
+    /// `advance` → `status()` round-trip (three phase matches and an
+    /// `Op` encode/decode). Generic over the word-store plane, so the
+    /// memory's concrete `read`/`write` inline straight into the step.
+    /// Bit-identical behavior by construction: the packed step performs
+    /// exactly the operation `status()` surfaces and produces exactly
+    /// the state `advance` would (pinned by the protocol tests and the
+    /// engine's baseline-equivalence suite).
     fn step_status(&mut self, mem: &mut M) -> Status {
-        let one: Word = Bit::One.word();
-        match self.phase {
-            Phase::ReadA0 => {
-                self.ops += 1;
-                let v = mem.exec(Op::Read(self.layout.slot(Bit::Zero, self.round)));
-                self.phase = Phase::ReadA1 {
-                    a0_set: v.expect("read returns a value") != 0,
-                };
-                Status::Pending(Op::Read(self.layout.slot(Bit::One, self.round)))
-            }
-            Phase::ReadA1 { a0_set } => {
-                self.ops += 1;
-                let a1_set = mem
-                    .exec(Op::Read(self.layout.slot(Bit::One, self.round)))
-                    .expect("read returns a value")
-                    != 0;
-                match (a0_set, a1_set) {
-                    (true, false) => self.preference = Bit::Zero,
-                    (false, true) => self.preference = Bit::One,
-                    _ => {}
-                }
-                self.phase = Phase::Write;
-                Status::Pending(Op::Write(
-                    self.layout.slot(self.preference, self.round),
-                    one,
-                ))
-            }
-            Phase::Write => {
-                self.ops += 1;
-                mem.exec(Op::Write(
-                    self.layout.slot(self.preference, self.round),
-                    one,
-                ));
-                self.phase = Phase::ReadPrevRival;
-                Status::Pending(Op::Read(
-                    self.layout.slot(self.preference.rival(), self.round - 1),
-                ))
-            }
-            Phase::ReadPrevRival => {
-                self.ops += 1;
-                let v = mem
-                    .exec(Op::Read(
-                        self.layout.slot(self.preference.rival(), self.round - 1),
-                    ))
-                    .expect("read returns a value");
-                if v == 0 {
-                    self.phase = Phase::Done(self.preference);
-                    Status::Decided(self.preference)
-                } else {
-                    self.round += 1;
-                    self.phase = Phase::ReadA0;
-                    Status::Pending(Op::Read(self.layout.slot(Bit::Zero, self.round)))
-                }
-            }
-            Phase::Done(b) => Status::Decided(b),
+        if self.hot.is_decided() {
+            return Status::Decided(self.hot.preference());
+        }
+        let (offset, is_write) = self.hot.op_addr();
+        let addr = Addr::new(offset);
+        let v = if is_write {
+            mem.write(addr, Bit::One.word());
+            0
+        } else {
+            mem.read(addr)
+        };
+        if self.hot.advance(v) {
+            Status::Decided(self.hot.preference())
+        } else {
+            self.status()
         }
     }
 }
@@ -253,8 +317,8 @@ impl fmt::Display for LeanConsensus {
         write!(
             f,
             "lean(pref={}, round={}, {})",
-            self.preference,
-            self.round,
+            self.preference(),
+            self.round(),
             self.status()
         )
     }
@@ -454,6 +518,89 @@ mod tests {
                 }
             }
             let _ = layout;
+        }
+    }
+
+    #[test]
+    fn lean_hot_checkout_matches_in_place_stepping() {
+        // The engine's batched executor checks the packed state out with
+        // lean_hot(), drives it directly against the memory words via
+        // op_addr()/advance(), and restores it with lean_hot_restore().
+        // Pin that external drive to the in-place status()/advance()
+        // protocol, op for op, over a nontrivial multi-process run.
+        let inputs = [Bit::Zero, Bit::One, Bit::One, Bit::Zero, Bit::One];
+        let (mut mem_a, _, mut procs_a) = setup(&inputs);
+        let (mut mem_b, _, mut procs_b) = setup(&inputs);
+        for step_no in 0..400 {
+            let pid = (step_no * 7 + step_no / 3) % inputs.len();
+            let a = &mut procs_a[pid];
+            if let Status::Pending(op) = a.status() {
+                let observed = mem_a.exec(op);
+                a.advance_status(observed);
+            }
+            let b = &mut procs_b[pid];
+            let mut hot = b.lean_hot().expect("lean exports hot state");
+            if !hot.is_decided() {
+                let (offset, is_write) = hot.op_addr();
+                let addr = Addr::new(offset);
+                let v = if is_write {
+                    mem_b.write(addr, Bit::One.word());
+                    0
+                } else {
+                    mem_b.read(addr)
+                };
+                let decided = hot.advance(v);
+                assert_eq!(decided, hot.is_decided());
+            }
+            b.lean_hot_restore(hot);
+            assert_eq!(
+                procs_a[pid].status(),
+                procs_b[pid].status(),
+                "step {step_no}"
+            );
+            assert_eq!(procs_a[pid].round(), procs_b[pid].round());
+            assert_eq!(procs_a[pid].preference(), procs_b[pid].preference());
+            assert_eq!(procs_a[pid].ops_completed(), procs_b[pid].ops_completed());
+            for off in 0..32 {
+                let addr = nc_memory::Addr::new(off);
+                assert_eq!(mem_a.peek(addr), mem_b.peek(addr), "addr {off}");
+            }
+        }
+        assert!(
+            procs_a.iter().any(|p| p.status().decision().is_some()),
+            "exercise must reach decisions"
+        );
+    }
+
+    #[test]
+    fn lean_hot_addressing_matches_status_ops() {
+        // op_addr()'s table-driven stride-2 addressing must agree with
+        // the Op surfaced by status() in every phase, for layouts at
+        // nonzero bases too.
+        for base in [0usize, 10, 257] {
+            let layout = RaceLayout::at_base(base);
+            let mut mem = SimMemory::new();
+            layout.install_sentinels(&mut mem);
+            let mut p = LeanConsensus::new(layout, Bit::Zero);
+            for _ in 0..64 {
+                let Status::Pending(op) = p.status() else {
+                    break;
+                };
+                let hot = p.lean_hot().unwrap();
+                let (offset, is_write) = hot.op_addr();
+                match op {
+                    Op::Read(a) => {
+                        assert!(!is_write);
+                        assert_eq!(a.offset(), offset);
+                    }
+                    Op::Write(a, v) => {
+                        assert!(is_write);
+                        assert_eq!(a.offset(), offset);
+                        assert_eq!(v, Bit::One.word());
+                    }
+                }
+                step(&mut p, &mut mem);
+            }
         }
     }
 

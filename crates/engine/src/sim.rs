@@ -136,6 +136,7 @@ struct SimConfig<M: MemStore = SimMemory> {
     crash: Option<CrashFactory>,
     record_history: bool,
     mem: M,
+    batch: usize,
 }
 
 impl<M: MemStore> SimConfig<M> {
@@ -167,6 +168,7 @@ pub struct Sim<M: MemStore = SimMemory> {
     crash: Option<CrashFactory>,
     record_history: bool,
     mem: M,
+    batch: usize,
 }
 
 impl<M: MemStore> std::fmt::Debug for Sim<M> {
@@ -196,6 +198,7 @@ impl Sim {
             crash: None,
             record_history: false,
             mem: SimMemory::new(),
+            batch: noisy::DEFAULT_EVENT_BATCH,
         }
     }
 }
@@ -226,6 +229,7 @@ impl<M: MemStore> Sim<M> {
             crash: self.crash,
             record_history: self.record_history,
             mem,
+            batch: self.batch,
         }
     }
 
@@ -352,6 +356,19 @@ impl<M: MemStore> Sim<M> {
         self
     }
 
+    /// Sets the batched execution core's micro-batch size K (clamped to
+    /// at least 1). The default is [`noisy::DEFAULT_EVENT_BATCH`] = 1 —
+    /// batching **off**, the per-event loop — which is the measured
+    /// right call below a few thousand processes; K = 4..16 measures
+    /// faster from n ≳ 8000 (see the constant's docs for the numbers
+    /// and `bench_engine --probe` to re-measure). Purely a performance
+    /// knob: every K produces bit-identical reports (pinned by the
+    /// batched equivalence matrix), exactly like [`Sim::queue_policy`].
+    pub fn event_batch(mut self, k: usize) -> Self {
+        self.batch = k.max(1);
+        self
+    }
+
     /// Validates the configuration and returns a reusable [`SimRun`]
     /// handle.
     ///
@@ -433,6 +450,7 @@ impl<M: MemStore> Sim<M> {
             crash: self.crash,
             record_history: self.record_history,
             mem: self.mem,
+            batch: self.batch,
         }
     }
 }
@@ -458,8 +476,10 @@ struct Lane<M: MemStore> {
 
 impl<M: MemStore> Lane<M> {
     fn new(cfg: &SimConfig<M>) -> Self {
+        let mut scratch = EngineScratch::with_queue(cfg.queue);
+        scratch.set_event_batch(cfg.batch);
         Lane {
-            scratch: EngineScratch::with_queue(cfg.queue),
+            scratch,
             lean: None,
             boxed: None,
             last: LastInstance::None,
@@ -969,7 +989,11 @@ where
     };
     let width = lanes.min((hi - lo) as usize);
     let mut scratches: Vec<EngineScratch> = (0..width)
-        .map(|_| EngineScratch::with_queue(cfg.queue))
+        .map(|_| {
+            let mut s = EngineScratch::with_queue(cfg.queue);
+            s.set_event_batch(cfg.batch);
+            s
+        })
         .collect();
     let mut insts: Vec<Instance<LeanConsensus, M>> = (0..width)
         .map(|_| setup::build_lean_in(&cfg.inputs, cfg.mem.clone()))

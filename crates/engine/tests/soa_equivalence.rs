@@ -18,12 +18,17 @@
 // baseline == drive internals == builder stays closed.
 
 use nc_engine::baseline::{run_noisy_baseline, run_noisy_with_baseline};
-use nc_engine::noisy::{drive_noisy, drive_noisy_batch};
+use nc_engine::noisy::{drive_noisy, drive_noisy_batch, drive_noisy_with_batch_plan};
 use nc_engine::sim::Sim;
 use nc_engine::{setup, Algorithm, EngineScratch, Limits, QueuePolicy, RunReport};
 use nc_memory::{Bit, DenseRaceMemory, FaultyMemory, SimMemory};
 use nc_sched::adversary::{CrashAdversary, CrashScript, LeaderKiller};
 use nc_sched::{DelayPolicy, FailureModel, Noise, StartTimes, TimingModel};
+use proptest::prelude::*;
+
+/// Micro-batch sizes the batched-core matrix forces (1 = the legacy
+/// per-event loop, the others route through `step_batch`).
+const BATCHES: [usize; 4] = [1, 4, 8, 64];
 
 const QUEUES: [QueuePolicy; 3] = [QueuePolicy::Heap, QueuePolicy::Tree, QueuePolicy::Auto];
 
@@ -327,5 +332,216 @@ fn pipelined_widths_match_sequential_and_oracle() {
         let mut inst = setup::build(Algorithm::Lean, &inputs, seed);
         let oracle = run_noisy_baseline(&mut inst, &timing, seed, Limits::first_decision());
         assert_eq!(*report, oracle, "trial {t} diverged from oracle");
+    }
+}
+
+/// Drives `(alg, inputs, timing, seed, limits)` under `policy` with a
+/// forced micro-batch size `k` and asserts the report equals the
+/// baseline's.
+fn assert_batch_matches_oracle(
+    alg: Algorithm,
+    inputs: &[Bit],
+    timing: &TimingModel,
+    seed: u64,
+    limits: Limits,
+    policy: QueuePolicy,
+    k: usize,
+) {
+    let mut scratch = EngineScratch::with_queue(policy);
+    scratch.set_event_batch(k);
+    let mut inst_opt = setup::build(alg, inputs, seed);
+    let mut inst_ref = setup::build(alg, inputs, seed);
+    let optimized = drive_noisy(
+        &mut scratch,
+        &mut inst_opt,
+        timing,
+        seed,
+        limits,
+        None,
+        None,
+    );
+    let oracle = run_noisy_baseline(&mut inst_ref, timing, seed, limits);
+    assert_eq!(
+        optimized, oracle,
+        "{alg:?} × {timing:?} × seed {seed} × {policy:?} × K={k}"
+    );
+}
+
+/// The batched-vs-sequential differential matrix (the batched core may
+/// change only how the schedule is *driven*, never the schedule):
+/// algorithms × noise × queues × K ∈ {1, 4, 8, 64}, run to completion
+/// and to first decision, every cell pinned to the naive oracle.
+/// Non-lean algorithms take the `load_lean_hot` fallback, which must be
+/// equally invisible at every K.
+#[test]
+fn batched_k_matrix_matches_oracle() {
+    let noises = [
+        Noise::Uniform { lo: 0.0, hi: 2.0 },
+        Noise::Exponential { mean: 1.0 },
+    ];
+    for alg in algorithms() {
+        for noise in noises {
+            let timing = TimingModel::figure1(noise);
+            for policy in QUEUES {
+                for k in BATCHES {
+                    for seed in 0..2 {
+                        assert_batch_matches_oracle(
+                            alg,
+                            &setup::half_and_half(8),
+                            &timing,
+                            seed,
+                            Limits::run_to_completion(),
+                            policy,
+                            k,
+                        );
+                    }
+                    // Mid-batch early stop: the batch cut at the first
+                    // decision must not leak extra steps into the report.
+                    assert_batch_matches_oracle(
+                        alg,
+                        &setup::alternating(10),
+                        &timing,
+                        1,
+                        Limits::first_decision(),
+                        policy,
+                        k,
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Crash adversaries and random failures force the general (non-lean)
+/// loop, which ignores the batch knob — K must be inert there, with
+/// histories identical event by event.
+#[test]
+fn batched_k_with_crashes_and_failures_matches_oracle() {
+    let crash_timing = TimingModel::figure1(Noise::Exponential { mean: 1.0 });
+    let failure_timing = TimingModel::figure1(Noise::Uniform { lo: 0.0, hi: 2.0 })
+        .with_failures(FailureModel::Random { per_op: 0.05 });
+    for policy in QUEUES {
+        for k in BATCHES {
+            for seed in 0..2 {
+                // Scripted + adaptive crashes, history compared.
+                let inputs = setup::half_and_half(6);
+                let mut scratch = EngineScratch::with_queue(policy);
+                scratch.set_event_batch(k);
+                let mut inst_opt = setup::build(Algorithm::Lean, &inputs, seed);
+                let mut inst_ref = setup::build(Algorithm::Lean, &inputs, seed);
+                let mut crash_opt = LeaderKiller::new(3, 2);
+                let mut crash_ref = LeaderKiller::new(3, 2);
+                let mut hist_opt = Vec::new();
+                let mut hist_ref = Vec::new();
+                let optimized = drive_noisy(
+                    &mut scratch,
+                    &mut inst_opt,
+                    &crash_timing,
+                    seed,
+                    Limits::run_to_completion(),
+                    Some(&mut crash_opt),
+                    Some(&mut hist_opt),
+                );
+                let oracle = run_noisy_with_baseline(
+                    &mut inst_ref,
+                    &crash_timing,
+                    seed,
+                    Limits::run_to_completion(),
+                    Some(&mut crash_ref),
+                    Some(&mut hist_ref),
+                );
+                assert_eq!(
+                    optimized, oracle,
+                    "crash × {policy:?} × seed {seed} × K={k}"
+                );
+                assert_eq!(
+                    hist_opt, hist_ref,
+                    "history diverged, {policy:?} seed {seed} K={k}"
+                );
+                // Random halting failures (fast loop disabled).
+                assert_batch_matches_oracle(
+                    Algorithm::Lean,
+                    &setup::half_and_half(8),
+                    &failure_timing,
+                    seed,
+                    Limits::run_to_completion(),
+                    policy,
+                    k,
+                );
+            }
+        }
+    }
+}
+
+/// The builder-level `Sim::event_batch` knob over the stride-specialized
+/// dense plane: every K must match the oracle trial for trial, at lane
+/// widths that route through both `run_one` and `run_span_batch`.
+#[test]
+fn event_batch_knob_on_dense_plane_matches_oracle() {
+    let timing = TimingModel::figure1(Noise::Uniform { lo: 0.0, hi: 2.0 });
+    let inputs = setup::half_and_half(12);
+    for k in BATCHES {
+        for lanes in [1usize, 3] {
+            let reports = Sim::new(Algorithm::Lean)
+                .inputs(inputs.clone())
+                .timing(timing.clone())
+                .memory_backend(DenseRaceMemory::new())
+                .event_batch(k)
+                .trials(4)
+                .seed0(7)
+                .seed_stride(11)
+                .threads(1)
+                .lanes(lanes)
+                .reports();
+            for (t, report) in reports.iter().enumerate() {
+                let seed = 7 + 11 * t as u64;
+                let mut inst = setup::build(Algorithm::Lean, &inputs, seed);
+                let oracle =
+                    run_noisy_baseline(&mut inst, &timing, seed, Limits::run_to_completion());
+                assert_eq!(
+                    *report, oracle,
+                    "dense plane × K={k} × {lanes} lanes, trial {t}"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Changing K *mid-run* — an adversarial plan that hands the driver
+    /// a different batch size before every batch, including zeros — must
+    /// produce a `RunReport` identical to the sequential oracle's,
+    /// including `max_round`.
+    #[test]
+    fn random_mid_run_batch_plan_matches_oracle(
+        ks in proptest::collection::vec(0usize..96, 1..24),
+        seed in 0u64..1000,
+        n in 1usize..36,
+    ) {
+        let timing = TimingModel::figure1(Noise::Uniform { lo: 0.0, hi: 2.0 });
+        let inputs = setup::half_and_half(n);
+        let mut inst_ref = setup::build(Algorithm::Lean, &inputs, seed);
+        let oracle = run_noisy_baseline(&mut inst_ref, &timing, seed, Limits::run_to_completion());
+
+        let mut i = 0usize;
+        let mut plan = move || {
+            let k = ks[i % ks.len()];
+            i += 1;
+            k
+        };
+        let mut scratch = EngineScratch::new();
+        let mut inst = setup::build(Algorithm::Lean, &inputs, seed);
+        let batched = drive_noisy_with_batch_plan(
+            &mut scratch,
+            &mut inst,
+            &timing,
+            seed,
+            Limits::run_to_completion(),
+            &mut plan,
+        );
+        prop_assert_eq!(batched.max_round, oracle.max_round, "max_round diverged");
+        prop_assert_eq!(batched, oracle);
     }
 }
